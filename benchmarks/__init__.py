@@ -1,0 +1,1 @@
+"""Paper-artifact benchmarks (one module per table/figure)."""

@@ -1,0 +1,63 @@
+"""Shared fixtures for the paper-artifact benchmarks.
+
+Every benchmark regenerates one table or figure of the FSMoE paper and
+prints it in the paper's format (also saved under ``benchmarks/results/``).
+Set ``REPRO_BENCH_FULL=1`` to run full-size sweeps (e.g. all 1458 Table-5
+configurations); the default subsamples for wall-clock friendliness while
+preserving every swept dimension.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro import standard_layout, testbed_a, testbed_b
+from repro.core.profiler import profile_cluster
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def full_run() -> bool:
+    """True when the full-size sweeps were requested via env var."""
+    return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def cluster_a():
+    """Paper Testbed A."""
+    return testbed_a()
+
+
+@pytest.fixture(scope="session")
+def cluster_b():
+    """Paper Testbed B."""
+    return testbed_b()
+
+
+@pytest.fixture(scope="session")
+def models_a(cluster_a):
+    """Fitted performance models for Testbed A."""
+    parallel = standard_layout(cluster_a.total_gpus, cluster_a.gpus_per_node)
+    return profile_cluster(cluster_a, parallel).models
+
+
+@pytest.fixture(scope="session")
+def models_b(cluster_b):
+    """Fitted performance models for Testbed B."""
+    parallel = standard_layout(cluster_b.total_gpus, cluster_b.gpus_per_node)
+    return profile_cluster(cluster_b, parallel).models
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Print an artifact to the terminal and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n{'=' * 72}\n{text}\n{'=' * 72}")
+
+    return _emit

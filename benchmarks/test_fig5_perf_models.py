@@ -1,0 +1,81 @@
+"""Reproduces paper Fig. 5: performance-model fitting quality.
+
+Runs the online profiler's microbenchmark sweep (with measurement noise,
+five repeats per point -- §6.2) on both testbeds, fits the alpha-beta
+models and reports the coefficients and r-squared per operation, next to
+the paper's fitted values.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import standard_layout
+from repro.bench.reporting import format_table
+from repro.core.profiler import profile_cluster
+
+#: paper Fig. 5 fitted coefficients (ms / ms-per-unit).
+PAPER_FITS = {
+    "A": {
+        "gemm": (4.26e-2, 2.29e-11),
+        "a2a": (2.87e-1, 2.21e-7),
+        "allgather": (3.37e-1, 2.32e-6),
+        "reducescatter": (3.95e-1, 2.34e-7),
+        "allreduce": (5.11e-1, 4.95e-6),
+    },
+    "B": {
+        "gemm": (9.24e-2, 4.42e-11),
+        "a2a": (1.75e-1, 3.06e-7),
+        "allgather": (3.20e-2, 1.68e-7),
+        "reducescatter": (3.91e-2, 1.67e-7),
+        "allreduce": (8.37e-2, 5.99e-7),
+    },
+}
+
+#: paper Fig. 5 r-squared values (communication ops and GEMM).
+PAPER_R2 = {
+    "allreduce": 0.9999896,
+    "a2a": 0.9999,
+    "allgather": 0.9999653,
+    "reducescatter": 0.9999599,
+    "gemm": 0.9987,
+}
+
+
+@pytest.mark.parametrize("testbed", ["A", "B"])
+def test_fig5_perf_model_fit(testbed, cluster_a, cluster_b, emit, benchmark):
+    cluster = cluster_a if testbed == "A" else cluster_b
+    parallel = standard_layout(cluster.total_gpus, cluster.gpus_per_node)
+
+    result = benchmark(
+        profile_cluster, cluster, parallel, noise=0.02, repeats=5, seed=11
+    )
+
+    rows = []
+    for name, model in result.models.as_dict().items():
+        paper_alpha, paper_beta = PAPER_FITS[testbed][name]
+        rows.append(
+            [
+                name,
+                f"{model.alpha:.3e}",
+                f"{model.beta:.3e}",
+                f"{result.r_squared[name]:.6f}",
+                f"{paper_alpha:.2e}",
+                f"{paper_beta:.2e}",
+                f"{PAPER_R2[name]:.5f}",
+            ]
+        )
+    table = format_table(
+        ["op", "alpha(ms)", "beta", "r^2", "paper alpha", "paper beta",
+         "paper r^2"],
+        rows,
+        title=(
+            f"Fig. 5 (Testbed {testbed}) -- fitted linear performance "
+            f"models under 2% measurement noise, 5 repeats per point"
+        ),
+    )
+    emit(f"fig5_testbed_{testbed}", table)
+
+    # Shape assertion: linearity holds at the paper's quality bar.
+    for name, r2 in result.r_squared.items():
+        assert r2 > 0.99, (name, r2)

@@ -1,0 +1,109 @@
+"""Reproduces paper Fig. 7: robustness to sequence length and scale.
+
+On Testbed A, vary L in {512, 1024, 2048} at P=48 and P in {16, 32, 48}
+at L=1024, reporting speedups over DS-MoE (paper: FSMoE 2.17/2.72/3.14x
+over DS-MoE and 1.17/1.19/1.17x over Tutel across L; 2.25/2.27/2.72x over
+DS-MoE across P).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import evaluate_model, format_table
+from repro.models import MIXTRAL_7B
+from repro.systems import (
+    DeepSpeedMoE,
+    FSMoE,
+    FSMoENoIIO,
+    PipeMoELina,
+    Tutel,
+    TutelImproved,
+)
+
+from .conftest import full_run
+
+
+def systems():
+    return [
+        DeepSpeedMoE(), Tutel(), TutelImproved(), PipeMoELina(),
+        FSMoENoIIO(), FSMoE(),
+    ]
+
+
+def run_case(cluster, models, seq_len, num_layers):
+    return evaluate_model(
+        MIXTRAL_7B, cluster, models, systems(),
+        seq_len=seq_len, num_layers=num_layers,
+    )
+
+
+def test_fig7_varied_seq_len(cluster_a, models_a, emit, benchmark):
+    num_layers = 7 if full_run() else 4
+    rows = []
+    results = {}
+    for seq_len in (512, 1024, 2048):
+        result = run_case(cluster_a, models_a, seq_len, num_layers)
+        results[seq_len] = result
+        rows.append(
+            [
+                f"L={seq_len}",
+                f"{result.speedup('FSMoE', 'DS-MoE'):.2f}x",
+                f"{result.speedup('Tutel', 'DS-MoE'):.2f}x",
+                f"{result.speedup('FSMoE', 'Tutel'):.2f}x",
+            ]
+        )
+    table = format_table(
+        ["case", "FSMoE/DS-MoE", "Tutel/DS-MoE", "FSMoE/Tutel"],
+        rows,
+        title=(
+            "Fig. 7a -- varied L, P=48, Mixtral-7B, Testbed A.  Paper: "
+            "FSMoE 2.17/2.72/3.14x over DS-MoE, 1.17/1.19/1.17x over Tutel."
+        ),
+    )
+    emit("fig7_varied_L", table)
+    benchmark.pedantic(
+        run_case, args=(cluster_a, models_a, 512, 2), rounds=1, iterations=1
+    )
+    for result in results.values():
+        assert result.speedup("FSMoE", "Tutel") > 1.05
+
+
+def test_fig7_varied_world_size(cluster_a, models_a, emit, benchmark):
+    from repro import standard_layout
+    from repro.core.profiler import profile_cluster
+
+    num_layers = 7 if full_run() else 4
+    rows = []
+    speedups = {}
+
+    def run_scaled(total_gpus, layers):
+        scaled = cluster_a.scaled_to(total_gpus)
+        parallel = standard_layout(scaled.total_gpus, scaled.gpus_per_node)
+        models = profile_cluster(scaled, parallel).models
+        return run_case(scaled, models, 1024, layers)
+
+    benchmark.pedantic(run_scaled, args=(16, 2), rounds=1, iterations=1)
+
+    for total_gpus in (16, 32, 48):
+        result = run_scaled(total_gpus, num_layers)
+        speedups[total_gpus] = result
+        rows.append(
+            [
+                f"P={total_gpus}",
+                f"{result.speedup('FSMoE', 'DS-MoE'):.2f}x",
+                f"{result.speedup('Tutel', 'DS-MoE'):.2f}x",
+                f"{result.speedup('FSMoE', 'Tutel'):.2f}x",
+            ]
+        )
+    table = format_table(
+        ["case", "FSMoE/DS-MoE", "Tutel/DS-MoE", "FSMoE/Tutel"],
+        rows,
+        title=(
+            "Fig. 7b -- varied P, L=1024, Mixtral-7B, Testbed A.  Paper: "
+            "FSMoE 2.25/2.27/2.72x over DS-MoE, 1.20/1.16/1.19x over Tutel."
+        ),
+    )
+    emit("fig7_varied_P", table)
+    for result in speedups.values():
+        assert result.speedup("FSMoE", "Tutel") > 1.05

@@ -1,0 +1,95 @@
+"""Reproduces paper Fig. 8: speedups with pipeline parallelism enabled.
+
+Testbed A with N_PP = 2 (GPipe): the model's layers split into two
+contiguous stages of three nodes each; each stage runs the per-system
+schedule per micro-batch and gradient synchronization is charged once at
+the pipeline flush.
+
+Paper: FSMoE averages 2.46x over DS-MoE, 1.16x over Tutel, 1.10x over
+Tutel-Improved, 1.12x over PipeMoE+Lina and 1.05x over FSMoE-No-IIO.
+"""
+
+from __future__ import annotations
+
+from repro import standard_layout
+from repro.bench.reporting import format_table
+from repro.core.profiler import profile_cluster
+from repro.models import MIXTRAL_7B, gpipe_iteration_ms, layer_spec_for, \
+    microbatch_spec, profile_layer
+from repro.systems import (
+    DeepSpeedMoE,
+    FSMoE,
+    FSMoENoIIO,
+    PipeMoELina,
+    Tutel,
+    TutelImproved,
+)
+
+from .conftest import full_run
+
+N_PP = 2
+N_MICRO = 4
+SYSTEM_ORDER = (
+    "DS-MoE", "Tutel", "Tutel-Improved", "PipeMoE+Lina", "FSMoE-No-IIO",
+    "FSMoE",
+)
+
+
+def pp_iteration_ms(system, preset, cluster, num_layers):
+    """One GPipe iteration for ``system`` on a 2-stage split of the model."""
+    parallel = standard_layout(
+        cluster.total_gpus, cluster.gpus_per_node, n_pp=N_PP
+    )
+    models = profile_cluster(cluster, parallel).models
+    spec = layer_spec_for(
+        preset, batch_size=1, seq_len=1024, num_experts=parallel.n_ep
+    )
+    micro = microbatch_spec(spec, N_MICRO)
+    profile = profile_layer(micro, parallel, models)
+    layers_per_stage = max(1, num_layers // N_PP)
+    profiles = [profile] * layers_per_stage
+    fw, bw_no_gar, bw_gar = system.phase_times_ms(profiles, models)
+    return gpipe_iteration_ms(
+        fw, bw_no_gar, bw_gar - bw_no_gar, num_stages=N_PP, num_micro=N_MICRO
+    )
+
+
+def test_fig8_pp_enabled(cluster_a, emit, benchmark):
+    num_layers = MIXTRAL_7B.num_layers if full_run() else 4
+    times = {}
+    for system in (
+        DeepSpeedMoE(), Tutel(), TutelImproved(), PipeMoELina(),
+        FSMoENoIIO(), FSMoE(),
+    ):
+        times[system.name] = pp_iteration_ms(
+            system, MIXTRAL_7B, cluster_a, num_layers
+        )
+
+    rows = [
+        [
+            name,
+            f"{times[name]:.1f}",
+            f"{times['DS-MoE'] / times[name]:.2f}x",
+        ]
+        for name in SYSTEM_ORDER
+    ]
+    table = format_table(
+        ["System", "GPipe iteration (ms)", "speedup vs DS-MoE"],
+        rows,
+        title=(
+            "Fig. 8 -- Mixtral-7B with PP enabled (N_PP=2, GPipe, 4 "
+            "micro-batches), Testbed A.  Paper: FSMoE 2.46x over DS-MoE, "
+            "1.16x over Tutel, 1.05x over FSMoE-No-IIO."
+        ),
+    )
+    emit("fig8_pp", table)
+
+    benchmark.pedantic(
+        pp_iteration_ms,
+        args=(FSMoE(), MIXTRAL_7B, cluster_a, 2),
+        rounds=1,
+        iterations=1,
+    )
+
+    assert times["FSMoE"] < times["Tutel"] < times["DS-MoE"]
+    assert times["FSMoE"] < times["FSMoE-No-IIO"]

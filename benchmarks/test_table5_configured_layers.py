@@ -1,0 +1,80 @@
+"""Reproduces paper Table 5: averaged speedups over Tutel on the
+Table-4 configuration grid.
+
+The paper sweeps all 1458 configurations per testbed; by default this
+benchmark subsamples the grid with a stride (keeping every swept dimension
+represented) so the run completes in minutes.  Set ``REPRO_BENCH_FULL=1``
+for the full 1458.
+
+Paper's Table 5:
+
+=================  =========  =========
+Schedule           Testbed-A  Testbed-B
+=================  =========  =========
+Tutel              1.00x      1.00x
+Tutel-Improved     1.09x      1.08x
+FSMoE-No-IIO       1.12x      1.16x
+FSMoE              1.18x      1.22x
+=================  =========  =========
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    configured_layer_grid,
+    evaluate_config,
+    format_table,
+    speedups_over,
+)
+from repro.systems import FSMoE, FSMoENoIIO, Tutel, TutelImproved
+
+from .conftest import full_run
+
+#: paper Table 5 values for the report.
+PAPER_TABLE5 = {
+    "A": {"Tutel": 1.00, "Tutel-Improved": 1.09, "FSMoE-No-IIO": 1.12,
+          "FSMoE": 1.18},
+    "B": {"Tutel": 1.00, "Tutel-Improved": 1.08, "FSMoE-No-IIO": 1.16,
+          "FSMoE": 1.22},
+}
+
+#: keeps every swept dimension while cutting the grid to 1458/27 = 54.
+DEFAULT_STRIDE = 27
+
+
+@pytest.mark.parametrize("testbed", ["A", "B"])
+def test_table5_configured_layers(testbed, cluster_a, cluster_b, models_a,
+                                  models_b, emit, benchmark):
+    cluster = cluster_a if testbed == "A" else cluster_b
+    models = models_a if testbed == "A" else models_b
+    stride = 1 if full_run() else DEFAULT_STRIDE
+    specs = configured_layer_grid(
+        testbed, num_experts=cluster.num_nodes, stride=stride
+    )
+    systems = [Tutel(), TutelImproved(), FSMoENoIIO(), FSMoE()]
+
+    results = [
+        evaluate_config(spec, cluster, models, systems) for spec in specs
+    ]
+    table5 = speedups_over(results, "Tutel")
+
+    rows = [
+        [name, f"{table5[name]:.2f}x", f"{PAPER_TABLE5[testbed][name]:.2f}x"]
+        for name in ("Tutel", "Tutel-Improved", "FSMoE-No-IIO", "FSMoE")
+    ]
+    table = format_table(
+        ["Schedule", f"measured ({len(specs)} configs)", "paper (1458)"],
+        rows,
+        title=f"Table 5 (Testbed {testbed}) -- geo-mean speedup over Tutel",
+    )
+    emit(f"table5_testbed_{testbed}", table)
+
+    # benchmark one configuration evaluation (the unit of the sweep).
+    benchmark(evaluate_config, specs[0], cluster, models, systems)
+
+    # Shape assertions: the paper's ranking.
+    assert table5["FSMoE"] > table5["FSMoE-No-IIO"] > 1.0
+    assert table5["FSMoE"] > table5["Tutel-Improved"] > 1.0
+    assert table5["FSMoE"] > 1.1

@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Flexibility demo: a custom gate, a custom expert, and paired hooks.
+
+Reproduces the paper's Listing 1/2 workflow: extend the abstract
+interfaces (GateBase / ExpertBase / CallbackBase), drop the pieces into
+MOELayer, and verify the layer still runs -- including a compression /
+decompression hook pair around the dispatch, the paper's §3.1 example of
+non-invasive modification.
+
+Run:  python examples/custom_gate_and_hooks.py
+"""
+
+import numpy as np
+
+from repro.moe import MOELayer
+from repro.moe.gates import capacity_assign
+from repro.moe.interfaces import Assignment, CallbackBase, ExpertBase, GateBase
+from repro.moe.functional import softmax, top_k
+
+
+class HashGate(GateBase):
+    """A learned-parameter-free gate: route by a hash of the token.
+
+    Deterministic hash routing (as studied in "Hash Layers" follow-ups to
+    BASE) is trivial to express against the GateBase interface -- exactly
+    the extensibility argument of the paper.
+    """
+
+    def assign(self, x: np.ndarray, capacity: int) -> Assignment:
+        s = x.shape[0]
+        # hash = bucketed sum of the token embedding
+        buckets = (np.abs(x).sum(axis=1) * 1000).astype(np.int64)
+        first = buckets % self.num_experts
+        second = (buckets // 7) % self.num_experts
+        indices = np.stack([first, second], axis=1)[:, : self.top_k]
+        weights = np.full_like(indices, 1.0 / self.top_k, dtype=float)
+        token_ids, slot_weights, dropped, _ = capacity_assign(
+            indices, weights, self.num_experts, capacity
+        )
+        scores = softmax(np.zeros((s, self.num_experts)), axis=-1)
+        return Assignment(
+            token_ids=token_ids,
+            weights=slot_weights,
+            scores=scores,
+            aux_loss=0.0,
+            dropped=dropped,
+        )
+
+
+class GatedLinearExpert(ExpertBase):
+    """A minimal custom expert: one gated linear layer."""
+
+    def __init__(self, embed_dim: int, seed: int = 0) -> None:
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.params["w"] = rng.normal(0, embed_dim**-0.5,
+                                      (embed_dim, embed_dim))
+        self.zero_grad()
+        self._cache = {}
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        pre = x @ self.params["w"]
+        self._cache = {"x": x, "pre": pre}
+        return np.tanh(pre)
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        pre = self._cache["pre"]
+        d_pre = dy * (1.0 - np.tanh(pre) ** 2)
+        self.grads["w"] += self._cache["x"].T @ d_pre
+        return d_pre @ self.params["w"].T
+
+
+class QuantizeHooks(CallbackBase):
+    """Paper §3.1's example: compress before dispatch, decompress after.
+
+    Simulates int8 communication compression: the pair must be transparent
+    up to quantization error.
+    """
+
+    def before_dispatch_hook(self, x, ctx):
+        scale = np.abs(x).max() / 127.0 + 1e-12
+        ctx.storage["scale"] = scale
+        ctx.storage["bytes_saved"] = x.nbytes * 3 // 4
+        return np.round(x / scale)  # int8-grid values
+
+    def after_dispatch_hook(self, x, ctx):
+        return x * ctx.storage["scale"]
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    s, m, e = 256, 64, 8
+
+    gate = HashGate(embed_dim=m, num_experts=e, top_k=2)
+    experts = [GatedLinearExpert(m, seed=i) for i in range(e)]
+    hooks = QuantizeHooks()
+    layer = MOELayer(
+        gate, experts, capacity_factor=1.5, callbacks=(hooks,),
+        name="custom-moe",
+    )
+
+    x = rng.normal(size=(s, m))
+    y = layer.forward(x)
+    dx = layer.backward(np.ones_like(y))
+
+    reference = MOELayer(
+        HashGate(embed_dim=m, num_experts=e, top_k=2),
+        [GatedLinearExpert(m, seed=i) for i in range(e)],
+        capacity_factor=1.5,
+    ).forward(x)
+    err = float(np.abs(y - reference).max())
+
+    print(f"custom MoE layer: input {x.shape} -> output {y.shape}")
+    print(f"tokens dropped by hash routing: {int(layer._cache['assignment'].dropped.sum())}")
+    print(f"gradient w.r.t. input: |dx| = {np.abs(dx).sum():.2f}")
+    print(f"int8 hook pair max quantization error: {err:.4f} "
+          f"(transparent up to quantization, as in paper §3.1)")
+    print("custom gate + custom expert + hooks all ran through the "
+          "unmodified MOELayer -- no core changes needed.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Soft vs. hard routing: train both MoE flavours on the same toy task.
+
+The paper's framework hosts both families (§3.1): hard top-k gates
+(GShard and friends) that dispatch discrete tokens, and SoftMoE, which
+sends every expert a convex mixture of all tokens and is therefore fully
+differentiable.  This example trains both on a piecewise-nonlinear
+regression task and reports the loss curves plus the routing statistics
+that distinguish them.
+
+Run:  python examples/soft_vs_hard_routing.py
+"""
+
+import numpy as np
+
+from repro.moe import GShardGate, MOELayer, SimpleFFNExpert, SoftMoELayer
+
+S, M, E, K, H = 128, 16, 4, 2, 32
+STEPS = 40
+LR = 0.3
+
+
+def toy_task(rng):
+    """Tokens from E clusters, each with its own nonlinear map."""
+    centers = rng.normal(size=(E, M)) * 2.0
+    maps = rng.normal(0, M**-0.5, (E, M, M))
+    labels = rng.integers(0, E, size=S)
+    x = centers[labels] + rng.normal(size=(S, M)) * 0.3
+    y = np.einsum("sm,smn->sn", x, maps[labels])
+    return x, np.tanh(y)
+
+
+def sgd(params, grads, lr):
+    for name, grad in grads.items():
+        params[name] -= lr * grad
+
+
+def train_hard(x, y, rng):
+    gate = GShardGate(M, E, K, seed=1)
+    experts = [SimpleFFNExpert(M, H, seed=10 + e) for e in range(E)]
+    layer = MOELayer(gate, experts, capacity_factor=2.0)
+    losses = []
+    for _ in range(STEPS):
+        layer.zero_grad()
+        out = layer.forward(x)
+        err = out - y
+        losses.append(float((err**2).mean()))
+        layer.backward(2 * err / err.size)
+        sgd(gate.params, gate.grads, LR)
+        for expert in experts:
+            sgd(expert.params, expert.grads, LR)
+    assignment = layer._cache["assignment"]
+    load = (assignment.token_ids >= 0).sum(axis=1)
+    return losses, load
+
+
+def train_soft(x, y, rng):
+    experts = [SimpleFFNExpert(M, H, seed=20 + e) for e in range(E)]
+    layer = SoftMoELayer(experts, embed_dim=M, slots_per_expert=2, seed=2)
+    losses = []
+    for _ in range(STEPS):
+        layer.zero_grad()
+        out = layer.forward(x)
+        err = out - y
+        losses.append(float((err**2).mean()))
+        layer.backward(2 * err / err.size)
+        sgd(layer.params, {"phi": layer.grads["phi"]}, LR)
+        for expert in experts:
+            sgd(expert.params, expert.grads, LR)
+    return losses
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    x, y = toy_task(rng)
+
+    hard_losses, hard_load = train_hard(x, y, rng)
+    soft_losses = train_soft(x, y, rng)
+
+    print("step | hard top-2 loss | soft-moe loss")
+    for step in range(0, STEPS, 8):
+        print(f"{step:4d} | {hard_losses[step]:15.5f} | "
+              f"{soft_losses[step]:13.5f}")
+    print(f"{STEPS - 1:4d} | {hard_losses[-1]:15.5f} | "
+          f"{soft_losses[-1]:13.5f}")
+
+    print(f"\nhard routing final expert load (slots used): "
+          f"{hard_load.tolist()}")
+    print("soft routing uses every expert for every token by construction.")
+    print("\nBoth flavours train through the same ExpertBase modules -- "
+          "the framework hosts either routing family unchanged.")
+
+
+if __name__ == "__main__":
+    main()

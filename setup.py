@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Kept so ``pip install -e . --no-build-isolation --no-use-pep517`` works on
+machines without the ``wheel`` package (all metadata lives in
+``pyproject.toml``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,23 @@
+"""Benchmark harness: workload grids, runners, and text reporting."""
+
+from .workloads import TABLE4_GRID, configured_layer_grid, grid_size
+from .runner import (
+    ConfigResult,
+    evaluate_config,
+    evaluate_model,
+    geometric_mean,
+    speedups_over,
+)
+from .reporting import format_table
+
+__all__ = [
+    "TABLE4_GRID",
+    "configured_layer_grid",
+    "grid_size",
+    "ConfigResult",
+    "evaluate_config",
+    "evaluate_model",
+    "geometric_mean",
+    "speedups_over",
+    "format_table",
+]

@@ -1,0 +1,155 @@
+"""Evaluation driver: run systems over workloads, compute speedups.
+
+The paper's configured-layer experiments (Table 5) report *average
+speedups over Tutel*; the end-to-end experiments (Fig. 6-8) report
+speedups over DeepSpeed-MoE.  Averages over many configurations use the
+geometric mean (the standard choice for ratios).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..config import MoELayerSpec, ParallelSpec, standard_layout
+from ..core.perf_model import PerfModelSet
+from ..errors import ConfigError
+from ..models.configs import ModelPreset, layer_spec_for
+from ..models.transformer import profile_layer
+from ..moe.gates import GateKind
+from ..parallel.topology import ClusterSpec
+from ..systems.base import TrainingSystem
+
+#: layers used for a "configured layer" measurement.  At least two are
+#: needed for the gradient-overlap machinery to engage (a layer's own
+#: gradients only exist after its backward, so they can only hide in an
+#: *earlier* layer's windows); four keeps the un-hideable first layer's
+#: share realistic while staying cheap to simulate.
+CONFIGURED_LAYER_COUNT = 4
+
+
+@dataclass(frozen=True)
+class ConfigResult:
+    """Per-system iteration times for one workload configuration."""
+
+    spec: MoELayerSpec
+    parallel: ParallelSpec
+    times_ms: dict[str, float]
+
+    def speedup(self, system: str, baseline: str) -> float:
+        """``baseline_time / system_time`` (>1 means ``system`` wins).
+
+        Raises:
+            ConfigError: for an unknown system name.
+        """
+        if system not in self.times_ms or baseline not in self.times_ms:
+            raise ConfigError(
+                f"unknown system in speedup({system!r}, {baseline!r}); "
+                f"have {sorted(self.times_ms)}"
+            )
+        return self.times_ms[baseline] / self.times_ms[system]
+
+
+def evaluate_config(
+    spec: MoELayerSpec,
+    cluster: ClusterSpec,
+    models: PerfModelSet,
+    systems: Sequence[TrainingSystem],
+    *,
+    num_layers: int = CONFIGURED_LAYER_COUNT,
+    gate_kind: GateKind = GateKind.GSHARD,
+) -> ConfigResult:
+    """Simulate every system on ``num_layers`` copies of ``spec``.
+
+    The spec's expert count is overridden to the cluster's node count if
+    it does not divide the EP width (the paper always deploys E == nodes
+    for configured layers).
+    """
+    parallel = standard_layout(cluster.total_gpus, cluster.gpus_per_node)
+    if spec.num_experts % parallel.n_ep != 0:
+        spec = spec.with_(num_experts=parallel.n_ep)
+    profile = profile_layer(spec, parallel, models, gate_kind=gate_kind)
+    profiles = [profile] * num_layers
+    times = {
+        system.name: system.iteration_time_ms(profiles, models)
+        for system in systems
+    }
+    return ConfigResult(spec=spec, parallel=parallel, times_ms=times)
+
+
+def evaluate_model(
+    preset: ModelPreset,
+    cluster: ClusterSpec,
+    models: PerfModelSet,
+    systems: Sequence[TrainingSystem],
+    *,
+    batch_size: int = 1,
+    seq_len: int = 1024,
+    num_layers: int | None = None,
+    gate_kind: GateKind = GateKind.GSHARD,
+    routing_overhead_by_system: dict[str, float] | None = None,
+) -> ConfigResult:
+    """Simulate every system training a real-world model end to end.
+
+    Follows the paper's §6.4 deployment: ``E = number of nodes``,
+    ``N_MP = N_ESP = gpus/node``, ``B = 1``, ``f`` from the preset.
+
+    Args:
+        routing_overhead_by_system: optional per-system multiplier on
+            routing compute (used by the Table 6 experiment, where
+            DeepSpeed-MoE runs its own unoptimized gate kernels).
+    """
+    parallel = standard_layout(cluster.total_gpus, cluster.gpus_per_node)
+    spec = layer_spec_for(
+        preset,
+        batch_size=batch_size,
+        seq_len=seq_len,
+        num_experts=parallel.n_ep,
+    )
+    layers = num_layers if num_layers is not None else preset.num_layers
+    times: dict[str, float] = {}
+    for system in systems:
+        overhead = 1.0
+        if routing_overhead_by_system is not None:
+            overhead = routing_overhead_by_system.get(system.name, 1.0)
+        profile = profile_layer(
+            spec, parallel, models,
+            gate_kind=gate_kind, routing_overhead=overhead,
+        )
+        times[system.name] = system.iteration_time_ms(
+            [profile] * layers, models
+        )
+    return ConfigResult(spec=spec, parallel=parallel, times_ms=times)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive ratios.
+
+    Raises:
+        ConfigError: on an empty sequence or non-positive entries.
+    """
+    if not values:
+        raise ConfigError("geometric_mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ConfigError("geometric_mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def speedups_over(
+    results: Sequence[ConfigResult], baseline: str
+) -> dict[str, float]:
+    """Geometric-mean speedup of every system over ``baseline``.
+
+    Raises:
+        ConfigError: on an empty result list.
+    """
+    if not results:
+        raise ConfigError("speedups_over needs at least one result")
+    systems = list(results[0].times_ms)
+    return {
+        system: geometric_mean(
+            [r.speedup(system, baseline) for r in results]
+        )
+        for system in systems
+    }

@@ -1,0 +1,111 @@
+"""The paper's Table 4 configuration grid: 1458 MoE layer shapes.
+
+``3 (B) x 3 (N_heads) x 3 (L) x 3 (M) x 3 (N_hscale) x 3 (f) x 2
+(ffn-type) = 1458`` configurations.  ``L`` is testbed-dependent
+({512, 1024, 2048} on A, {256, 512, 1024} on B, §6.1) and ``f = *``
+(no dropping) is encoded as ``None``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+from ..config import MoELayerSpec
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class Table4Grid:
+    """Candidate values of every swept dimension (paper Table 4)."""
+
+    batch_sizes: tuple[int, ...] = (1, 2, 4)
+    num_heads: tuple[int, ...] = (8, 16, 32)
+    seq_lens_a: tuple[int, ...] = (512, 1024, 2048)
+    seq_lens_b: tuple[int, ...] = (256, 512, 1024)
+    embed_dims: tuple[int, ...] = (1024, 2048, 4096)
+    hidden_scales: tuple[int, ...] = (2, 3, 4)
+    capacity_factors: tuple[float | None, ...] = (1.2, 2.4, None)
+    ffn_types: tuple[str, ...] = ("simple", "mixtral")
+
+    def seq_lens(self, testbed: str) -> tuple[int, ...]:
+        """L candidates for testbed ``"A"`` or ``"B"``.
+
+        Raises:
+            ConfigError: for an unknown testbed name.
+        """
+        if testbed.upper() == "A":
+            return self.seq_lens_a
+        if testbed.upper() == "B":
+            return self.seq_lens_b
+        raise ConfigError(f"unknown testbed {testbed!r}")
+
+
+#: the grid exactly as published.
+TABLE4_GRID = Table4Grid()
+
+
+def grid_size(grid: Table4Grid = TABLE4_GRID) -> int:
+    """Total number of configurations (1458 for the paper's grid)."""
+    return (
+        len(grid.batch_sizes)
+        * len(grid.num_heads)
+        * len(grid.seq_lens_a)
+        * len(grid.embed_dims)
+        * len(grid.hidden_scales)
+        * len(grid.capacity_factors)
+        * len(grid.ffn_types)
+    )
+
+
+def configured_layer_grid(
+    testbed: str,
+    num_experts: int,
+    *,
+    top_k: int = 2,
+    grid: Table4Grid = TABLE4_GRID,
+    stride: int = 1,
+) -> list[MoELayerSpec]:
+    """Materialize the Table 4 grid for one testbed.
+
+    Args:
+        testbed: ``"A"`` or ``"B"`` (selects the L range).
+        num_experts: experts per layer -- deployment-dependent (nodes).
+        top_k: experts per token.
+        grid: the swept values (defaults to the paper's).
+        stride: keep every ``stride``-th configuration -- lets benchmark
+            runs trade coverage for wall-clock while preserving the grid's
+            diversity (the full 1458 remain available with ``stride=1``).
+
+    Raises:
+        ConfigError: for a non-positive stride.
+    """
+    if stride <= 0:
+        raise ConfigError(f"stride must be positive, got {stride}")
+    specs: list[MoELayerSpec] = []
+    combos = product(
+        grid.batch_sizes,
+        grid.num_heads,
+        grid.seq_lens(testbed),
+        grid.embed_dims,
+        grid.hidden_scales,
+        grid.capacity_factors,
+        grid.ffn_types,
+    )
+    for index, (b, heads, l, m, hscale, f, ffn) in enumerate(combos):
+        if index % stride != 0:
+            continue
+        specs.append(
+            MoELayerSpec(
+                batch_size=b,
+                seq_len=l,
+                embed_dim=m,
+                hidden_scale=float(hscale),
+                num_experts=num_experts,
+                top_k=top_k,
+                capacity_factor=f,
+                num_heads=heads,
+                ffn_type=ffn,  # type: ignore[arg-type]
+            )
+        )
+    return specs

@@ -1,0 +1,251 @@
+"""Configuration dataclasses shared by the whole library.
+
+Two specs describe one experiment:
+
+* :class:`MoELayerSpec` -- the shape of one transformer-MoE layer
+  (Table 1 / Table 4 of the paper).
+* :class:`ParallelSpec` -- how the layer is laid out over the cluster
+  (DP / MP / EP / ESP / PP, paper section 2.2).
+
+Both are frozen dataclasses so they can be used as dict keys and shared
+between threads without copying.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Literal
+
+from .errors import ConfigError
+from .units import DEFAULT_DTYPE, dtype_nbytes
+
+FFNType = Literal["simple", "mixtral"]
+
+#: number of GEMMs per expert forward pass, per ffn type. "simple" is the
+#: conventional two dense layers (GPT-style); "mixtral" uses SwiGLU which is
+#: three GEMMs (gate, up, down).
+FFN_NUM_GEMMS = {"simple": 2, "mixtral": 3}
+
+
+@dataclass(frozen=True)
+class MoELayerSpec:
+    """Shape of a single transformer layer with an MoE feed-forward block.
+
+    Attributes:
+        batch_size: samples per DP worker per iteration (paper ``B``).
+        seq_len: tokens per sample (paper ``L``).
+        embed_dim: token embedding size (paper ``M``).
+        hidden_scale: expert hidden size as a multiple of ``embed_dim``
+            (paper ``N_hscale = H / M``; Table 4 sweeps 2, 3, 4; Mixtral
+            uses 3.5).
+        num_experts: total experts in the layer (paper ``E``).
+        top_k: experts activated per token (paper ``k``).
+        capacity_factor: token-drop control factor (paper ``f``).  ``None``
+            reproduces the paper's ``f = *`` (no dropping); timing then uses
+            an analytic expected-max-load factor, see
+            :func:`repro.parallel.volumes.nodrop_capacity_factor`.
+        num_heads: attention heads (paper ``N_head``).
+        ffn_type: ``"simple"`` (two dense layers) or ``"mixtral"`` (SwiGLU).
+        dtype: training dtype name, resolves element size via units.
+    """
+
+    batch_size: int = 4
+    seq_len: int = 1024
+    embed_dim: int = 2048
+    hidden_scale: float = 4.0
+    num_experts: int = 8
+    top_k: int = 2
+    capacity_factor: float | None = 1.2
+    num_heads: int = 16
+    ffn_type: FFNType = "simple"
+    dtype: str = DEFAULT_DTYPE
+
+    def __post_init__(self) -> None:
+        positive_fields = {
+            "batch_size": self.batch_size,
+            "seq_len": self.seq_len,
+            "embed_dim": self.embed_dim,
+            "hidden_scale": self.hidden_scale,
+            "num_experts": self.num_experts,
+            "top_k": self.top_k,
+            "num_heads": self.num_heads,
+        }
+        for name, value in positive_fields.items():
+            if value <= 0:
+                raise ConfigError(f"{name} must be positive, got {value}")
+        if self.capacity_factor is not None and self.capacity_factor <= 0:
+            raise ConfigError(
+                f"capacity_factor must be positive or None, "
+                f"got {self.capacity_factor}"
+            )
+        if self.top_k > self.num_experts:
+            raise ConfigError(
+                f"top_k ({self.top_k}) cannot exceed num_experts "
+                f"({self.num_experts})"
+            )
+        if self.ffn_type not in FFN_NUM_GEMMS:
+            raise ConfigError(f"unknown ffn_type {self.ffn_type!r}")
+        if self.embed_dim % self.num_heads != 0:
+            raise ConfigError(
+                f"embed_dim ({self.embed_dim}) must be divisible by "
+                f"num_heads ({self.num_heads})"
+            )
+        dtype_nbytes(self.dtype)  # raises KeyError for unknown dtypes
+
+    # -- derived quantities ---------------------------------------------
+
+    @property
+    def hidden_dim(self) -> int:
+        """Expert hidden size ``H = round(N_hscale * M)``."""
+        return int(round(self.hidden_scale * self.embed_dim))
+
+    @property
+    def tokens_per_worker(self) -> int:
+        """Tokens a DP worker contributes each iteration (``B * L``)."""
+        return self.batch_size * self.seq_len
+
+    @property
+    def dtype_bytes(self) -> int:
+        """Bytes per element of the training dtype."""
+        return dtype_nbytes(self.dtype)
+
+    @property
+    def num_gemms_per_expert(self) -> int:
+        """GEMMs in one expert forward pass (2 for simple, 3 for mixtral)."""
+        return FFN_NUM_GEMMS[self.ffn_type]
+
+    @property
+    def drops_tokens(self) -> bool:
+        """True when a finite capacity factor may drop tokens."""
+        return self.capacity_factor is not None
+
+    def with_(self, **changes) -> "MoELayerSpec":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class ParallelSpec:
+    """Hybrid-parallel layout of an MoE model over a cluster (paper §2.2).
+
+    The paper's standard deployment sets ``n_mp == n_esp == GPUs per node``
+    so MP/ESP collectives are intra-node while EP AlltoAll and DP
+    Gradient-AllReduce are inter-node; that is the scenario FSMoE's
+    scheduler targets and the one our schedules assume.
+
+    Attributes:
+        n_dp: workers per data-parallel group.
+        n_mp: workers per model(tensor)-parallel group.
+        n_ep: workers per expert-parallel group (token exchange span).
+        n_esp: workers per expert-sharding group.
+        n_pp: pipeline-parallel stages.
+    """
+
+    n_dp: int = 1
+    n_mp: int = 1
+    n_ep: int = 1
+    n_esp: int = 1
+    n_pp: int = 1
+
+    def __post_init__(self) -> None:
+        for name in ("n_dp", "n_mp", "n_ep", "n_esp", "n_pp"):
+            value = getattr(self, name)
+            if value <= 0:
+                raise ConfigError(f"{name} must be positive, got {value}")
+
+    @property
+    def gpus_per_stage(self) -> int:
+        """GPUs in one pipeline stage.
+
+        MP and ESP share the same intra-node GPUs (paper Fig. 2), and each
+        DP replica spans one EP position, so a stage holds
+        ``n_dp * n_mp`` == ``n_ep * n_esp`` GPUs in the standard layout.
+        """
+        return self.n_dp * self.n_mp
+
+    @property
+    def world_size(self) -> int:
+        """Total GPUs used by this layout."""
+        return self.gpus_per_stage * self.n_pp
+
+    def validate_standard_layout(self) -> None:
+        """Check the paper's standard deployment invariants.
+
+        The common scenario optimized in section 4 requires:
+        * MP and ESP groups are the same set of intra-node GPUs
+          (``n_mp == n_esp``), and
+        * EP groups pair same-MP-rank GPUs across the nodes of a stage
+          (``n_ep == n_dp``).
+        """
+        if self.n_mp != self.n_esp:
+            raise ConfigError(
+                f"standard layout requires n_mp == n_esp, got "
+                f"{self.n_mp} != {self.n_esp}"
+            )
+        if self.n_ep != self.n_dp:
+            raise ConfigError(
+                f"standard layout requires n_ep == n_dp, got "
+                f"{self.n_ep} != {self.n_dp}"
+            )
+
+    def with_(self, **changes) -> "ParallelSpec":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)
+
+
+def standard_layout(
+    total_gpus: int, gpus_per_node: int, n_pp: int = 1
+) -> ParallelSpec:
+    """Build the paper's standard layout for a cluster.
+
+    ``n_mp = n_esp = gpus_per_node`` and ``n_ep = n_dp = nodes per stage``
+    (paper section 6.1: "N_MP and N_ESP are both set to 4 in Testbed-B ...
+    8 in Testbed-A"; section 6.4: "the number of experts (N_EP) is the same
+    as the number of nodes").
+
+    Raises:
+        ConfigError: when the GPU counts do not divide evenly.
+    """
+    if total_gpus % gpus_per_node != 0:
+        raise ConfigError(
+            f"total_gpus ({total_gpus}) not divisible by gpus_per_node "
+            f"({gpus_per_node})"
+        )
+    num_nodes = total_gpus // gpus_per_node
+    if num_nodes % n_pp != 0:
+        raise ConfigError(
+            f"num_nodes ({num_nodes}) not divisible by n_pp ({n_pp})"
+        )
+    nodes_per_stage = num_nodes // n_pp
+    return ParallelSpec(
+        n_dp=nodes_per_stage,
+        n_mp=gpus_per_node,
+        n_ep=nodes_per_stage,
+        n_esp=gpus_per_node,
+        n_pp=n_pp,
+    )
+
+
+def experts_per_ep_rank(spec: MoELayerSpec, parallel: ParallelSpec) -> int:
+    """Experts hosted by each EP position (node) of a stage.
+
+    Raises:
+        ConfigError: if experts cannot be evenly distributed.
+    """
+    if spec.num_experts % parallel.n_ep != 0:
+        raise ConfigError(
+            f"num_experts ({spec.num_experts}) not divisible by n_ep "
+            f"({parallel.n_ep})"
+        )
+    return spec.num_experts // parallel.n_ep
+
+
+def tokens_per_gpu(spec: MoELayerSpec, parallel: ParallelSpec) -> int:
+    """Tokens entering the MoE block per GPU (``S = B*L / N_MP``).
+
+    The MP ReduceScatter before the gate splits the token dimension so each
+    MP rank routes an equal share of the node's tokens (paper Fig. 2).
+    """
+    total = spec.tokens_per_worker
+    return max(1, math.ceil(total / parallel.n_mp))

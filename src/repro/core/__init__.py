@@ -1,0 +1,57 @@
+"""FSMoE's primary contribution: profiling-driven task scheduling.
+
+* :mod:`~repro.core.perf_model` -- the linear alpha-beta performance models
+  of paper Eq. 1 and §5.1, with least-squares fitting and r-squared;
+* :mod:`~repro.core.profiler` -- the online microbenchmark pass (paper §3.2,
+  Fig. 5) producing a fitted :class:`PerfModelSet`;
+* :mod:`~repro.core.constraints` -- the seven feasibility predicates Q1-Q7
+  of §4.2;
+* :mod:`~repro.core.cases` -- the four schedule cases, their closed-form
+  time objectives and the overlappable-time formulas of §5.2;
+* :mod:`~repro.core.pipeline_degree` -- Algorithm 1
+  (``FindOptimalPipelineDegree``) solved with SLSQP;
+* :mod:`~repro.core.gradient_partition` -- the two-step adaptive gradient
+  partitioning of §5 (greedy fill + differential evolution);
+* :mod:`~repro.core.schedules` -- task-graph builders for every schedule in
+  Fig. 3 (default/DS-MoE, Tutel/PipeMoE, Tutel-Improved, PipeMoE+Lina,
+  FSMoE-No-IIO, FSMoE);
+* :mod:`~repro.core.scheduler` -- the front-end/back-end generic scheduler
+  tying profiling to schedule construction (§3.2).
+"""
+
+from .perf_model import LinearPerfModel, PerfModelSet, fit_linear_model
+from .profiler import ProfileResult, profile_cluster
+from .constraints import PipelineContext
+from .cases import Case, analytic_time, classify, overlappable_time
+from .pipeline_degree import (
+    DegreeSolution,
+    find_optimal_pipeline_degree,
+    oracle_integer_degree,
+)
+from .gradient_partition import (
+    GeneralizedLayer,
+    GradientPartitionPlan,
+    plan_gradient_partition,
+)
+from .scheduler import GenericScheduler, LayerScheduleReport
+
+__all__ = [
+    "LinearPerfModel",
+    "PerfModelSet",
+    "fit_linear_model",
+    "ProfileResult",
+    "profile_cluster",
+    "PipelineContext",
+    "Case",
+    "classify",
+    "analytic_time",
+    "overlappable_time",
+    "DegreeSolution",
+    "find_optimal_pipeline_degree",
+    "oracle_integer_degree",
+    "GeneralizedLayer",
+    "GradientPartitionPlan",
+    "plan_gradient_partition",
+    "GenericScheduler",
+    "LayerScheduleReport",
+]

@@ -1,0 +1,145 @@
+"""The four schedule cases of paper §4.2 (Fig. 4) and their objectives.
+
+The Q1-Q7 predicates induce a complete decision tree, so every ``(context,
+r)`` pair belongs to exactly one case:
+
+====== ============================================== =========================
+Case   dominating resource                            closed-form time
+====== ============================================== =========================
+CASE1  inter-node comm (AlltoAll + Gradient-AllReduce) ``2 r t_a2a + t_gar``
+CASE2  expert computation                              ``2 t_a2a + t_ag + t_rs + r t_exp``
+CASE3  AlltoAll alone                                  ``2 r t_a2a + t_ag + t_rs``
+CASE4  intra-node comm (AllGather + ReduceScatter)     ``2 t_a2a + r (t_ag + t_rs)``
+====== ============================================== =========================
+
+Also provides the overlappable-time formulas ``t_olp_moe`` of §5.2 used by
+the gradient-partitioning step (evaluated at ``t_gar = 0``, where only
+cases 2-4 can occur).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..errors import SolverError
+from .constraints import PipelineContext
+
+
+class Case(enum.Enum):
+    """Which resource dominates the pipelined MoE layer (paper Fig. 4)."""
+
+    CASE1 = 1
+    CASE2 = 2
+    CASE3 = 3
+    CASE4 = 4
+
+
+def classify(ctx: PipelineContext, r: float) -> Case:
+    """Decide the case of ``ctx`` at pipeline degree ``r``.
+
+    Implements the complete decision tree of §4.2: Q1 branches over
+    Q2/Q3, whose leaves branch over Q4/Q5/Q6/Q7 into CASE1 or the
+    corresponding bubble-dominated case.
+    """
+    if ctx.q1(r):
+        if ctx.q2(r):
+            return Case.CASE1 if ctx.q5(r) else Case.CASE2
+        return Case.CASE1 if ctx.q4(r) else Case.CASE3
+    if ctx.q3(r):
+        return Case.CASE1 if ctx.q7(r) else Case.CASE2
+    return Case.CASE1 if ctx.q6(r) else Case.CASE4
+
+
+def case_time(ctx: PipelineContext, r: float, case: Case) -> float:
+    """Closed-form MoE-layer time under ``case`` at degree ``r``.
+
+    Raises:
+        SolverError: for an unknown case value.
+    """
+    t_a2a = ctx.t_a2a(r)
+    t_ag = ctx.t_ag(r)
+    t_rs = ctx.t_rs(r)
+    t_exp = ctx.t_exp(r)
+    if case is Case.CASE1:
+        return 2.0 * r * t_a2a + ctx.t_gar
+    if case is Case.CASE2:
+        return 2.0 * t_a2a + t_ag + t_rs + r * t_exp
+    if case is Case.CASE3:
+        return 2.0 * r * t_a2a + t_ag + t_rs
+    if case is Case.CASE4:
+        return 2.0 * t_a2a + r * (t_ag + t_rs)
+    raise SolverError(f"unknown case {case!r}")
+
+
+def analytic_time(ctx: PipelineContext, r: float) -> float:
+    """MoE-layer time at degree ``r`` using the applicable case formula."""
+    return case_time(ctx, r, classify(ctx, r))
+
+
+def overlappable_time(ctx: PipelineContext, r: float) -> float:
+    """Inter-node-stream idle time inside the MoE span (``t_olp_moe``, §5.2).
+
+    Evaluated with ``t_gar = 0`` the schedule falls into cases 2-4; the
+    formulas below give how much Gradient-AllReduce can ride inside the
+    layer's own bubbles without stretching it:
+
+    * Case 2 (experts dominate):
+      ``r t_exp + t_ag + t_rs - 2 (r-1) t_a2a``
+    * Case 3 (AlltoAll dominates): ``t_ag + t_rs``
+    * Case 4 (intra dominates):
+      ``r (t_ag + t_rs) - 2 (r-1) t_a2a``
+
+    A context already carrying ``t_gar > 0`` is evaluated at ``t_gar = 0``
+    first (the window is a property of the un-stretched schedule).
+    """
+    zero_gar = ctx.with_t_gar(0.0) if ctx.t_gar != 0.0 else ctx
+    case = classify(zero_gar, r)
+    t_a2a = zero_gar.t_a2a(r)
+    t_ag = zero_gar.t_ag(r)
+    t_rs = zero_gar.t_rs(r)
+    t_exp = zero_gar.t_exp(r)
+    if case is Case.CASE2:
+        window = r * t_exp + t_ag + t_rs - 2.0 * (r - 1.0) * t_a2a
+    elif case is Case.CASE3:
+        window = t_ag + t_rs
+    elif case is Case.CASE4:
+        window = r * (t_ag + t_rs) - 2.0 * (r - 1.0) * t_a2a
+    else:
+        # With t_gar = 0 every Q4-Q7 margin is non-positive, so CASE1 can
+        # only be reached on boundary ties; its window is empty.
+        window = 0.0
+    return max(0.0, window)
+
+
+def overlappable_time_merged_comm(ctx: PipelineContext, r: float) -> float:
+    """Idle time of a *merged* comm stream inside the MoE span (No-IIO).
+
+    When intra- and inter-node communication share one stream (Tutel's
+    two-stream layout, FSMoE-No-IIO), the stream only idles while experts
+    compute and no chunk has communication pending:
+    ``r * t_exp - (r-1) * (2 t_a2a + t_ag + t_rs)`` clamped at zero.
+    """
+    zero_gar = ctx.with_t_gar(0.0) if ctx.t_gar != 0.0 else ctx
+    window = r * zero_gar.t_exp(r) - (r - 1.0) * (
+        2.0 * zero_gar.t_a2a(r) + zero_gar.t_ag(r) + zero_gar.t_rs(r)
+    )
+    return max(0.0, window)
+
+
+#: conjunction branches defining each case region, as (predicate name,
+#: wanted truth value) lists -- consumed by the SLSQP solver to turn the
+#: union-of-conjunctions regions into separate smooth sub-problems.
+CASE_BRANCHES: dict[Case, tuple[tuple[tuple[str, bool], ...], ...]] = {
+    Case.CASE1: (
+        (("q1", True), ("q2", False), ("q4", True)),
+        (("q1", True), ("q2", True), ("q5", True)),
+        (("q1", False), ("q3", False), ("q6", True)),
+        (("q1", False), ("q3", True), ("q7", True)),
+    ),
+    Case.CASE2: (
+        (("q1", True), ("q2", True), ("q5", False)),
+        (("q1", False), ("q3", True), ("q7", False)),
+    ),
+    Case.CASE3: ((("q1", True), ("q2", False), ("q4", False)),),
+    Case.CASE4: ((("q1", False), ("q3", False), ("q6", False)),),
+}

@@ -1,0 +1,168 @@
+"""The seven scheduling constraints Q1-Q7 of paper §4.2.
+
+Each predicate compares chunked operation times at pipeline degree ``r``
+and decides which resource dominates the schedule.  They are exposed both
+as booleans (for case classification) and as signed margins (for use as
+smooth SLSQP inequality constraints: ``margin >= 0`` iff the predicate
+holds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from .perf_model import LinearPerfModel, PerfModelSet
+
+
+@dataclass(frozen=True)
+class PipelineContext:
+    """Everything Algorithm 1 needs about one MoE layer in one phase.
+
+    Attributes:
+        a2a: AlltoAll model; ``n_a2a`` its un-chunked message bytes.
+        ag: ESP-AllGather model; ``n_ag`` its per-rank shard bytes.
+        rs: ESP-ReduceScatter model; ``n_rs`` its per-rank shard bytes.
+        exp: expert-computation model (alpha already multiplied by the
+            number of GEMM kernels); ``n_exp`` the un-chunked MAC count.
+        t_gar: Gradient-AllReduce time injected into this layer's pipeline
+            (0 in forward; set by the partitioning plan in backward).
+    """
+
+    a2a: LinearPerfModel
+    n_a2a: float
+    ag: LinearPerfModel
+    n_ag: float
+    rs: LinearPerfModel
+    n_rs: float
+    exp: LinearPerfModel
+    n_exp: float
+    t_gar: float = 0.0
+
+    # -- chunked op times (paper Eq. 1) -------------------------------------
+
+    def t_a2a(self, r: float) -> float:
+        """Per-chunk AlltoAll time at degree ``r``."""
+        return self.a2a.chunk_time_ms(self.n_a2a, r)
+
+    def t_ag(self, r: float) -> float:
+        """Per-chunk ESP-AllGather time at degree ``r``."""
+        return self.ag.chunk_time_ms(self.n_ag, r)
+
+    def t_rs(self, r: float) -> float:
+        """Per-chunk ESP-ReduceScatter time at degree ``r``."""
+        return self.rs.chunk_time_ms(self.n_rs, r)
+
+    def t_exp(self, r: float) -> float:
+        """Per-chunk expert-computation time at degree ``r``."""
+        return self.exp.chunk_time_ms(self.n_exp, r)
+
+    def with_t_gar(self, t_gar: float) -> "PipelineContext":
+        """Copy with a different injected Gradient-AllReduce time."""
+        return replace(self, t_gar=t_gar)
+
+    # -- constraint margins --------------------------------------------------
+    # Each ``qN_margin(r) >= 0`` exactly when the paper's QN holds.
+
+    def q1_margin(self, r: float) -> float:
+        """Q1: AlltoAll slower than AllGather on a chunk."""
+        return self.t_a2a(r) - self.t_ag(r)
+
+    def q2_margin(self, r: float) -> float:
+        """Q2: expert computation exceeds interior AlltoAll communication."""
+        return r * self.t_exp(r) - 2.0 * (r - 1.0) * self.t_a2a(r)
+
+    def q3_margin(self, r: float) -> float:
+        """Q3: expert computation exceeds interior intra-node communication."""
+        return r * self.t_exp(r) - (r - 1.0) * (self.t_ag(r) + self.t_rs(r))
+
+    def q4_margin(self, r: float) -> float:
+        """Q4: Gradient-AllReduce exceeds one AG + RS chunk pair."""
+        return self.t_gar - (self.t_ag(r) + self.t_rs(r))
+
+    def q5_margin(self, r: float) -> float:
+        """Q5: Gradient-AllReduce fills the expert-dominated bubble."""
+        return self.t_gar - (
+            r * self.t_exp(r)
+            - 2.0 * (r - 1.0) * self.t_a2a(r)
+            + self.t_ag(r)
+            + self.t_rs(r)
+        )
+
+    def q6_margin(self, r: float) -> float:
+        """Q6: Gradient-AllReduce fills the intra-dominated bubble."""
+        return self.t_gar - (
+            r * self.t_ag(r)
+            + r * self.t_rs(r)
+            - 2.0 * (r - 1.0) * self.t_a2a(r)
+        )
+
+    def q7_margin(self, r: float) -> float:
+        """Q7: Gradient-AllReduce fills the mixed bubble (not-Q1, Q3)."""
+        return self.t_gar - (
+            self.t_ag(r)
+            + self.t_rs(r)
+            + r * self.t_exp(r)
+            - 2.0 * (r - 1.0) * self.t_a2a(r)
+        )
+
+    # -- boolean views --------------------------------------------------------
+
+    def q1(self, r: float) -> bool:
+        """Boolean Q1 at degree ``r``."""
+        return self.q1_margin(r) > 0
+
+    def q2(self, r: float) -> bool:
+        """Boolean Q2 at degree ``r``."""
+        return self.q2_margin(r) > 0
+
+    def q3(self, r: float) -> bool:
+        """Boolean Q3 at degree ``r``."""
+        return self.q3_margin(r) > 0
+
+    def q4(self, r: float) -> bool:
+        """Boolean Q4 at degree ``r``."""
+        return self.q4_margin(r) > 0
+
+    def q5(self, r: float) -> bool:
+        """Boolean Q5 at degree ``r``."""
+        return self.q5_margin(r) > 0
+
+    def q6(self, r: float) -> bool:
+        """Boolean Q6 at degree ``r``."""
+        return self.q6_margin(r) > 0
+
+    def q7(self, r: float) -> bool:
+        """Boolean Q7 at degree ``r``."""
+        return self.q7_margin(r) > 0
+
+
+def context_from_volumes(
+    models: PerfModelSet,
+    *,
+    a2a_bytes: float,
+    esp_shard_bytes: float,
+    expert_macs: float,
+    expert_num_gemms: int,
+    backward: bool = False,
+    t_gar: float = 0.0,
+) -> PipelineContext:
+    """Build a :class:`PipelineContext` from fitted models and volumes.
+
+    In backward, expert computation doubles (gradients w.r.t. both weights
+    and inputs -- paper §4.4: "alpha_exp, beta_exp and n_exp in the backward
+    phase are twice those in the forward phase") while communication
+    volumes are unchanged.
+    """
+    num_gemms = expert_num_gemms * (2 if backward else 1)
+    n_exp = expert_macs * (2.0 if backward else 1.0)
+    return PipelineContext(
+        a2a=models.a2a,
+        n_a2a=a2a_bytes,
+        ag=models.allgather,
+        n_ag=esp_shard_bytes,
+        rs=models.reducescatter,
+        n_rs=esp_shard_bytes,
+        exp=models.expert_model(num_gemms),
+        n_exp=n_exp,
+        t_gar=t_gar,
+    )

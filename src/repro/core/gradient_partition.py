@@ -1,0 +1,304 @@
+"""Adaptive gradient partitioning for backpropagation (paper §5).
+
+Backward through a stack of *generalized layers* (an MoE layer plus the
+dense work before the next one) produces a stream of dense-parameter
+gradients that must be AllReduced across DP workers.  Because both
+Gradient-AllReduce and AlltoAll are inter-node, the AllReduce cannot simply
+run concurrently with the MoE layer; FSMoE instead:
+
+* **Step 1** (paper Eq. 3/4): slices gradients greedily into the
+  *overlappable windows* of later-processed layers -- the idle inter-node
+  stream time inside each MoE span (``t_olp_moe``, computed from the
+  case formulas at ``t_gar = 0``) plus the dense backward time
+  (``t_olp_dense``).  These slices ride for free.
+* **Step 2** (paper Eq. 5): assigns the residual gradients to the MoE
+  layers' ``t_gar`` slots, where they stretch the pipeline according to
+  Algorithm 1's ``f_moe(t_gar)``, minimizing total stretched time plus the
+  exposed tail AllReduce.  Solved with differential evolution, as in the
+  paper.
+
+Layers are indexed in *forward* order; backward processes index
+``n_l - 1`` first.  A layer's own gradients only become available after
+its backward finishes, so they can only ride in layers processed later
+(paper constraint in Eq. 5); the plan enforces this availability by
+construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import differential_evolution
+
+from ..errors import SolverError
+from .cases import overlappable_time, overlappable_time_merged_comm
+from .constraints import PipelineContext
+from .perf_model import LinearPerfModel
+from .pipeline_degree import (
+    DEFAULT_MAX_DEGREE,
+    DegreeSolution,
+    find_optimal_pipeline_degree,
+)
+
+
+@dataclass(frozen=True)
+class GeneralizedLayer:
+    """One MoE layer plus its surrounding dense work, in the backward phase.
+
+    Attributes:
+        ctx: backward-phase pipeline context (``t_gar = 0``).
+        dense_overlappable_ms: non-MoE backward time during which an
+            AllReduce can run without contention (attention backward etc.;
+            measurable before training, paper §5.2).
+        grad_bytes: dense-parameter gradient bytes this layer produces.
+    """
+
+    ctx: PipelineContext
+    dense_overlappable_ms: float
+    grad_bytes: float
+
+    def __post_init__(self) -> None:
+        if self.dense_overlappable_ms < 0:
+            raise SolverError(
+                f"dense_overlappable_ms must be >= 0, "
+                f"got {self.dense_overlappable_ms}"
+            )
+        if self.grad_bytes < 0:
+            raise SolverError(f"grad_bytes must be >= 0, got {self.grad_bytes}")
+
+
+@dataclass(frozen=True)
+class GradientPartitionPlan:
+    """Where every gradient byte is reduced (indices in forward order).
+
+    Attributes:
+        moe_window_bytes: Step-1 bytes hidden in each layer's MoE bubbles.
+        dense_window_bytes: Step-1 bytes hidden in each layer's dense
+            backward.
+        extra_bytes: Step-2 bytes assigned to each layer's ``t_gar`` slot.
+        tail_bytes: residual reduced after the whole backward pass.
+        t_gar_ms: AllReduce time injected into each layer's Algorithm-1
+            call (covers window + extra bytes; the window part is absorbed
+            for free by the case formulas).
+        solutions: per-layer Algorithm-1 results at the final ``t_gar``.
+        tail_ms: exposed tail AllReduce time.
+    """
+
+    moe_window_bytes: tuple[float, ...]
+    dense_window_bytes: tuple[float, ...]
+    extra_bytes: tuple[float, ...]
+    tail_bytes: float
+    t_gar_ms: tuple[float, ...]
+    solutions: tuple[DegreeSolution, ...]
+    tail_ms: float
+
+    @property
+    def moe_ar_bytes(self) -> tuple[float, ...]:
+        """Total AllReduce bytes placed inside each layer's MoE span."""
+        return tuple(
+            window + extra
+            for window, extra in zip(self.moe_window_bytes, self.extra_bytes)
+        )
+
+    def total_estimated_backward_ms(self) -> float:
+        """Analytic backward time: stretched MoE spans + exposed tail.
+
+        Dense backward time is not included (it is common to every plan).
+        """
+        return sum(s.time_ms for s in self.solutions) + self.tail_ms
+
+
+def _moe_window_ms(ctx: PipelineContext, r_max: int, merged_comm: bool) -> float:
+    """Overlappable inter-node idle time of one layer at its t_gar=0 degree."""
+    solution = find_optimal_pipeline_degree(ctx.with_t_gar(0.0), r_max=r_max)
+    if merged_comm:
+        return overlappable_time_merged_comm(ctx, float(solution.degree))
+    return overlappable_time(ctx, float(solution.degree))
+
+
+def _step1_fill(
+    layers: tuple[GeneralizedLayer, ...],
+    ar_model: LinearPerfModel,
+    moe_windows_ms: tuple[float, ...],
+) -> tuple[list[float], list[float], list[float]]:
+    """Greedy window fill in backward order (paper Eq. 3/4).
+
+    Returns:
+        ``(moe_window_bytes, dense_window_bytes, residual_before)`` where
+        ``residual_before[i]`` is the pending gradient volume when layer
+        ``i``'s backward starts, after window absorption -- the
+        availability bound for Step 2.
+    """
+    n = len(layers)
+    moe_bytes = [0.0] * n
+    dense_bytes = [0.0] * n
+    residual_before = [0.0] * n
+    pending = 0.0
+    for i in reversed(range(n)):
+        take_moe = min(pending, ar_model.inverse(moe_windows_ms[i]))
+        pending -= take_moe
+        moe_bytes[i] = take_moe
+        take_dense = min(
+            pending, ar_model.inverse(layers[i].dense_overlappable_ms)
+        )
+        pending -= take_dense
+        dense_bytes[i] = take_dense
+        residual_before[i] = pending
+        pending += layers[i].grad_bytes
+    return moe_bytes, dense_bytes, residual_before
+
+
+class _MoETimeInterpolator:
+    """Cached ``t_gar -> f_moe`` curves, one per distinct context.
+
+    ``f_moe`` (Algorithm 1's optimal layer time as a function of injected
+    AllReduce time) is continuous and non-decreasing; a 33-point grid per
+    context keeps the differential-evolution objective cheap even for
+    33-layer models where every layer shares one context.
+    """
+
+    GRID_POINTS = 33
+
+    def __init__(self, r_max: int, t_gar_max: float) -> None:
+        self._r_max = r_max
+        self._t_max = max(t_gar_max, 1e-9)
+        self._curves: dict[PipelineContext, tuple[np.ndarray, np.ndarray]] = {}
+
+    def _curve(self, ctx: PipelineContext) -> tuple[np.ndarray, np.ndarray]:
+        key = ctx
+        if key not in self._curves:
+            grid = np.linspace(0.0, self._t_max, self.GRID_POINTS)
+            times = np.array(
+                [
+                    find_optimal_pipeline_degree(
+                        ctx.with_t_gar(float(t)), r_max=self._r_max
+                    ).time_ms
+                    for t in grid
+                ]
+            )
+            self._curves[key] = (grid, times)
+        return self._curves[key]
+
+    def time_ms(self, ctx: PipelineContext, t_gar: float) -> float:
+        """Interpolated optimal layer time at ``t_gar``."""
+        grid, times = self._curve(ctx)
+        return float(np.interp(t_gar, grid, times))
+
+
+def _repair(
+    proposal: np.ndarray, residual_before: list[float]
+) -> np.ndarray:
+    """Clip a Step-2 proposal to the availability prefix constraints.
+
+    Processing order is backward (high index first); cumulative assignment
+    up to layer ``i`` may not exceed the gradients already produced and
+    still pending there.
+    """
+    n = len(residual_before)
+    repaired = np.zeros(n)
+    consumed = 0.0
+    for i in reversed(range(n)):
+        available = max(0.0, residual_before[i] - consumed)
+        repaired[i] = min(max(0.0, proposal[i]), available)
+        consumed += repaired[i]
+    return repaired
+
+
+def plan_gradient_partition(
+    layers: list[GeneralizedLayer] | tuple[GeneralizedLayer, ...],
+    ar_model: LinearPerfModel,
+    *,
+    r_max: int = DEFAULT_MAX_DEGREE,
+    merged_comm: bool = False,
+    use_differential_evolution: bool = True,
+    de_maxiter: int = 40,
+    de_popsize: int = 12,
+    seed: int = 0,
+) -> GradientPartitionPlan:
+    """Produce the full two-step partitioning plan for one backward pass.
+
+    Args:
+        layers: generalized layers in forward order.
+        ar_model: fitted Gradient-AllReduce model (bytes -> ms).
+        r_max: pipeline-degree cap forwarded to Algorithm 1.
+        merged_comm: size the MoE windows for a merged comm stream
+            (FSMoE-No-IIO) instead of a dedicated inter-node stream.
+        use_differential_evolution: disable to skip Step 2 (all residual
+            gradients go to the tail) -- used by ablations.
+        de_maxiter / de_popsize / seed: differential-evolution knobs
+            (paper §5.3 uses DE since this runs once before training).
+
+    Raises:
+        SolverError: for an empty layer list.
+    """
+    if not layers:
+        raise SolverError("plan_gradient_partition needs at least one layer")
+    layer_tuple = tuple(layers)
+    n = len(layer_tuple)
+
+    moe_windows_ms = tuple(
+        _moe_window_ms(layer.ctx, r_max, merged_comm) for layer in layer_tuple
+    )
+    moe_window_bytes, dense_window_bytes, residual_before = _step1_fill(
+        layer_tuple, ar_model, moe_windows_ms
+    )
+    total_residual = residual_before[0] + layer_tuple[0].grad_bytes
+    # residual_before[0] excludes layer 0's own grads, which are produced
+    # last and can never ride anywhere: they always reach the tail.
+
+    extra = np.zeros(n)
+    if use_differential_evolution and total_residual > 0 and n > 0:
+        residual_cap = max(residual_before) if residual_before else 0.0
+        if residual_cap > 0:
+            t_gar_max = ar_model.time_ms(
+                max(moe_window_bytes) + residual_cap
+            )
+            interp = _MoETimeInterpolator(r_max, t_gar_max)
+
+            def objective(u: np.ndarray) -> float:
+                proposal = _repair(u * residual_cap, residual_before)
+                assigned = float(np.sum(proposal))
+                total = 0.0
+                for i, layer in enumerate(layer_tuple):
+                    t_gar = ar_model.time_ms(
+                        moe_window_bytes[i] + proposal[i]
+                    )
+                    total += interp.time_ms(layer.ctx, t_gar)
+                tail = total_residual - assigned
+                total += ar_model.time_ms(tail)
+                return total
+
+            result = differential_evolution(
+                objective,
+                bounds=[(0.0, 1.0)] * n,
+                maxiter=de_maxiter,
+                popsize=de_popsize,
+                seed=seed,
+                tol=1e-6,
+                polish=False,
+            )
+            extra = _repair(result.x * residual_cap, residual_before)
+
+    assigned = float(np.sum(extra))
+    tail_bytes = max(0.0, total_residual - assigned)
+
+    t_gar_ms = tuple(
+        ar_model.time_ms(moe_window_bytes[i] + float(extra[i]))
+        for i in range(n)
+    )
+    solutions = tuple(
+        find_optimal_pipeline_degree(
+            layer_tuple[i].ctx.with_t_gar(t_gar_ms[i]), r_max=r_max
+        )
+        for i in range(n)
+    )
+    return GradientPartitionPlan(
+        moe_window_bytes=tuple(moe_window_bytes),
+        dense_window_bytes=tuple(dense_window_bytes),
+        extra_bytes=tuple(float(x) for x in extra),
+        tail_bytes=tail_bytes,
+        t_gar_ms=t_gar_ms,
+        solutions=solutions,
+        tail_ms=ar_model.time_ms(tail_bytes),
+    )

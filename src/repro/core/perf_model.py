@@ -1,0 +1,138 @@
+"""Linear alpha-beta performance models (paper Eq. 1 and §5.1).
+
+Every time-consuming operation is modelled as ``t(n) = alpha + n * beta``
+where ``n`` is the message size in bytes (communication) or the MAC count
+(GEMM), ``alpha`` is the startup cost and ``beta`` the per-unit cost.
+Chunking an input into ``r`` pieces costs ``t = alpha + (n / r) * beta``
+per piece: the startup is paid again for every chunk, which is exactly the
+tension Algorithm 1 optimizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import SolverError
+
+
+@dataclass(frozen=True)
+class LinearPerfModel:
+    """``t(n) = alpha + n * beta`` with ``t(0) = 0``.
+
+    Attributes:
+        alpha: startup time, ms.
+        beta: marginal time per unit of work, ms/unit.
+    """
+
+    alpha: float
+    beta: float
+
+    def time_ms(self, n: float) -> float:
+        """Predicted time for an operation of size ``n``."""
+        if n <= 0:
+            return 0.0
+        return self.alpha + n * self.beta
+
+    def chunk_time_ms(self, n: float, r: float) -> float:
+        """Predicted time of one chunk when ``n`` is split ``r`` ways."""
+        if n <= 0:
+            return 0.0
+        return self.alpha + (n / r) * self.beta
+
+    def inverse(self, t_ms: float) -> float:
+        """Largest ``n`` whose operation fits within ``t_ms``.
+
+        This is the paper's ``g_inv(t) = (t - alpha) / beta`` (§5.1),
+        clamped at zero for windows smaller than the startup cost.
+        """
+        if self.beta <= 0:
+            return 0.0 if t_ms <= self.alpha else float("inf")
+        return max(0.0, (t_ms - self.alpha) / self.beta)
+
+    def scaled(self, alpha_factor: float = 1.0, beta_factor: float = 1.0) -> "LinearPerfModel":
+        """Return a copy with scaled coefficients (e.g. 2x for backward)."""
+        return LinearPerfModel(
+            alpha=self.alpha * alpha_factor, beta=self.beta * beta_factor
+        )
+
+
+def fit_linear_model(
+    sizes: Sequence[float], times_ms: Sequence[float]
+) -> tuple[LinearPerfModel, float]:
+    """Least-squares fit of a :class:`LinearPerfModel`, plus r-squared.
+
+    Mirrors the paper's §6.2 procedure ("fitting through the least squares
+    method takes under 10 ms").  Negative fitted alphas are clamped to zero
+    (a fitted negative startup is measurement noise, and a negative alpha
+    would make ``inverse`` produce phantom capacity).
+
+    Raises:
+        SolverError: on fewer than two samples or mismatched lengths.
+    """
+    if len(sizes) != len(times_ms):
+        raise SolverError(
+            f"sizes ({len(sizes)}) and times ({len(times_ms)}) differ in length"
+        )
+    if len(sizes) < 2:
+        raise SolverError("need at least two samples to fit a line")
+    x = np.asarray(sizes, dtype=float)
+    y = np.asarray(times_ms, dtype=float)
+    beta, alpha = np.polyfit(x, y, deg=1)
+    alpha = max(0.0, float(alpha))
+    beta = max(0.0, float(beta))
+    predicted = alpha + beta * x
+    ss_res = float(np.sum((y - predicted) ** 2))
+    ss_tot = float(np.sum((y - np.mean(y)) ** 2))
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return LinearPerfModel(alpha=alpha, beta=beta), r_squared
+
+
+@dataclass(frozen=True)
+class PerfModelSet:
+    """The five fitted models the FSMoE scheduler consumes.
+
+    Communication models map bytes -> ms at the fixed group sizes of the
+    deployment (the paper likewise fits per-cluster models with nccl-tests
+    at the training world size).  ``gemm`` maps MACs -> ms *per kernel*;
+    expert blocks with ``num_gemms`` kernels multiply alpha accordingly
+    (paper §4.1).
+
+    Attributes:
+        a2a: inter-node AlltoAll (EP dispatch/combine).
+        allgather: intra-node ESP/MP AllGather (per-rank shard bytes).
+        reducescatter: intra-node ESP/MP ReduceScatter (per-rank shard bytes).
+        allreduce: inter-node Gradient-AllReduce (buffer bytes).
+        gemm: dense GEMM (MACs, per kernel).
+    """
+
+    a2a: LinearPerfModel
+    allgather: LinearPerfModel
+    reducescatter: LinearPerfModel
+    allreduce: LinearPerfModel
+    gemm: LinearPerfModel
+
+    def expert_model(self, num_gemms: int) -> LinearPerfModel:
+        """Expert-computation model for a block of ``num_gemms`` kernels.
+
+        ``alpha_exp = num_gemms * alpha_gemm`` and ``beta_exp = beta_gemm``
+        (the paper multiplies alpha and beta by the kernel count; beta here
+        is per-MAC so the total MAC count already carries the kernel count).
+        """
+        if num_gemms <= 0:
+            raise SolverError(f"num_gemms must be positive, got {num_gemms}")
+        return LinearPerfModel(
+            alpha=self.gemm.alpha * num_gemms, beta=self.gemm.beta
+        )
+
+    def as_dict(self) -> dict[str, LinearPerfModel]:
+        """Name -> model mapping, for reports and serialization."""
+        return {
+            "a2a": self.a2a,
+            "allgather": self.allgather,
+            "reducescatter": self.reducescatter,
+            "allreduce": self.allreduce,
+            "gemm": self.gemm,
+        }

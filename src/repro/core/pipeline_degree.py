@@ -1,0 +1,203 @@
+"""Algorithm 1: ``FindOptimalPipelineDegree`` (paper §4.3).
+
+Each of the four case objectives is minimized over the pipeline degree
+``r`` with SLSQP, subject to the case's region constraints.  A case region
+is a union of conjunctions of Q1-Q7 predicates; each conjunction becomes a
+separate smooth sub-problem (the margins of
+:class:`~repro.core.constraints.PipelineContext` are differentiable in
+``r``).  The best feasible candidate across all cases wins, and is then
+rounded to the best neighbouring integer degree under the exact
+decision-tree time :func:`~repro.core.cases.analytic_time`.
+
+The paper notes the whole procedure runs once before training (~193 ms per
+configuration with SLSQP); this implementation is comparably cheap.
+"""
+
+from __future__ import annotations
+
+import functools
+import math
+import warnings
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import minimize
+
+from ..errors import SolverError
+from .cases import CASE_BRANCHES, Case, analytic_time, case_time, classify
+from .constraints import PipelineContext
+
+#: default cap on the pipeline degree; Tutel exposes degrees up to 8-16 and
+#: chunk counts beyond this give diminishing returns while multiplying
+#: startup costs.
+DEFAULT_MAX_DEGREE = 16
+
+_CONSTRAINT_TOL = 1e-7
+
+
+@dataclass(frozen=True)
+class DegreeSolution:
+    """Result of Algorithm 1 for one layer/phase.
+
+    Attributes:
+        degree: chosen integer pipeline degree ``r``.
+        time_ms: exact analytic MoE time at ``degree``.
+        case: dominating case at ``degree``.
+        continuous_degree: the unrounded SLSQP optimum that led to
+            ``degree`` (useful for diagnostics).
+        per_case_time_ms: best feasible objective value found per case
+            (``inf`` when a case region is empty for this context).
+    """
+
+    degree: int
+    time_ms: float
+    case: Case
+    continuous_degree: float
+    per_case_time_ms: dict[Case, float]
+
+
+def _margin_fn(ctx: PipelineContext, name: str, wanted: bool):
+    margin = getattr(ctx, f"{name}_margin")
+    if wanted:
+        return lambda x: margin(float(x[0]))
+    return lambda x: -margin(float(x[0]))
+
+
+def _solve_branch(
+    ctx: PipelineContext,
+    case: Case,
+    branch: tuple[tuple[str, bool], ...],
+    r_max: float,
+) -> tuple[float, float] | None:
+    """SLSQP-minimize one case objective within one conjunction region.
+
+    Returns:
+        ``(r, t)`` for the best feasible point found, or None if every
+        start fails or lands infeasible.
+    """
+    constraints = [
+        {"type": "ineq", "fun": _margin_fn(ctx, name, wanted)}
+        for name, wanted in branch
+    ]
+    objective = lambda x: case_time(ctx, float(x[0]), case)  # noqa: E731
+    best: tuple[float, float] | None = None
+    starts = sorted({1.0, 2.0, 4.0, min(8.0, r_max), r_max})
+    for r0 in starts:
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            result = minimize(
+                objective,
+                x0=np.array([r0]),
+                method="SLSQP",
+                bounds=[(1.0, r_max)],
+                constraints=constraints,
+                options={"maxiter": 80, "ftol": 1e-10},
+            )
+        if not np.isfinite(result.fun):
+            continue
+        r = float(np.clip(result.x[0], 1.0, r_max))
+        feasible = all(
+            constraint["fun"]([r]) >= -_CONSTRAINT_TOL
+            for constraint in constraints
+        )
+        if not feasible:
+            continue
+        t = float(case_time(ctx, r, case))
+        if best is None or t < best[1]:
+            best = (r, t)
+    return best
+
+
+def find_optimal_pipeline_degree(
+    ctx: PipelineContext, r_max: int = DEFAULT_MAX_DEGREE
+) -> DegreeSolution:
+    """Run Algorithm 1 and return the best integer pipeline degree.
+
+    Results are memoized: contexts are frozen value objects and the
+    algorithm is pure, so repeated calls for identical layers (the common
+    case -- every layer of a model shares one context) cost one solve.
+
+    Args:
+        ctx: layer/phase performance context (``t_gar`` already set: zero
+            in forward, partition-plan value in backward).
+        r_max: inclusive upper bound on the degree (must be >= 1).
+
+    Raises:
+        SolverError: if ``r_max < 1``.
+    """
+    if r_max < 1:
+        raise SolverError(f"r_max must be >= 1, got {r_max}")
+    return _find_optimal_cached(ctx, r_max)
+
+
+@functools.lru_cache(maxsize=65536)
+def _find_optimal_cached(
+    ctx: PipelineContext, r_max: int
+) -> DegreeSolution:
+
+    per_case: dict[Case, float] = {}
+    candidates: list[float] = [1.0]
+    best_continuous: tuple[float, float] | None = None
+    for case, branches in CASE_BRANCHES.items():
+        case_best: tuple[float, float] | None = None
+        for branch in branches:
+            solved = _solve_branch(ctx, case, branch, float(r_max))
+            if solved is not None and (
+                case_best is None or solved[1] < case_best[1]
+            ):
+                case_best = solved
+        per_case[case] = case_best[1] if case_best else float("inf")
+        if case_best is not None:
+            candidates.append(case_best[0])
+            if best_continuous is None or case_best[1] < best_continuous[1]:
+                best_continuous = case_best
+
+    # Round every continuous candidate to its integer neighbours and judge
+    # them all with the exact decision-tree time.
+    integer_candidates: set[int] = set()
+    for r in candidates:
+        integer_candidates.add(int(np.clip(math.floor(r), 1, r_max)))
+        integer_candidates.add(int(np.clip(math.ceil(r), 1, r_max)))
+
+    best_r = 1
+    best_t = float("inf")
+    for r in sorted(integer_candidates):
+        t = analytic_time(ctx, float(r))
+        if t < best_t - 1e-12:
+            best_t = t
+            best_r = r
+
+    continuous = best_continuous[0] if best_continuous else float(best_r)
+    return DegreeSolution(
+        degree=best_r,
+        time_ms=best_t,
+        case=classify(ctx, float(best_r)),
+        continuous_degree=continuous,
+        per_case_time_ms=per_case,
+    )
+
+
+def oracle_integer_degree(
+    ctx: PipelineContext, r_max: int = DEFAULT_MAX_DEGREE
+) -> DegreeSolution:
+    """Exhaustive integer sweep of the exact analytic time (test oracle).
+
+    Used to validate that Algorithm 1's SLSQP answer matches a brute-force
+    search (ablation E10 in DESIGN.md), and by baselines granted oracle
+    tuning.
+    """
+    if r_max < 1:
+        raise SolverError(f"r_max must be >= 1, got {r_max}")
+    best_r, best_t = 1, float("inf")
+    for r in range(1, r_max + 1):
+        t = analytic_time(ctx, float(r))
+        if t < best_t - 1e-12:
+            best_t = t
+            best_r = r
+    return DegreeSolution(
+        degree=best_r,
+        time_ms=best_t,
+        case=classify(ctx, float(best_r)),
+        continuous_degree=float(best_r),
+        per_case_time_ms={},
+    )

@@ -1,0 +1,194 @@
+"""The generic scheduler facade (paper §3.2): front-end + back-end.
+
+The paper splits scheduling into a *front-end* (profile the cluster and
+the user's MoE sub-modules, fit performance models) and a *back-end*
+(choose pipeline degrees, partition gradients, emit the task schedule)
+that never needs the sub-modules' implementations.  This module packages
+that workflow behind one object so downstream code -- and the examples --
+can go from a cluster description to a scheduled iteration in three
+calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import MoELayerSpec, ParallelSpec, standard_layout
+from ..errors import ConfigError
+from ..models.transformer import LayerProfile, profile_layer
+from ..moe.gates import GateKind
+from ..parallel.collectives import A2AAlgorithm, CollectiveCostModel
+from ..parallel.topology import ClusterSpec
+from ..parallel.volumes import compute_layer_volumes
+from ..sim.engine import simulate
+from ..sim.timeline import Timeline
+from .cases import overlappable_time
+from .perf_model import PerfModelSet
+from .pipeline_degree import (
+    DEFAULT_MAX_DEGREE,
+    DegreeSolution,
+    find_optimal_pipeline_degree,
+)
+from .profiler import ProfileResult, profile_cluster
+from .schedules import build_iteration_graph
+
+
+@dataclass(frozen=True)
+class LayerScheduleReport:
+    """Everything the back-end decided about one layer.
+
+    Attributes:
+        profile: the layer's timing profile.
+        forward: Algorithm-1 solution for the forward phase.
+        backward: Algorithm-1 solution for the backward phase
+            (``t_gar = 0``; the per-model plan may stretch it).
+        forward_window_ms: inter-node idle time inside the forward
+            pipeline (how much AllReduce could hide there).
+        backward_window_ms: same for backward.
+    """
+
+    profile: LayerProfile
+    forward: DegreeSolution
+    backward: DegreeSolution
+    forward_window_ms: float
+    backward_window_ms: float
+
+    def summary(self) -> str:
+        """One-paragraph human-readable report."""
+        return (
+            f"forward: r={self.forward.degree} "
+            f"({self.forward.case.name}, {self.forward.time_ms:.2f} ms, "
+            f"window {self.forward_window_ms:.2f} ms); "
+            f"backward: r={self.backward.degree} "
+            f"({self.backward.case.name}, {self.backward.time_ms:.2f} ms, "
+            f"window {self.backward_window_ms:.2f} ms)"
+        )
+
+
+class GenericScheduler:
+    """Profile once, schedule anything (paper §3.2).
+
+    Args:
+        cluster: the target (simulated) cluster.
+        parallel: layout; defaults to the paper's standard deployment.
+        noise: profiling measurement noise (0 = exact oracle readings).
+        seed: profiling RNG seed.
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        parallel: ParallelSpec | None = None,
+        *,
+        noise: float = 0.0,
+        seed: int = 0,
+        r_max: int = DEFAULT_MAX_DEGREE,
+    ) -> None:
+        if parallel is None:
+            parallel = standard_layout(
+                cluster.total_gpus, cluster.gpus_per_node
+            )
+        self.cluster = cluster
+        self.parallel = parallel
+        self.r_max = r_max
+        self._profile: ProfileResult = profile_cluster(
+            cluster, parallel, noise=noise, seed=seed
+        )
+
+    @property
+    def models(self) -> PerfModelSet:
+        """The fitted performance models (the back-end's only input)."""
+        return self._profile.models
+
+    @property
+    def fit_quality(self) -> dict[str, float]:
+        """r-squared of each fitted model."""
+        return dict(self._profile.r_squared)
+
+    def profile(
+        self,
+        spec: MoELayerSpec,
+        *,
+        gate_kind: GateKind = GateKind.GSHARD,
+    ) -> LayerProfile:
+        """Front-end: profile one layer spec on this cluster."""
+        return profile_layer(
+            spec, self.parallel, self.models, gate_kind=gate_kind
+        )
+
+    def best_a2a_algorithm(
+        self, spec: MoELayerSpec
+    ) -> tuple[A2AAlgorithm, dict[A2AAlgorithm, float]]:
+        """Pick the cheapest AlltoAll algorithm for this layer's messages.
+
+        The paper pre-implements three dispatch algorithms (NCCL direct,
+        Hetu's 1DH, Tutel/DeepSpeed's 2DH) precisely so the system can
+        choose per deployment (§3.1).  This compares their predicted cost
+        at the layer's actual message size.
+
+        Returns:
+            The winning algorithm and the per-algorithm cost table (ms).
+        """
+        volumes = compute_layer_volumes(spec, self.parallel)
+        oracle = CollectiveCostModel(self.cluster)
+        costs = {
+            algo: oracle.alltoall_ms(
+                volumes.a2a_bytes, self.parallel.n_ep, algo
+            )
+            for algo in A2AAlgorithm
+        }
+        best = min(costs, key=costs.get)
+        return best, costs
+
+    def schedule_layer(
+        self,
+        spec: MoELayerSpec,
+        *,
+        gate_kind: GateKind = GateKind.GSHARD,
+    ) -> LayerScheduleReport:
+        """Back-end: run Algorithm 1 per phase and report the decisions."""
+        profile = self.profile(spec, gate_kind=gate_kind)
+        fw = find_optimal_pipeline_degree(profile.ctx_fw, r_max=self.r_max)
+        bw = find_optimal_pipeline_degree(profile.ctx_bw, r_max=self.r_max)
+        return LayerScheduleReport(
+            profile=profile,
+            forward=fw,
+            backward=bw,
+            forward_window_ms=overlappable_time(
+                profile.ctx_fw, float(fw.degree)
+            ),
+            backward_window_ms=overlappable_time(
+                profile.ctx_bw, float(bw.degree)
+            ),
+        )
+
+    def simulate_iteration(
+        self,
+        spec: MoELayerSpec,
+        num_layers: int,
+        system,
+        *,
+        gate_kind: GateKind = GateKind.GSHARD,
+        phase: str = "both",
+    ) -> Timeline:
+        """Schedule and execute a full iteration under ``system``.
+
+        Args:
+            spec: layer shape (replicated ``num_layers`` times).
+            num_layers: generalized layers in the model.
+            system: a :class:`~repro.systems.base.TrainingSystem` instance.
+            gate_kind: routing function for the timing profile.
+            phase: ``"both"``, ``"forward"`` or ``"backward"``.
+
+        Raises:
+            ConfigError: for a non-positive layer count.
+        """
+        if num_layers <= 0:
+            raise ConfigError(
+                f"num_layers must be positive, got {num_layers}"
+            )
+        profile = self.profile(spec, gate_kind=gate_kind)
+        iteration = system.build_iteration_spec(
+            [profile] * num_layers, self.models
+        )
+        return simulate(build_iteration_graph(iteration, phase=phase))

@@ -1,0 +1,31 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError, ValueError):
+    """An invalid or inconsistent configuration value."""
+
+
+class TopologyError(ReproError, ValueError):
+    """A cluster topology that cannot support the requested layout."""
+
+
+class ScheduleError(ReproError, RuntimeError):
+    """A task graph that cannot be executed (cycle, unknown stream, ...)."""
+
+
+class SolverError(ReproError, RuntimeError):
+    """An optimization sub-problem failed to produce a usable solution."""
+
+
+class ShapeError(ReproError, ValueError):
+    """A tensor with an unexpected shape was passed to a functional module."""

@@ -1,0 +1,41 @@
+"""Real-world model presets and iteration assembly.
+
+* :mod:`~repro.models.configs` -- GPT2-XL-MoE, Mixtral-7B, Mixtral-22B
+  presets (paper §6.4);
+* :mod:`~repro.models.transformer` -- per-layer profiles (op durations,
+  pipeline contexts, gradient sizes) and the Table 2 breakdown;
+* :mod:`~repro.models.pipeline` -- GPipe pipeline parallelism (Fig. 8).
+"""
+
+from .configs import (
+    ModelPreset,
+    GPT2_XL,
+    MIXTRAL_7B,
+    MIXTRAL_22B,
+    MODEL_PRESETS,
+    layer_spec_for,
+)
+from .transformer import (
+    LayerProfile,
+    profile_layer,
+    layer_op_breakdown,
+)
+from .pipeline import gpipe_iteration_ms, microbatch_spec
+from .memory import MemoryFootprint, estimate_memory, max_layers_that_fit
+
+__all__ = [
+    "ModelPreset",
+    "GPT2_XL",
+    "MIXTRAL_7B",
+    "MIXTRAL_22B",
+    "MODEL_PRESETS",
+    "layer_spec_for",
+    "LayerProfile",
+    "profile_layer",
+    "layer_op_breakdown",
+    "gpipe_iteration_ms",
+    "microbatch_spec",
+    "MemoryFootprint",
+    "estimate_memory",
+    "max_layers_that_fit",
+]

@@ -1,0 +1,113 @@
+"""Real-world MoE model presets used in the paper's evaluation (§6.4).
+
+The paper trains MoE variants of GPT-2 and Mixtral with ``B = 1``,
+``k = 2``, ``f = 1.2``, experts equal to the node count, and layer counts
+trimmed to fit the testbeds (7 layers for Mixtral-7B on Testbed B, 33 for
+Mixtral-22B on Testbed A).  GPT2-XL's layer count is not stated; we use 12
+(documented in EXPERIMENTS.md) -- speedup ratios are insensitive to the
+layer count once > 2 because all layers are identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import MoELayerSpec
+from ..errors import ConfigError
+
+
+@dataclass(frozen=True)
+class ModelPreset:
+    """Architecture constants of one evaluated model.
+
+    Attributes:
+        name: display name used in benchmark tables.
+        embed_dim: token embedding size ``M``.
+        hidden_scale: expert ``H / M`` ratio.
+        num_heads: attention heads.
+        ffn_type: ``"simple"`` or ``"mixtral"``.
+        num_layers: transformer-MoE layers in the evaluated variant.
+        top_k: experts per token (paper fixes ``k = 2``).
+        capacity_factor: paper fixes ``f = 1.2`` for the e2e runs.
+    """
+
+    name: str
+    embed_dim: int
+    hidden_scale: float
+    num_heads: int
+    ffn_type: str
+    num_layers: int
+    top_k: int = 2
+    capacity_factor: float = 1.2
+
+
+#: GPT-2 XL backbone (1600 hidden, 25 heads) with MoE feed-forwards.
+GPT2_XL = ModelPreset(
+    name="GPT2-XL",
+    embed_dim=1600,
+    hidden_scale=4.0,
+    num_heads=25,
+    ffn_type="simple",
+    num_layers=12,
+)
+
+#: Mixtral-8x7B geometry: 4096 hidden, 14336 ffn, 32 heads, SwiGLU experts.
+MIXTRAL_7B = ModelPreset(
+    name="Mixtral-7B",
+    embed_dim=4096,
+    hidden_scale=3.5,
+    num_heads=32,
+    ffn_type="mixtral",
+    num_layers=7,
+)
+
+#: Mixtral-8x22B geometry: 6144 hidden, 16384 ffn, 48 heads; 33 layers fit
+#: Testbed A in the paper.
+MIXTRAL_22B = ModelPreset(
+    name="Mixtral-22B",
+    embed_dim=6144,
+    hidden_scale=16384.0 / 6144.0,
+    num_heads=48,
+    ffn_type="mixtral",
+    num_layers=33,
+)
+
+#: name -> preset registry for benchmarks and examples.
+MODEL_PRESETS = {
+    GPT2_XL.name: GPT2_XL,
+    MIXTRAL_7B.name: MIXTRAL_7B,
+    MIXTRAL_22B.name: MIXTRAL_22B,
+}
+
+
+def layer_spec_for(
+    preset: ModelPreset,
+    *,
+    batch_size: int,
+    seq_len: int,
+    num_experts: int,
+    capacity_factor: float | None = None,
+) -> MoELayerSpec:
+    """Instantiate a preset's :class:`MoELayerSpec` for one deployment.
+
+    The expert count is deployment-dependent in the paper ("the number of
+    experts is the same as the number of nodes", §6.4), so it is a
+    required argument.
+
+    Raises:
+        ConfigError: propagated from :class:`MoELayerSpec` validation.
+    """
+    if num_experts <= 0:
+        raise ConfigError(f"num_experts must be positive, got {num_experts}")
+    f = capacity_factor if capacity_factor is not None else preset.capacity_factor
+    return MoELayerSpec(
+        batch_size=batch_size,
+        seq_len=seq_len,
+        embed_dim=preset.embed_dim,
+        hidden_scale=preset.hidden_scale,
+        num_experts=num_experts,
+        top_k=preset.top_k,
+        capacity_factor=f,
+        num_heads=preset.num_heads,
+        ffn_type=preset.ffn_type,  # type: ignore[arg-type]
+    )

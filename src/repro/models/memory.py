@@ -1,0 +1,149 @@
+"""Per-GPU memory footprint estimation (why the paper trims layer counts).
+
+The paper sizes its end-to-end models by what fits: "Ensuring the models
+to be held on Testbed-B (32x 2080Ti 11GB), we set the number of layers
+for Mixtral-7B to 7" and "due to the memory limit, the number of layers
+for Mixtral-22B is set to 33 on Testbed-A" (§6.4).  This module estimates
+the per-GPU footprint under the standard layout so those choices can be
+checked and new deployments planned.
+
+Accounting (fp32 training, Adam):
+
+* parameters: attention (sharded over MP) + local expert shards (over
+  ESP) + gate, embedding excluded (tiny relative to the MoE stack);
+* gradients: same size as parameters;
+* optimizer state: 2x parameters (Adam moments);
+* activations: per layer, the tensors a backward pass must keep --
+  attention I/O, dispatch buffers, expert hidden states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import MoELayerSpec, ParallelSpec, experts_per_ep_rank, \
+    tokens_per_gpu
+from ..errors import ConfigError
+from ..parallel.volumes import effective_capacity_factor
+from ..units import GIB
+
+#: Adam keeps two moments per parameter.
+OPTIMIZER_STATE_FACTOR = 2.0
+#: fraction of device memory usable by the framework (allocator slack,
+#: CUDA context, NCCL buffers).
+USABLE_MEMORY_FRACTION = 0.9
+
+
+@dataclass(frozen=True)
+class MemoryFootprint:
+    """Per-GPU memory use of one model configuration, in bytes.
+
+    Attributes:
+        parameter_bytes: local parameter shards.
+        gradient_bytes: gradients (== parameters).
+        optimizer_bytes: Adam moments.
+        activation_bytes: stashed activations for backward.
+    """
+
+    parameter_bytes: float
+    gradient_bytes: float
+    optimizer_bytes: float
+    activation_bytes: float
+
+    @property
+    def total_bytes(self) -> float:
+        """Everything resident at the backward pass's peak."""
+        return (
+            self.parameter_bytes
+            + self.gradient_bytes
+            + self.optimizer_bytes
+            + self.activation_bytes
+        )
+
+    @property
+    def total_gib(self) -> float:
+        """Total in binary gigabytes (device-memory units)."""
+        return self.total_bytes / GIB
+
+    def fits(self, device_memory_gib: float) -> bool:
+        """Whether the footprint fits a device of the given size."""
+        return self.total_bytes <= (
+            device_memory_gib * GIB * USABLE_MEMORY_FRACTION
+        )
+
+
+def layer_parameter_bytes(
+    spec: MoELayerSpec, parallel: ParallelSpec
+) -> float:
+    """Local parameter bytes of one generalized layer."""
+    m = spec.embed_dim
+    h = spec.hidden_dim
+    elem = spec.dtype_bytes
+    attn = 4.0 * m * m / parallel.n_mp
+    local_experts = experts_per_ep_rank(spec, parallel)
+    expert = (
+        local_experts * spec.num_gemms_per_expert * m * (h / parallel.n_esp)
+    )
+    gate = m * spec.num_experts
+    norms = 4.0 * m
+    return (attn + expert + gate + norms) * elem
+
+
+def layer_activation_bytes(
+    spec: MoELayerSpec, parallel: ParallelSpec
+) -> float:
+    """Stashed activation bytes of one layer (token-proportional)."""
+    m = spec.embed_dim
+    elem = spec.dtype_bytes
+    tokens = tokens_per_gpu(spec, parallel)
+    f = effective_capacity_factor(spec, parallel)
+    # attention in/out + qkv (sharded), gate scores, dispatch buffer in/out,
+    # expert hidden states (sharded over ESP).
+    attention = 4.0 * tokens * m
+    routed = spec.top_k * f * tokens
+    dispatch = 2.0 * routed * m
+    hidden = (
+        spec.num_gemms_per_expert
+        * routed
+        * (spec.hidden_dim / parallel.n_esp)
+    )
+    return (attention + dispatch + hidden) * elem
+
+
+def estimate_memory(
+    spec: MoELayerSpec,
+    parallel: ParallelSpec,
+    num_layers: int,
+) -> MemoryFootprint:
+    """Per-GPU footprint of ``num_layers`` identical generalized layers.
+
+    Raises:
+        ConfigError: for a non-positive layer count.
+    """
+    if num_layers <= 0:
+        raise ConfigError(f"num_layers must be positive, got {num_layers}")
+    params = num_layers * layer_parameter_bytes(spec, parallel)
+    activations = num_layers * layer_activation_bytes(spec, parallel)
+    return MemoryFootprint(
+        parameter_bytes=params,
+        gradient_bytes=params,
+        optimizer_bytes=OPTIMIZER_STATE_FACTOR * params,
+        activation_bytes=activations,
+    )
+
+
+def max_layers_that_fit(
+    spec: MoELayerSpec,
+    parallel: ParallelSpec,
+    device_memory_gib: float,
+    *,
+    upper_bound: int = 512,
+) -> int:
+    """Largest layer count whose footprint fits the device (0 if none)."""
+    lo = 0
+    for n in range(1, upper_bound + 1):
+        if estimate_memory(spec, parallel, n).fits(device_memory_gib):
+            lo = n
+        else:
+            break
+    return lo

@@ -1,0 +1,72 @@
+"""GPipe-style pipeline parallelism (paper §6.4, Fig. 8).
+
+The paper enables PP with ``N_PP = 2`` using GPipe: the model's layers
+split into contiguous stages, the batch splits into micro-batches, all
+micro-batches flow forward through the stages and then backward.  With
+``m`` micro-batches and ``p`` stages the classic GPipe makespan is
+``(m + p - 1) * (t_fw_stage + t_bw_stage)`` plus whatever gradient
+synchronization remains exposed at the flush.
+
+Each system's per-micro-batch stage times come from its own schedule
+(simulated with the DES executor), so the systems' relative merits carry
+into the PP setting; gradient work is charged once, on the last
+micro-batch's backward (``bw_with_gar - bw_no_gar``).
+"""
+
+from __future__ import annotations
+
+from ..config import MoELayerSpec
+from ..errors import ConfigError
+
+
+def microbatch_spec(spec: MoELayerSpec, num_micro: int) -> MoELayerSpec:
+    """Split one layer spec into a per-micro-batch spec.
+
+    GPipe splits the batch; with the paper's ``B = 1`` we split the
+    sequence dimension instead (token volumes are what all costs scale
+    with).
+
+    Raises:
+        ConfigError: when the tokens cannot be split evenly.
+    """
+    if num_micro <= 0:
+        raise ConfigError(f"num_micro must be positive, got {num_micro}")
+    if spec.batch_size % num_micro == 0:
+        return spec.with_(batch_size=spec.batch_size // num_micro)
+    if spec.seq_len % num_micro == 0:
+        return spec.with_(seq_len=spec.seq_len // num_micro)
+    raise ConfigError(
+        f"cannot split B={spec.batch_size}, L={spec.seq_len} into "
+        f"{num_micro} micro-batches evenly"
+    )
+
+
+def gpipe_iteration_ms(
+    fw_stage_ms: float,
+    bw_stage_no_gar_ms: float,
+    gar_exposed_ms: float,
+    num_stages: int,
+    num_micro: int,
+) -> float:
+    """GPipe makespan for one iteration.
+
+    Args:
+        fw_stage_ms: forward time of one stage for one micro-batch.
+        bw_stage_no_gar_ms: backward time of one stage for one micro-batch
+            with gradient synchronization excluded.
+        gar_exposed_ms: extra time the system's gradient-synchronization
+            strategy adds on the flush (its backward-with-GAR minus
+            backward-without-GAR, for the full per-stage gradient volume).
+        num_stages: ``p`` (the paper's ``N_PP``).
+        num_micro: ``m``.
+
+    Raises:
+        ConfigError: for non-positive stage/micro counts.
+    """
+    if num_stages <= 0 or num_micro <= 0:
+        raise ConfigError(
+            f"stages and micro-batches must be positive, got "
+            f"{num_stages}/{num_micro}"
+        )
+    bubbles = num_micro + num_stages - 1
+    return bubbles * (fw_stage_ms + bw_stage_no_gar_ms) + max(0.0, gar_exposed_ms)

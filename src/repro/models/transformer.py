@@ -1,0 +1,192 @@
+"""Per-layer timing profiles: the bridge from specs to schedules.
+
+:func:`profile_layer` combines a :class:`~repro.config.MoELayerSpec`, a
+:class:`~repro.config.ParallelSpec` and a fitted
+:class:`~repro.core.perf_model.PerfModelSet` into everything the schedule
+builders need: forward/backward pipeline contexts, dense ("Others")
+durations, and the dense-gradient volume.  :func:`layer_op_breakdown`
+produces the per-operation table of the paper's Table 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import MoELayerSpec, ParallelSpec
+from ..core.constraints import PipelineContext, context_from_volumes
+from ..core.perf_model import PerfModelSet
+from ..errors import ConfigError
+from ..moe.gates import GATE_TIMING, GateKind
+from ..parallel.volumes import LayerVolumes, compute_layer_volumes
+
+#: attention sustains a lower fraction of GEMM throughput than the expert
+#: FFNs (softmax, masking and layer norms are memory-bound).  Calibrated
+#: against Table 2's attention rows on both testbeds.
+ATTENTION_EFFICIENCY = 0.45
+
+
+@dataclass(frozen=True)
+class LayerProfile:
+    """Timing profile of one generalized layer on one deployment.
+
+    Attributes:
+        spec: layer shape (post gate-capacity adjustment, if any).
+        parallel: parallel layout.
+        volumes: per-GPU message/FLOP volumes.
+        ctx_fw: forward pipeline context (``t_gar = 0``).
+        ctx_bw: backward pipeline context (``t_gar = 0``; the partition
+            plan sets the final value).
+        dense_fw_ms: forward non-MoE duration (attention + routing +
+            ordering + MP collectives).
+        dense_bw_ms: backward non-MoE duration (attention doubled).
+        attention_fw_ms: forward attention time (for Table 2).
+        gate_ms: routing-function time (forward; for Table 2).
+        order_ms: ordering time (forward; for Table 2).
+        mp_comm_ms: MP ReduceScatter + AllGather time per phase.
+        grad_bytes: dense-parameter gradient bytes (Gradient-AllReduce).
+    """
+
+    spec: MoELayerSpec
+    parallel: ParallelSpec
+    volumes: LayerVolumes
+    ctx_fw: PipelineContext
+    ctx_bw: PipelineContext
+    dense_fw_ms: float
+    dense_bw_ms: float
+    attention_fw_ms: float
+    gate_ms: float
+    order_ms: float
+    mp_comm_ms: float
+    grad_bytes: float
+
+
+def profile_layer(
+    spec: MoELayerSpec,
+    parallel: ParallelSpec,
+    models: PerfModelSet,
+    *,
+    gate_kind: GateKind = GateKind.GSHARD,
+    routing_overhead: float = 1.0,
+) -> LayerProfile:
+    """Build a :class:`LayerProfile` for one layer on one deployment.
+
+    Args:
+        spec: layer shape.
+        parallel: layout (standard deployment assumed by the schedules).
+        models: fitted performance models (from the online profiler).
+        gate_kind: routing function; its timing profile scales routing
+            FLOPs and may override the effective capacity factor (expert
+            choice fills experts exactly, Table 6).
+        routing_overhead: extra multiplier on gate+order compute, used to
+            model unoptimized routing implementations (DeepSpeed-MoE).
+
+    Raises:
+        ConfigError: for a non-positive routing overhead.
+    """
+    if routing_overhead <= 0:
+        raise ConfigError(
+            f"routing_overhead must be positive, got {routing_overhead}"
+        )
+    timing = GATE_TIMING[gate_kind]
+    effective_spec = spec
+    if timing.capacity_factor_override is not None:
+        effective_spec = spec.with_(
+            capacity_factor=timing.capacity_factor_override
+        )
+    volumes = compute_layer_volumes(effective_spec, parallel)
+
+    ctx_fw = context_from_volumes(
+        models,
+        a2a_bytes=volumes.a2a_bytes,
+        esp_shard_bytes=volumes.esp_shard_bytes,
+        expert_macs=volumes.expert_macs,
+        expert_num_gemms=volumes.expert_num_gemms,
+        backward=False,
+    )
+    ctx_bw = context_from_volumes(
+        models,
+        a2a_bytes=volumes.a2a_bytes,
+        esp_shard_bytes=volumes.esp_shard_bytes,
+        expert_macs=volumes.expert_macs,
+        expert_num_gemms=volumes.expert_num_gemms,
+        backward=True,
+    )
+
+    attention_fw_ms = models.expert_model(4).time_ms(
+        volumes.attention_macs / ATTENTION_EFFICIENCY
+    )
+    gate_ms = (
+        models.expert_model(timing.kernel_count).time_ms(
+            volumes.gate_macs * timing.macs_multiplier
+        )
+        * routing_overhead
+    )
+    order_ms = models.expert_model(1).time_ms(volumes.order_macs) * routing_overhead
+    mp_comm_ms = models.reducescatter.time_ms(
+        volumes.mp_shard_bytes
+    ) + models.allgather.time_ms(volumes.mp_shard_bytes)
+
+    dense_fw_ms = attention_fw_ms + gate_ms + order_ms + mp_comm_ms
+    dense_bw_ms = 2.0 * attention_fw_ms + gate_ms + order_ms + mp_comm_ms
+
+    return LayerProfile(
+        spec=effective_spec,
+        parallel=parallel,
+        volumes=volumes,
+        ctx_fw=ctx_fw,
+        ctx_bw=ctx_bw,
+        dense_fw_ms=dense_fw_ms,
+        dense_bw_ms=dense_bw_ms,
+        attention_fw_ms=attention_fw_ms,
+        gate_ms=gate_ms,
+        order_ms=order_ms,
+        mp_comm_ms=mp_comm_ms,
+        grad_bytes=volumes.dense_grad_bytes,
+    )
+
+
+#: row order of the paper's Table 2.
+BREAKDOWN_OPS = (
+    "AlltoAll",
+    "AllReduce",
+    "AllGather",
+    "ReduceScatter",
+    "Experts",
+    "Routing",
+    "Order",
+    "Attention",
+)
+
+
+def layer_op_breakdown(
+    profile: LayerProfile, models: PerfModelSet, phase: str
+) -> dict[str, float]:
+    """Un-pipelined per-operation times of one layer (Table 2 rows).
+
+    ``AllGather``/``ReduceScatter`` sum the ESP and MP collectives (both
+    intra-node, as in the paper's measurement).  ``AllReduce`` is the DP
+    Gradient-AllReduce, present only in backward.
+
+    Raises:
+        ConfigError: for an unknown phase.
+    """
+    if phase not in ("forward", "backward"):
+        raise ConfigError(f"phase must be forward/backward, got {phase!r}")
+    backward = phase == "backward"
+    ctx = profile.ctx_bw if backward else profile.ctx_fw
+    esp_ag = ctx.t_ag(1.0)
+    esp_rs = ctx.t_rs(1.0)
+    mp_ag = models.allgather.time_ms(profile.volumes.mp_shard_bytes)
+    mp_rs = models.reducescatter.time_ms(profile.volumes.mp_shard_bytes)
+    return {
+        "AlltoAll": 2.0 * ctx.t_a2a(1.0),
+        "AllReduce": (
+            models.allreduce.time_ms(profile.grad_bytes) if backward else 0.0
+        ),
+        "AllGather": esp_ag + mp_ag,
+        "ReduceScatter": esp_rs + mp_rs,
+        "Experts": ctx.t_exp(1.0),
+        "Routing": profile.gate_ms,
+        "Order": profile.order_ms,
+        "Attention": (2.0 if backward else 1.0) * profile.attention_fw_ms,
+    }

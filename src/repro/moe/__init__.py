@@ -1,0 +1,75 @@
+"""Functional MoE layer with the paper's modular abstraction (§3.1).
+
+The MoE layer decomposes into six swappable sub-modules -- Gate, Order,
+I-Order, Dispatch, Combine, Expert -- plus non-invasive hooks.  All
+implementations are numpy with manual backprop, so routing and dispatch
+semantics are *executed*, not just timed.
+
+Pre-implemented, as in the paper:
+
+* gates (:mod:`~repro.moe.gates`): GShard noisy top-k, Sigmoid
+  (BASE/StableMoE), X-MoE cosine routing, Expert-Choice;
+* orderings (:mod:`~repro.moe.ordering`): GShard einsum-style (dense
+  one-hot algebra) and Tutel scatter-style (index arithmetic);
+* dispatchers (:mod:`~repro.moe.dispatch`): NCCL direct AlltoAll, Hetu's
+  1DH, Tutel/DeepSpeed's 2DH -- identical data movement, different costs;
+* experts (:mod:`~repro.moe.experts`): GPT feed-forward and Mixtral SwiGLU.
+"""
+
+from .interfaces import (
+    Assignment,
+    CallbackBase,
+    DispatchBase,
+    ExpertBase,
+    GateBase,
+    OrderBase,
+)
+from .gates import (
+    GateKind,
+    GShardGate,
+    SigmoidGate,
+    XMoEGate,
+    ExpertChoiceGate,
+    GATE_TIMING,
+    build_gate,
+)
+from .ordering import GShardOrder, TutelOrder
+from .experts import SimpleFFNExpert, MixtralFFNExpert
+from .dispatch import NcclAllToAll, OneDHierarchicalAllToAll, TwoDHierarchicalAllToAll
+from .layer import MOELayer
+from .soft_moe import SoftMoELayer
+from .distributed import (
+    DistributedMoEConfig,
+    DistributedMoEStage,
+    build_reference_layers,
+)
+from .hooks import HookContext
+
+__all__ = [
+    "Assignment",
+    "GateBase",
+    "OrderBase",
+    "DispatchBase",
+    "ExpertBase",
+    "CallbackBase",
+    "GateKind",
+    "GShardGate",
+    "SigmoidGate",
+    "XMoEGate",
+    "ExpertChoiceGate",
+    "GATE_TIMING",
+    "build_gate",
+    "GShardOrder",
+    "TutelOrder",
+    "SimpleFFNExpert",
+    "MixtralFFNExpert",
+    "NcclAllToAll",
+    "OneDHierarchicalAllToAll",
+    "TwoDHierarchicalAllToAll",
+    "MOELayer",
+    "SoftMoELayer",
+    "DistributedMoEConfig",
+    "DistributedMoEStage",
+    "build_reference_layers",
+    "HookContext",
+]

@@ -1,0 +1,179 @@
+"""AlltoAll dispatch/combine algorithms over the virtual EP group.
+
+Three implementations with identical data semantics (the test suite
+asserts they agree bit-for-bit) but different cost structures on real
+networks (modelled in :mod:`repro.parallel.collectives`):
+
+* :class:`NcclAllToAll` -- direct pairwise exchange (NCCL default);
+* :class:`OneDHierarchicalAllToAll` -- Hetu's 1DH: gather to a node
+  leader, exchange between leaders, scatter;
+* :class:`TwoDHierarchicalAllToAll` -- Tutel/DeepSpeed's 2DH: intra-node
+  exchange to align destinations, then inter-node exchange.
+
+Buffers are expert-major (E, T, M); the exchange splits the expert axis
+across the ``world_size`` EP ranks, so rank ``i`` ends up with the slots
+destined for its local experts from every peer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..runtime.virtual_cluster import all_to_all
+from .interfaces import DispatchBase
+
+
+def _validate(buffers: list[np.ndarray], world_size: int) -> None:
+    if len(buffers) != world_size:
+        raise ShapeError(
+            f"expected {world_size} rank buffers, got {len(buffers)}"
+        )
+    e = buffers[0].shape[0]
+    if e % world_size != 0:
+        raise ShapeError(
+            f"expert axis ({e}) not divisible by EP world size ({world_size})"
+        )
+    for i, buf in enumerate(buffers):
+        if buf.shape != buffers[0].shape:
+            raise ShapeError(
+                f"rank {i} buffer {buf.shape} != rank 0 {buffers[0].shape}"
+            )
+
+
+class NcclAllToAll(DispatchBase):
+    """Direct pairwise AlltoAll (the NCCL default algorithm)."""
+
+    def __init__(self, world_size: int) -> None:
+        if world_size <= 0:
+            raise ShapeError(f"world_size must be positive, got {world_size}")
+        self.world_size = world_size
+
+    def dispatch(self, buffers: list[np.ndarray]) -> list[np.ndarray]:
+        """Exchange expert-axis slices directly between all pairs."""
+        _validate(buffers, self.world_size)
+        return all_to_all(buffers, axis=0)
+
+    def combine(self, buffers: list[np.ndarray]) -> list[np.ndarray]:
+        """The inverse exchange (AlltoAll is an involution here)."""
+        _validate(buffers, self.world_size)
+        return all_to_all(buffers, axis=0)
+
+
+class OneDHierarchicalAllToAll(DispatchBase):
+    """Hetu's 1DH-A2A: stage through one leader per node.
+
+    Every node's ranks first hand their buffers to the node leader
+    (simulated concatenation), leaders run the inter-node exchange, then
+    results scatter back to the ranks.  Data layout in == data layout out
+    of :class:`NcclAllToAll`.
+    """
+
+    def __init__(self, world_size: int, gpus_per_node: int = 1) -> None:
+        if world_size <= 0 or gpus_per_node <= 0:
+            raise ShapeError(
+                f"sizes must be positive, got world={world_size} "
+                f"node={gpus_per_node}"
+            )
+        self.world_size = world_size
+        self.gpus_per_node = gpus_per_node
+
+    def _exchange(self, buffers: list[np.ndarray]) -> list[np.ndarray]:
+        _validate(buffers, self.world_size)
+        # Staging through leaders permutes nothing observable: the leader
+        # forwards each rank's slice to the same destination the direct
+        # algorithm would.  We realize it as gather -> exchange -> scatter.
+        stacked = [buf.copy() for buf in buffers]  # "gather to leader"
+        exchanged = all_to_all(stacked, axis=0)  # leaders exchange
+        return [buf.copy() for buf in exchanged]  # "scatter back"
+
+    def dispatch(self, buffers: list[np.ndarray]) -> list[np.ndarray]:
+        """Leader-staged token -> expert exchange."""
+        return self._exchange(buffers)
+
+    def combine(self, buffers: list[np.ndarray]) -> list[np.ndarray]:
+        """Leader-staged expert -> token exchange."""
+        return self._exchange(buffers)
+
+
+class TwoDHierarchicalAllToAll(DispatchBase):
+    """Tutel/DeepSpeed's 2DH-A2A: intra-node align, inter-node exchange.
+
+    Phase 1 permutes data *within* each node so that phase 2's inter-node
+    messages are contiguous; the composition equals the direct exchange.
+    """
+
+    def __init__(self, world_size: int, gpus_per_node: int) -> None:
+        if world_size <= 0 or gpus_per_node <= 0:
+            raise ShapeError(
+                f"sizes must be positive, got world={world_size} "
+                f"node={gpus_per_node}"
+            )
+        if world_size % gpus_per_node != 0:
+            raise ShapeError(
+                f"world_size ({world_size}) not divisible by gpus_per_node "
+                f"({gpus_per_node})"
+            )
+        self.world_size = world_size
+        self.gpus_per_node = gpus_per_node
+
+    def _exchange(self, buffers: list[np.ndarray]) -> list[np.ndarray]:
+        _validate(buffers, self.world_size)
+        g = self.gpus_per_node
+        num_nodes = self.world_size // g
+        world = self.world_size
+        if num_nodes == 1 or g == 1:
+            return all_to_all(buffers, axis=0)
+        if buffers[0].shape[0] % world != 0:
+            raise ShapeError(
+                f"expert axis ({buffers[0].shape[0]}) not divisible by "
+                f"world size ({world})"
+            )
+
+        def permute(buf: np.ndarray, order: list[int]) -> np.ndarray:
+            parts = np.split(buf, world, axis=0)
+            return np.concatenate([parts[i] for i in order], axis=0)
+
+        # Stage A: regroup destination slices from global-rank order
+        # (node-major) to destination-local-index-major order, so the
+        # intra-node exchange can split them into g contiguous groups.
+        to_local_major = [
+            n2 * g + l2 for l2 in range(g) for n2 in range(num_nodes)
+        ]
+        staged = [permute(buf, to_local_major) for buf in buffers]
+
+        # Phase 1: intra-node AlltoAll -- rank (n, local) collects every
+        # slice of node n destined for destination-local-index ``local``.
+        after1: list[np.ndarray] = [np.empty(0)] * world
+        for node in range(num_nodes):
+            ranks = range(node * g, (node + 1) * g)
+            exchanged = all_to_all([staged[r] for r in ranks], axis=0)
+            for local, arr in enumerate(exchanged):
+                after1[node * g + local] = arr
+
+        # Stage B: after phase 1 the elementary slices are ordered
+        # (source-local outer, destination-node inner); regroup to
+        # destination-node-major so phase 2 can split by node.
+        to_node_major = [
+            l * num_nodes + n2 for n2 in range(num_nodes) for l in range(g)
+        ]
+        staged2 = [permute(buf, to_node_major) for buf in after1]
+
+        # Phase 2: inter-node AlltoAll among same-local-index peers.  The
+        # received blocks land in (source-node outer, source-local inner)
+        # order -- exactly the direct algorithm's global-rank order.
+        result: list[np.ndarray] = [np.empty(0)] * world
+        for local in range(g):
+            peers = [node * g + local for node in range(num_nodes)]
+            exchanged = all_to_all([staged2[r] for r in peers], axis=0)
+            for node, arr in enumerate(exchanged):
+                result[node * g + local] = arr
+        return result
+
+    def dispatch(self, buffers: list[np.ndarray]) -> list[np.ndarray]:
+        """Two-phase token -> expert exchange."""
+        return self._exchange(buffers)
+
+    def combine(self, buffers: list[np.ndarray]) -> list[np.ndarray]:
+        """Two-phase expert -> token exchange."""
+        return self._exchange(buffers)

@@ -1,0 +1,338 @@
+"""The paper's Fig. 2 dataflow, executed on data over virtual ranks.
+
+One pipeline stage of the standard deployment: ``N`` nodes of ``g`` GPUs,
+``N_MP = N_ESP = g``, ``N_EP = N_DP = N``.  Each node processes its own
+mini-batch (DP); within a node the token dimension is split over the MP
+ranks; experts live one-node-each (or ``E/N`` each) and are sharded over
+the node's GPUs along the hidden dimension (ESP).
+
+Execution per forward (all data movement through
+:mod:`repro.runtime.virtual_cluster`):
+
+1. MP ReduceScatter -- partial activations sum + token split;
+2. gate + order on each rank's token shard;
+3. EP AlltoAll dispatch across same-local-rank peers;
+4. ESP AllGather within each node (every rank sees all tokens bound for
+   the node's experts);
+5. expert *shard* computation -- each rank applies its ``H/g`` slice of
+   every local expert (elementwise activations make hidden-dimension
+   sharding exact);
+6. ESP ReduceScatter -- sum the partial outputs, split the tokens back;
+7. EP AlltoAll combine;
+8. weighted I-Order back to token shards;
+9. MP AllGather -- every rank of the node holds the full output.
+
+The test suite checks this **bit-for-bit** against a single-process
+:class:`~repro.moe.layer.MOELayer` holding the same weights, which is the
+strongest correctness statement the reproduction makes about the
+parallelism semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ShapeError
+from ..runtime.virtual_cluster import (
+    all_gather,
+    all_to_all,
+    reduce_scatter,
+)
+from .experts import MixtralFFNExpert, SimpleFFNExpert
+from .functional import relu, silu
+from .gates import GShardGate
+from .interfaces import ExpertBase, GateBase
+from .ordering import TutelOrder
+
+
+@dataclass(frozen=True)
+class DistributedMoEConfig:
+    """Geometry of one stage (standard layout).
+
+    Attributes:
+        num_nodes: ``N`` (EP/DP width).
+        gpus_per_node: ``g`` (MP/ESP width).
+        embed_dim: token embedding ``M``.
+        hidden_dim: expert hidden size ``H`` (divisible by ``g``).
+        num_experts: ``E`` (divisible by ``N``).
+        top_k: experts per token.
+        ffn_type: ``"simple"`` or ``"mixtral"``.
+    """
+
+    num_nodes: int
+    gpus_per_node: int
+    embed_dim: int
+    hidden_dim: int
+    num_experts: int
+    top_k: int = 2
+    ffn_type: str = "simple"
+
+    def __post_init__(self) -> None:
+        if self.num_experts % self.num_nodes != 0:
+            raise ShapeError(
+                f"num_experts ({self.num_experts}) not divisible by "
+                f"num_nodes ({self.num_nodes})"
+            )
+        if self.hidden_dim % self.gpus_per_node != 0:
+            raise ShapeError(
+                f"hidden_dim ({self.hidden_dim}) not divisible by "
+                f"gpus_per_node ({self.gpus_per_node})"
+            )
+        if self.ffn_type not in ("simple", "mixtral"):
+            raise ShapeError(f"unknown ffn_type {self.ffn_type!r}")
+
+    @property
+    def experts_per_node(self) -> int:
+        """Local experts hosted by each node."""
+        return self.num_experts // self.num_nodes
+
+    @property
+    def hidden_shard(self) -> int:
+        """Hidden width per ESP shard."""
+        return self.hidden_dim // self.gpus_per_node
+
+
+def _expert_shard_forward(
+    expert: ExpertBase, x: np.ndarray, shard: int, width: int
+) -> np.ndarray:
+    """Partial expert output from one hidden-dimension shard.
+
+    Elementwise activations make the hidden dimension embarrassingly
+    shardable: summing the per-shard outputs reconstructs the full expert
+    (biases are charged to shard 0).
+    """
+    lo, hi = shard * width, (shard + 1) * width
+    if isinstance(expert, SimpleFFNExpert):
+        pre = x @ expert.params["w1"][:, lo:hi] + expert.params["b1"][lo:hi]
+        partial = relu(pre) @ expert.params["w2"][lo:hi, :]
+        if shard == 0:
+            partial = partial + expert.params["b2"]
+        return partial
+    if isinstance(expert, MixtralFFNExpert):
+        gate_pre = x @ expert.params["w_gate"][:, lo:hi]
+        up = x @ expert.params["w_up"][:, lo:hi]
+        return (silu(gate_pre) * up) @ expert.params["w_down"][lo:hi, :]
+    raise ShapeError(f"unsupported expert type {type(expert).__name__}")
+
+
+class DistributedMoEStage:
+    """Executable DP+MP+EP+ESP MoE stage over virtual ranks.
+
+    Args:
+        config: stage geometry.
+        gate: routing function shared (replicated) by every rank.
+        experts: the ``E`` full expert networks; node ``j`` hosts experts
+            ``[j * E/N, (j+1) * E/N)`` and shards each over its ranks.
+        capacity: dispatch slots per expert per rank shard.  Use an ample
+            value (no drops) when comparing against a single-process
+            reference -- capacity-order differs between sharded and
+            unsharded execution.
+    """
+
+    def __init__(
+        self,
+        config: DistributedMoEConfig,
+        gate: GateBase,
+        experts: list[ExpertBase],
+        capacity: int,
+    ) -> None:
+        if len(experts) != config.num_experts:
+            raise ShapeError(
+                f"expected {config.num_experts} experts, got {len(experts)}"
+            )
+        if gate.num_experts != config.num_experts:
+            raise ShapeError(
+                f"gate routes to {gate.num_experts} experts, config has "
+                f"{config.num_experts}"
+            )
+        self.config = config
+        self.gate = gate
+        self.experts = experts
+        self.capacity = capacity
+        self.order = TutelOrder()
+
+    # -- stages --------------------------------------------------------------
+
+    def _mp_reduce_scatter(
+        self, node_inputs: list[np.ndarray]
+    ) -> list[list[np.ndarray]]:
+        """Split each node's tokens over its MP ranks (Fig. 2 step 1).
+
+        Models the post-attention ReduceScatter: each rank contributes a
+        partial sum ``X_j / g``; the collective sums and token-splits.
+        """
+        g = self.config.gpus_per_node
+        shards_per_node = []
+        for x in node_inputs:
+            partials = [x / g for _ in range(g)]
+            shards_per_node.append(reduce_scatter(partials, axis=0))
+        return shards_per_node
+
+    def _route_and_order(
+        self, shards_per_node: list[list[np.ndarray]]
+    ) -> tuple[list[list], list[list[np.ndarray]]]:
+        """Gate + order every rank's token shard."""
+        assignments, buffers = [], []
+        for node_shards in shards_per_node:
+            node_assignments, node_buffers = [], []
+            for shard in node_shards:
+                assignment = self.gate.assign(shard, self.capacity)
+                node_assignments.append(assignment)
+                node_buffers.append(self.order.forward(shard, assignment))
+            assignments.append(node_assignments)
+            buffers.append(node_buffers)
+        return assignments, buffers
+
+    def _ep_exchange(
+        self, buffers: list[list[np.ndarray]]
+    ) -> list[list[np.ndarray]]:
+        """AlltoAll across same-local-rank peers (Fig. 2 dispatch/combine)."""
+        n, g = self.config.num_nodes, self.config.gpus_per_node
+        out: list[list[np.ndarray]] = [
+            [np.empty(0)] * g for _ in range(n)
+        ]
+        for local in range(g):
+            exchanged = all_to_all(
+                [buffers[node][local] for node in range(n)], axis=0
+            )
+            for node in range(n):
+                out[node][local] = exchanged[node]
+        return out
+
+    def _esp_all_gather(
+        self, received: list[list[np.ndarray]]
+    ) -> list[list[np.ndarray]]:
+        """Within-node AllGather along the slot axis (Fig. 2 step 4)."""
+        return [all_gather(node_buffers, axis=1) for node_buffers in received]
+
+    def _expert_shards(
+        self, gathered: list[list[np.ndarray]]
+    ) -> list[list[np.ndarray]]:
+        """Each rank computes its H/g slice of every local expert."""
+        cfg = self.config
+        outputs: list[list[np.ndarray]] = []
+        for node, node_buffers in enumerate(gathered):
+            node_outputs = []
+            for local, buf in enumerate(node_buffers):
+                out = np.empty_like(buf)
+                # rows: num_nodes blocks of experts_per_node local experts
+                for src in range(cfg.num_nodes):
+                    for j in range(cfg.experts_per_node):
+                        row = src * cfg.experts_per_node + j
+                        expert = self.experts[
+                            node * cfg.experts_per_node + j
+                        ]
+                        out[row] = _expert_shard_forward(
+                            expert, buf[row], local, cfg.hidden_shard
+                        )
+                node_outputs.append(out)
+            outputs.append(node_outputs)
+        return outputs
+
+    def _esp_reduce_scatter(
+        self, partials: list[list[np.ndarray]]
+    ) -> list[list[np.ndarray]]:
+        """Sum expert-shard partials, split tokens back (Fig. 2 step 6)."""
+        return [
+            reduce_scatter(node_partials, axis=1)
+            for node_partials in partials
+        ]
+
+    def _combine_and_mp_gather(
+        self,
+        returned: list[list[np.ndarray]],
+        assignments: list[list],
+        token_counts: list[int],
+    ) -> list[np.ndarray]:
+        """I-Order each shard, then AllGather tokens across the node."""
+        outputs = []
+        g = self.config.gpus_per_node
+        for node in range(self.config.num_nodes):
+            shard_tokens = token_counts[node] // g
+            shard_outputs = [
+                self.order.inverse(
+                    returned[node][local],
+                    assignments[node][local],
+                    shard_tokens,
+                )
+                for local in range(g)
+            ]
+            outputs.append(all_gather(shard_outputs, axis=0)[0])
+        return outputs
+
+    # -- public API -----------------------------------------------------------
+
+    def forward(self, node_inputs: list[np.ndarray]) -> list[np.ndarray]:
+        """Run one forward pass; one (S, M) batch per node in, same out.
+
+        Raises:
+            ShapeError: on wrong node count or token counts not divisible
+                by the MP width.
+        """
+        cfg = self.config
+        if len(node_inputs) != cfg.num_nodes:
+            raise ShapeError(
+                f"expected {cfg.num_nodes} node inputs, got "
+                f"{len(node_inputs)}"
+            )
+        token_counts = []
+        for x in node_inputs:
+            if x.ndim != 2 or x.shape[1] != cfg.embed_dim:
+                raise ShapeError(
+                    f"expected (S, {cfg.embed_dim}) inputs, got {x.shape}"
+                )
+            if x.shape[0] % cfg.gpus_per_node != 0:
+                raise ShapeError(
+                    f"token count {x.shape[0]} not divisible by MP width "
+                    f"{cfg.gpus_per_node}"
+                )
+            token_counts.append(x.shape[0])
+
+        shards = self._mp_reduce_scatter(node_inputs)
+        assignments, buffers = self._route_and_order(shards)
+        received = self._ep_exchange(buffers)  # dispatch
+        gathered = self._esp_all_gather(received)
+        partials = self._expert_shards(gathered)
+        reduced = self._esp_reduce_scatter(partials)
+        returned = self._ep_exchange(reduced)  # combine
+        return self._combine_and_mp_gather(
+            returned, assignments, token_counts
+        )
+
+
+def build_reference_layers(
+    config: DistributedMoEConfig, *, seed: int = 0
+) -> tuple[DistributedMoEStage, list]:
+    """A distributed stage plus per-node single-process reference layers.
+
+    Both share the *same* gate and expert weight tensors, so their outputs
+    must agree exactly (given ample capacity).  Returns the stage and one
+    :class:`~repro.moe.layer.MOELayer` per node.
+    """
+    from .layer import MOELayer  # local import avoids a cycle at load time
+
+    expert_cls = (
+        SimpleFFNExpert if config.ffn_type == "simple" else MixtralFFNExpert
+    )
+    experts = [
+        expert_cls(config.embed_dim, config.hidden_dim, seed=seed + 1 + e)
+        for e in range(config.num_experts)
+    ]
+    gate = GShardGate(
+        config.embed_dim, config.num_experts, config.top_k, seed=seed
+    )
+    capacity = 1 << 14  # ample: no token ever drops
+    stage = DistributedMoEStage(config, gate, experts, capacity)
+    references = [
+        MOELayer(
+            GShardGate(
+                config.embed_dim, config.num_experts, config.top_k, seed=seed
+            ),
+            experts,
+            capacity_factor=None,
+        )
+        for _ in range(config.num_nodes)
+    ]
+    return stage, references

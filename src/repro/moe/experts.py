@@ -1,0 +1,113 @@
+"""Expert networks with manual forward/backward (paper §3.1).
+
+Two variants, matching the paper's ``ffn-type`` options:
+
+* :class:`SimpleFFNExpert` -- the conventional two dense layers with ReLU
+  (GPT feed-forward block): ``y = relu(x W1 + b1) W2 + b2``;
+* :class:`MixtralFFNExpert` -- Mixtral's SwiGLU block with three weight
+  matrices: ``y = (silu(x Wg) * (x Wu)) Wd``.
+
+Backward passes are hand-derived and validated against finite differences
+in the test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from .functional import relu, relu_backward, silu, silu_backward
+from .interfaces import ExpertBase
+
+
+class SimpleFFNExpert(ExpertBase):
+    """Two-layer feed-forward expert (GPT style)."""
+
+    def __init__(self, embed_dim: int, hidden_dim: int, *, seed: int = 0) -> None:
+        super().__init__()
+        if embed_dim <= 0 or hidden_dim <= 0:
+            raise ShapeError(
+                f"dims must be positive, got M={embed_dim} H={hidden_dim}"
+            )
+        rng = np.random.default_rng(seed)
+        self.embed_dim = embed_dim
+        self.hidden_dim = hidden_dim
+        self.params["w1"] = rng.normal(0.0, np.sqrt(2.0 / embed_dim),
+                                       (embed_dim, hidden_dim))
+        self.params["b1"] = np.zeros(hidden_dim)
+        self.params["w2"] = rng.normal(0.0, np.sqrt(2.0 / hidden_dim),
+                                       (hidden_dim, embed_dim))
+        self.params["b2"] = np.zeros(embed_dim)
+        self.zero_grad()
+        self._cache: dict[str, np.ndarray] = {}
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """``relu(x W1 + b1) W2 + b2`` for a (T, M) slice."""
+        if x.ndim != 2 or x.shape[1] != self.embed_dim:
+            raise ShapeError(
+                f"expected (T, {self.embed_dim}) input, got {x.shape}"
+            )
+        pre = x @ self.params["w1"] + self.params["b1"]
+        hidden = relu(pre)
+        self._cache = {"x": x, "pre": pre, "hidden": hidden}
+        return hidden @ self.params["w2"] + self.params["b2"]
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        """Backprop through the cached forward; accumulates grads."""
+        cache = self._cache
+        if not cache:
+            raise ShapeError("backward called before forward")
+        self.grads["w2"] += cache["hidden"].T @ dy
+        self.grads["b2"] += dy.sum(axis=0)
+        d_hidden = dy @ self.params["w2"].T
+        d_pre = d_hidden * relu_backward(cache["pre"])
+        self.grads["w1"] += cache["x"].T @ d_pre
+        self.grads["b1"] += d_pre.sum(axis=0)
+        return d_pre @ self.params["w1"].T
+
+
+class MixtralFFNExpert(ExpertBase):
+    """SwiGLU expert with gate/up/down projections (Mixtral style)."""
+
+    def __init__(self, embed_dim: int, hidden_dim: int, *, seed: int = 0) -> None:
+        super().__init__()
+        if embed_dim <= 0 or hidden_dim <= 0:
+            raise ShapeError(
+                f"dims must be positive, got M={embed_dim} H={hidden_dim}"
+            )
+        rng = np.random.default_rng(seed)
+        self.embed_dim = embed_dim
+        self.hidden_dim = hidden_dim
+        scale_in = np.sqrt(2.0 / embed_dim)
+        self.params["w_gate"] = rng.normal(0.0, scale_in, (embed_dim, hidden_dim))
+        self.params["w_up"] = rng.normal(0.0, scale_in, (embed_dim, hidden_dim))
+        self.params["w_down"] = rng.normal(
+            0.0, np.sqrt(2.0 / hidden_dim), (hidden_dim, embed_dim)
+        )
+        self.zero_grad()
+        self._cache: dict[str, np.ndarray] = {}
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """``(silu(x Wg) * (x Wu)) Wd`` for a (T, M) slice."""
+        if x.ndim != 2 or x.shape[1] != self.embed_dim:
+            raise ShapeError(
+                f"expected (T, {self.embed_dim}) input, got {x.shape}"
+            )
+        gate_pre = x @ self.params["w_gate"]
+        up = x @ self.params["w_up"]
+        gated = silu(gate_pre) * up
+        self._cache = {"x": x, "gate_pre": gate_pre, "up": up, "gated": gated}
+        return gated @ self.params["w_down"]
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        """Backprop through the cached forward; accumulates grads."""
+        cache = self._cache
+        if not cache:
+            raise ShapeError("backward called before forward")
+        self.grads["w_down"] += cache["gated"].T @ dy
+        d_gated = dy @ self.params["w_down"].T
+        d_up = d_gated * silu(cache["gate_pre"])
+        d_gate_pre = d_gated * cache["up"] * silu_backward(cache["gate_pre"])
+        self.grads["w_up"] += cache["x"].T @ d_up
+        self.grads["w_gate"] += cache["x"].T @ d_gate_pre
+        return d_up @ self.params["w_up"].T + d_gate_pre @ self.params["w_gate"].T

@@ -1,0 +1,92 @@
+"""Small numpy numerics shared by the functional MoE modules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def softmax_backward(y: np.ndarray, dy: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Gradient of softmax given its output ``y`` and upstream ``dy``."""
+    dot = np.sum(dy * y, axis=axis, keepdims=True)
+    return y * (dy - dot)
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Elementwise logistic function."""
+    return np.where(x >= 0, 1.0 / (1.0 + np.exp(-x)), np.exp(x) / (1.0 + np.exp(x)))
+
+
+def softplus(x: np.ndarray) -> np.ndarray:
+    """Elementwise ``log(1 + exp(x))`` with overflow guard."""
+    return np.logaddexp(0.0, x)
+
+
+def silu(x: np.ndarray) -> np.ndarray:
+    """SiLU / swish activation ``x * sigmoid(x)`` (Mixtral experts)."""
+    return x * sigmoid(x)
+
+
+def silu_backward(x: np.ndarray) -> np.ndarray:
+    """d(silu)/dx evaluated at ``x``."""
+    s = sigmoid(x)
+    return s * (1.0 + x * (1.0 - s))
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Elementwise rectifier (GPT-style experts)."""
+    return np.maximum(x, 0.0)
+
+
+def relu_backward(x: np.ndarray) -> np.ndarray:
+    """d(relu)/dx evaluated at ``x`` (0 at the kink)."""
+    return (x > 0).astype(x.dtype)
+
+
+def l2_normalize(x: np.ndarray, axis: int = -1, eps: float = 1e-12) -> np.ndarray:
+    """Rows scaled to unit L2 norm (X-MoE's representation scaling)."""
+    norm = np.sqrt(np.sum(x * x, axis=axis, keepdims=True))
+    return x / np.maximum(norm, eps)
+
+
+def top_k(x: np.ndarray, k: int, axis: int = -1) -> tuple[np.ndarray, np.ndarray]:
+    """Indices and values of the ``k`` largest entries, sorted descending.
+
+    Raises:
+        ShapeError: when ``k`` exceeds the axis length.
+    """
+    size = x.shape[axis]
+    if k > size:
+        raise ShapeError(f"top_k k={k} exceeds axis length {size}")
+    part = np.argpartition(-x, k - 1, axis=axis)
+    idx = np.take(part, np.arange(k), axis=axis)
+    vals = np.take_along_axis(x, idx, axis=axis)
+    order = np.argsort(-vals, axis=axis, kind="stable")
+    idx = np.take_along_axis(idx, order, axis=axis)
+    vals = np.take_along_axis(vals, order, axis=axis)
+    return vals, idx
+
+
+def one_hot(indices: np.ndarray, depth: int, dtype=np.float64) -> np.ndarray:
+    """Dense one-hot encoding; negative indices encode "no class" (all 0).
+
+    Raises:
+        ShapeError: for indices >= depth.
+    """
+    if indices.size and int(indices.max()) >= depth:
+        raise ShapeError(
+            f"one_hot index {int(indices.max())} out of range [0, {depth})"
+        )
+    flat = indices.reshape(-1)
+    out = np.zeros((flat.size, depth), dtype=dtype)
+    valid = flat >= 0
+    out[np.arange(flat.size)[valid], flat[valid]] = 1.0
+    return out.reshape(indices.shape + (depth,))

@@ -1,0 +1,425 @@
+"""The four pre-implemented routing functions (paper §2.1 / §3.1, Table 6).
+
+* :class:`GShardGate` -- noisy top-k softmax gating (GShard);
+* :class:`SigmoidGate` -- sigmoid-scaled top-k (BASE / StableMoE);
+* :class:`XMoEGate` -- low-rank projection + cosine routing with L2
+  normalization (X-MoE);
+* :class:`ExpertChoiceGate` -- experts pick their own top tokens (EC).
+
+Token-choice gates share :func:`capacity_assign`, which converts per-token
+top-k selections into the expert-major (E, T) layout while enforcing the
+capacity ``T`` (overflow tokens are dropped, GShard-style).
+
+``GATE_TIMING`` carries each gate's *timing profile* for the scheduling
+side of the library (relative routing FLOPs and effective capacity), used
+by the Table 6 reproduction.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ShapeError
+from .functional import (
+    l2_normalize,
+    sigmoid,
+    softmax,
+    softmax_backward,
+    softplus,
+    top_k,
+)
+from .interfaces import Assignment, GateBase
+
+
+class GateKind(enum.Enum):
+    """Identifier for the pre-implemented routing functions."""
+
+    GSHARD = "gshard"
+    SIGMOID = "sigmoid"
+    XMOE = "xmoe"
+    EXPERT_CHOICE = "expert_choice"
+
+
+@dataclass(frozen=True)
+class GateTimingProfile:
+    """Scheduling-relevant cost profile of a gate implementation.
+
+    Attributes:
+        macs_multiplier: routing FLOPs relative to plain ``x @ W_g``
+            (X-MoE adds a projection and two normalizations; EC adds the
+            token-axis top-k).
+        capacity_factor_override: effective capacity factor forced by the
+            gate, or None to use the configured ``f``.  Expert choice fills
+            every expert exactly to capacity, i.e. behaves like ``f = 1``.
+        kernel_count: GPU kernels launched per routing pass.  At MoE gate
+            sizes the launches dominate the arithmetic, so this is what
+            separates the gates in Table 6: GShard (matmul, noise, top-k,
+            softmax) ~4; Sigmoid adds the scaling pass; X-MoE adds the
+            projection, two L2 normalizations and the cosine; EC adds the
+            token-axis transpose + top-k.
+    """
+
+    macs_multiplier: float
+    capacity_factor_override: float | None
+    kernel_count: int
+
+
+#: timing profiles per gate kind (consumed by the Table 6 benchmark).
+GATE_TIMING: dict[GateKind, GateTimingProfile] = {
+    GateKind.GSHARD: GateTimingProfile(1.0, None, 4),
+    GateKind.SIGMOID: GateTimingProfile(1.05, None, 5),
+    GateKind.XMOE: GateTimingProfile(1.6, None, 9),
+    GateKind.EXPERT_CHOICE: GateTimingProfile(1.1, 1.0, 6),
+}
+
+
+def capacity_assign(
+    indices: np.ndarray,
+    weights: np.ndarray,
+    num_experts: int,
+    capacity: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Convert per-token (S, k) selections to the expert-major layout.
+
+    Slots fill in token order (GShard semantics); selections beyond an
+    expert's capacity are dropped.
+
+    Args:
+        indices: (S, k) selected expert per token and choice.
+        weights: (S, k) combine weight per selection.
+        num_experts: ``E``.
+        capacity: slots per expert ``T``.
+
+    Returns:
+        ``(token_ids, slot_weights, dropped, slot_of)`` where ``token_ids``
+        and ``slot_weights`` are (E, T); ``dropped`` is a (S,) bool mask of
+        tokens with no surviving selection; ``slot_of`` is (S, k) holding
+        the slot index of each selection (-1 if dropped), used by gate
+        backward passes.
+    """
+    if indices.shape != weights.shape or indices.ndim != 2:
+        raise ShapeError(
+            f"indices {indices.shape} and weights {weights.shape} must be "
+            f"matching (S, k) arrays"
+        )
+    s, k = indices.shape
+    flat_e = indices.reshape(-1)
+
+    # Position of each selection within its expert, in (token, choice) order.
+    order = np.argsort(flat_e, kind="stable")
+    sorted_e = flat_e[order]
+    is_start = np.ones(len(sorted_e), dtype=bool)
+    if len(sorted_e) > 1:
+        is_start[1:] = sorted_e[1:] != sorted_e[:-1]
+    start_of_group = np.maximum.accumulate(
+        np.where(is_start, np.arange(len(sorted_e)), 0)
+    )
+    pos_sorted = np.arange(len(sorted_e)) - start_of_group
+    position = np.empty(len(flat_e), dtype=np.int64)
+    position[order] = pos_sorted
+
+    kept = position < capacity
+    token_ids = np.full((num_experts, capacity), -1, dtype=np.int64)
+    slot_weights = np.zeros((num_experts, capacity))
+    flat_tokens = np.repeat(np.arange(s), k)
+    token_ids[flat_e[kept], position[kept]] = flat_tokens[kept]
+    slot_weights[flat_e[kept], position[kept]] = weights.reshape(-1)[kept]
+
+    slot_of = np.where(kept, position, -1).reshape(s, k)
+    survived = kept.reshape(s, k)
+    dropped = ~np.any(survived, axis=1)
+    return token_ids, slot_weights, dropped, slot_of
+
+
+class GShardGate(GateBase):
+    """Noisy top-k softmax gate (GShard).
+
+    ``H(x) = x W_g + N(0,1) * softplus(x W_noise)`` during training;
+    scores are ``softmax(KeepTopK(H(x), k))`` and combine weights are the
+    selected scores renormalized over the top-k.
+    """
+
+    def __init__(
+        self,
+        embed_dim: int,
+        num_experts: int,
+        top_k: int = 2,
+        *,
+        noisy: bool = False,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(embed_dim, num_experts, top_k)
+        rng = np.random.default_rng(seed)
+        scale = 1.0 / np.sqrt(embed_dim)
+        self.params["w_gate"] = rng.normal(0.0, scale, (embed_dim, num_experts))
+        self.params["w_noise"] = rng.normal(0.0, scale, (embed_dim, num_experts))
+        self.noisy = noisy
+        self._rng = rng
+        self.zero_grad()
+        self._cache: dict[str, np.ndarray] = {}
+
+    def assign(self, x: np.ndarray, capacity: int) -> Assignment:
+        """Route ``x`` (S, M); caches intermediates for backward."""
+        logits = x @ self.params["w_gate"]
+        if self.noisy:
+            noise_scale = softplus(x @ self.params["w_noise"])
+            logits = logits + self._rng.normal(size=logits.shape) * noise_scale
+        top_vals, top_idx = top_k(logits, self.top_k)
+        kept = np.full_like(logits, -np.inf)
+        np.put_along_axis(kept, top_idx, top_vals, axis=-1)
+        scores = softmax(kept, axis=-1)
+
+        selected = np.take_along_axis(scores, top_idx, axis=-1)
+        norm = np.maximum(np.sum(selected, axis=-1, keepdims=True), 1e-12)
+        weights = selected / norm
+
+        token_ids, slot_weights, dropped, slot_of = capacity_assign(
+            top_idx, weights, self.num_experts, capacity
+        )
+        aux = load_balancing_loss(scores, top_idx, self.num_experts)
+        self._cache = {
+            "x": x,
+            "top_idx": top_idx,
+            "scores": scores,
+            "selected": selected,
+            "norm": norm,
+            "slot_of": slot_of,
+        }
+        return Assignment(
+            token_ids=token_ids,
+            weights=slot_weights,
+            scores=scores,
+            aux_loss=aux,
+            dropped=dropped,
+        )
+
+    def backward_weights(
+        self, x: np.ndarray, assignment: Assignment, d_weights: np.ndarray
+    ) -> np.ndarray:
+        """Backprop combine-weight grads through renorm + softmax + W_g.
+
+        The noise branch is treated as evaluation-mode (no gradient), as
+        the paper's systems do when measuring throughput.
+        """
+        cache = self._cache
+        top_idx = cache["top_idx"]
+        slot_of = cache["slot_of"]
+        s, k = top_idx.shape
+
+        # (E, T) slot grads back to (S, k) selection grads.
+        d_sel_w = np.zeros((s, k))
+        valid = slot_of >= 0
+        d_sel_w[valid] = d_weights[top_idx[valid], slot_of[valid]]
+
+        # weights = selected / norm  (renormalization jacobian).
+        selected = cache["selected"]
+        norm = cache["norm"]
+        d_selected = d_sel_w / norm - np.sum(
+            d_sel_w * selected, axis=-1, keepdims=True
+        ) / (norm**2)
+
+        # scores = softmax(kept logits); only top-k entries are finite.
+        d_scores = np.zeros_like(cache["scores"])
+        np.put_along_axis(d_scores, top_idx, d_selected, axis=-1)
+        d_kept = softmax_backward(cache["scores"], d_scores, axis=-1)
+        # Gradient flows only through the kept (finite) logits.
+        mask = np.zeros_like(d_kept)
+        np.put_along_axis(mask, top_idx, 1.0, axis=-1)
+        d_logits = d_kept * mask
+
+        self.grads["w_gate"] += cache["x"].T @ d_logits
+        return d_logits @ self.params["w_gate"].T
+
+
+class SigmoidGate(GateBase):
+    """Sigmoid gate of BASE / StableMoE: weight = sigmoid(x . w_e)."""
+
+    def __init__(
+        self, embed_dim: int, num_experts: int, top_k: int = 2, *, seed: int = 0
+    ) -> None:
+        super().__init__(embed_dim, num_experts, top_k)
+        rng = np.random.default_rng(seed)
+        scale = 1.0 / np.sqrt(embed_dim)
+        self.params["w_gate"] = rng.normal(0.0, scale, (embed_dim, num_experts))
+        self.zero_grad()
+        self._cache: dict[str, np.ndarray] = {}
+
+    def assign(self, x: np.ndarray, capacity: int) -> Assignment:
+        """Route ``x`` (S, M) by raw logit rank, weight by sigmoid."""
+        logits = x @ self.params["w_gate"]
+        top_vals, top_idx = top_k(logits, self.top_k)
+        weights = sigmoid(top_vals)
+        token_ids, slot_weights, dropped, slot_of = capacity_assign(
+            top_idx, weights, self.num_experts, capacity
+        )
+        scores = sigmoid(logits)
+        self._cache = {"x": x, "top_idx": top_idx, "top_vals": top_vals,
+                       "slot_of": slot_of}
+        return Assignment(
+            token_ids=token_ids,
+            weights=slot_weights,
+            scores=scores,
+            aux_loss=load_balancing_loss(
+                softmax(logits, axis=-1), top_idx, self.num_experts
+            ),
+            dropped=dropped,
+        )
+
+    def backward_weights(
+        self, x: np.ndarray, assignment: Assignment, d_weights: np.ndarray
+    ) -> np.ndarray:
+        """d(sigmoid(logit)) for selected entries -> W_g and input grads."""
+        cache = self._cache
+        top_idx = cache["top_idx"]
+        slot_of = cache["slot_of"]
+        s, k = top_idx.shape
+        d_sel_w = np.zeros((s, k))
+        valid = slot_of >= 0
+        d_sel_w[valid] = d_weights[top_idx[valid], slot_of[valid]]
+
+        sig = sigmoid(cache["top_vals"])
+        d_sel_logits = d_sel_w * sig * (1.0 - sig)
+        d_logits = np.zeros((s, self.num_experts))
+        np.put_along_axis(d_logits, top_idx, d_sel_logits, axis=-1)
+        self.grads["w_gate"] += cache["x"].T @ d_logits
+        return d_logits @ self.params["w_gate"].T
+
+
+class XMoEGate(GateBase):
+    """X-MoE cosine gate: low-rank projection, L2 norm, temperature.
+
+    ``s_e = cos(W_proj x, w_e) / tau``; combine weights are the softmax of
+    the selected scores.  Forward-only (the paper's throughput experiments
+    never differentiate routing scores of X-MoE either).
+    """
+
+    def __init__(
+        self,
+        embed_dim: int,
+        num_experts: int,
+        top_k: int = 2,
+        *,
+        low_rank_dim: int = 64,
+        temperature: float = 0.07,
+        seed: int = 0,
+    ) -> None:
+        super().__init__(embed_dim, num_experts, top_k)
+        if low_rank_dim <= 0:
+            raise ShapeError(f"low_rank_dim must be positive, got {low_rank_dim}")
+        rng = np.random.default_rng(seed)
+        self.low_rank_dim = low_rank_dim
+        self.temperature = temperature
+        self.params["w_proj"] = rng.normal(
+            0.0, 1.0 / np.sqrt(embed_dim), (embed_dim, low_rank_dim)
+        )
+        self.params["expert_emb"] = rng.normal(
+            0.0, 1.0 / np.sqrt(low_rank_dim), (num_experts, low_rank_dim)
+        )
+        self.zero_grad()
+
+    def assign(self, x: np.ndarray, capacity: int) -> Assignment:
+        """Route ``x`` (S, M) by cosine similarity in the low-rank space."""
+        proj = l2_normalize(x @ self.params["w_proj"], axis=-1)
+        emb = l2_normalize(self.params["expert_emb"], axis=-1)
+        logits = (proj @ emb.T) / self.temperature
+        top_vals, top_idx = top_k(logits, self.top_k)
+        weights = softmax(top_vals, axis=-1)
+        token_ids, slot_weights, dropped, _ = capacity_assign(
+            top_idx, weights, self.num_experts, capacity
+        )
+        scores = softmax(logits, axis=-1)
+        return Assignment(
+            token_ids=token_ids,
+            weights=slot_weights,
+            scores=scores,
+            aux_loss=load_balancing_loss(scores, top_idx, self.num_experts),
+            dropped=dropped,
+        )
+
+
+class ExpertChoiceGate(GateBase):
+    """Expert-choice routing: every expert picks its own top tokens (EC).
+
+    ``G = softmax(KeepTopK((x W_g)^T, capacity))`` -- the top-k runs along
+    the *token* axis, so every expert is filled exactly to capacity and no
+    load balancing loss is needed.  Tokens may be chosen by several experts
+    or by none.
+    """
+
+    def __init__(
+        self, embed_dim: int, num_experts: int, top_k: int = 2, *, seed: int = 0
+    ) -> None:
+        super().__init__(embed_dim, num_experts, top_k)
+        rng = np.random.default_rng(seed)
+        self.params["w_gate"] = rng.normal(
+            0.0, 1.0 / np.sqrt(embed_dim), (embed_dim, num_experts)
+        )
+        self.zero_grad()
+
+    def assign(self, x: np.ndarray, capacity: int) -> Assignment:
+        """Each expert selects its ``capacity`` highest-scoring tokens."""
+        s = x.shape[0]
+        cap = min(capacity, s)
+        logits = x @ self.params["w_gate"]  # (S, E)
+        vals, idx = top_k(logits.T, cap)  # per expert along tokens
+        weights = softmax(vals, axis=-1)
+
+        token_ids = np.full((self.num_experts, capacity), -1, dtype=np.int64)
+        slot_weights = np.zeros((self.num_experts, capacity))
+        token_ids[:, :cap] = idx
+        slot_weights[:, :cap] = weights
+
+        chosen = np.zeros(s, dtype=bool)
+        chosen[idx.reshape(-1)] = True
+        scores = softmax(logits, axis=-1)
+        return Assignment(
+            token_ids=token_ids,
+            weights=slot_weights,
+            scores=scores,
+            aux_loss=0.0,
+            dropped=~chosen,
+        )
+
+
+def load_balancing_loss(
+    scores: np.ndarray, top_idx: np.ndarray, num_experts: int
+) -> float:
+    """GShard auxiliary loss ``E * sum_e f_e * P_e``.
+
+    ``f_e`` is the fraction of tokens whose *first* choice is expert ``e``
+    and ``P_e`` the mean routing probability of ``e``.
+    """
+    s = scores.shape[0]
+    if s == 0:
+        return 0.0
+    first = top_idx[:, 0]
+    fractions = np.bincount(first, minlength=num_experts) / s
+    mean_prob = scores.mean(axis=0)
+    return float(num_experts * np.sum(fractions * mean_prob))
+
+
+def build_gate(
+    kind: GateKind,
+    embed_dim: int,
+    num_experts: int,
+    top_k: int = 2,
+    *,
+    seed: int = 0,
+) -> GateBase:
+    """Factory mapping a :class:`GateKind` to a gate instance.
+
+    Raises:
+        ShapeError: for an unknown kind (should be unreachable).
+    """
+    if kind is GateKind.GSHARD:
+        return GShardGate(embed_dim, num_experts, top_k, seed=seed)
+    if kind is GateKind.SIGMOID:
+        return SigmoidGate(embed_dim, num_experts, top_k, seed=seed)
+    if kind is GateKind.XMOE:
+        return XMoEGate(embed_dim, num_experts, top_k, seed=seed)
+    if kind is GateKind.EXPERT_CHOICE:
+        return ExpertChoiceGate(embed_dim, num_experts, top_k, seed=seed)
+    raise ShapeError(f"unknown gate kind {kind!r}")

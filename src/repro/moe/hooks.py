@@ -1,0 +1,50 @@
+"""Hook plumbing for non-invasive MoE customization (paper §3.1)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from .interfaces import CallbackBase
+
+#: hook sites in layer-execution order.
+HOOK_ORDER = (
+    "before_moe_start",
+    "before_dispatch",
+    "after_dispatch",
+    "before_combine",
+    "after_combine",
+    "before_moe_end",
+)
+
+
+@dataclass
+class HookContext:
+    """Mutable scratch space shared by all hooks of one layer invocation.
+
+    Attributes:
+        layer_name: owning layer's label.
+        phase: ``"forward"`` (hooks only run in forward).
+        storage: free-form dict for hook pairs to communicate (e.g. a
+            compressor stashing scale factors for its decompressor).
+    """
+
+    layer_name: str
+    phase: str = "forward"
+    storage: dict[str, Any] = field(default_factory=dict)
+
+
+class HookRunner:
+    """Applies every registered callback at a hook site, in order."""
+
+    def __init__(self, callbacks: tuple[CallbackBase, ...]) -> None:
+        self.callbacks = callbacks
+
+    def run(self, site: str, x: np.ndarray, ctx: HookContext) -> np.ndarray:
+        """Thread ``x`` through all callbacks' ``<site>_hook`` methods."""
+        for callback in self.callbacks:
+            hook = getattr(callback, f"{site}_hook")
+            x = hook(x, ctx)
+        return x

@@ -1,0 +1,235 @@
+"""Abstract interfaces of the six MoE sub-modules and the hook base.
+
+Mirrors the paper's Listing 1: users implement custom components by
+inheriting these bases; the scheduler and :class:`~repro.moe.layer.MOELayer`
+only ever talk to the interfaces.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ShapeError
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """Expert-major routing decision produced by a gate.
+
+    ``token_ids[e, t]`` is the source-token index filling slot ``t`` of
+    expert ``e`` (or -1 for an empty slot); ``weights[e, t]`` the combine
+    coefficient applied to that expert's output for that token.
+
+    Attributes:
+        token_ids: int array of shape (E, T).
+        weights: float array of shape (E, T).
+        scores: full (S, E) post-activation score matrix (for aux losses
+            and tests).
+        aux_loss: scalar load-balancing penalty (0 when undefined).
+        dropped: bool mask of shape (S,) -- tokens that found no slot in
+            any selected expert.
+    """
+
+    token_ids: np.ndarray
+    weights: np.ndarray
+    scores: np.ndarray
+    aux_loss: float
+    dropped: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.token_ids.shape != self.weights.shape:
+            raise ShapeError(
+                f"token_ids {self.token_ids.shape} and weights "
+                f"{self.weights.shape} must match"
+            )
+        if self.token_ids.ndim != 2:
+            raise ShapeError(
+                f"expected (E, T) assignment, got shape {self.token_ids.shape}"
+            )
+
+    @property
+    def num_experts(self) -> int:
+        """Number of experts ``E``."""
+        return self.token_ids.shape[0]
+
+    @property
+    def capacity(self) -> int:
+        """Slots per expert ``T``."""
+        return self.token_ids.shape[1]
+
+
+class GateBase(abc.ABC):
+    """Routing function: decides which tokens each expert processes.
+
+    Concrete gates own their trainable parameters (numpy arrays in
+    ``self.params``) and accumulate gradients in ``self.grads``.
+    """
+
+    def __init__(self, embed_dim: int, num_experts: int, top_k: int) -> None:
+        if top_k > num_experts:
+            raise ShapeError(
+                f"top_k ({top_k}) cannot exceed num_experts ({num_experts})"
+            )
+        self.embed_dim = embed_dim
+        self.num_experts = num_experts
+        self.top_k = top_k
+        self.params: dict[str, np.ndarray] = {}
+        self.grads: dict[str, np.ndarray] = {}
+
+    @abc.abstractmethod
+    def assign(self, x: np.ndarray, capacity: int) -> Assignment:
+        """Route a (S, M) token batch into an expert-major assignment."""
+
+    def backward_weights(
+        self, x: np.ndarray, assignment: Assignment, d_weights: np.ndarray
+    ) -> np.ndarray:
+        """Backpropagate combine-weight gradients into gate parameters.
+
+        Top-k index selection is non-differentiable (as in real MoE
+        training); only the magnitude path of the selected weights carries
+        gradient.  Gates without an implemented backward return a zero
+        input-gradient, which keeps the layer usable for forward-only
+        studies.
+
+        Args:
+            x: the (S, M) input the assignment was computed from.
+            assignment: the forward routing decision.
+            d_weights: (E, T) gradient of the loss w.r.t.
+                ``assignment.weights``.
+
+        Returns:
+            (S, M) gradient contribution w.r.t. ``x`` through the gate.
+        """
+        del assignment, d_weights
+        return np.zeros_like(x)
+
+    def zero_grad(self) -> None:
+        """Reset accumulated parameter gradients."""
+        for key, value in self.params.items():
+            self.grads[key] = np.zeros_like(value)
+
+
+class OrderBase(abc.ABC):
+    """Data-layout transform: (S, M) tokens <-> (E, T, M) expert buffers."""
+
+    @abc.abstractmethod
+    def forward(self, x: np.ndarray, assignment: Assignment) -> np.ndarray:
+        """Gather tokens into the (E, T, M) dispatch buffer."""
+
+    @abc.abstractmethod
+    def inverse(
+        self, buffer: np.ndarray, assignment: Assignment, seq_len: int
+    ) -> np.ndarray:
+        """Weighted combine of the (E, T, M) buffer back to (S, M)."""
+
+    @abc.abstractmethod
+    def backward_forward(
+        self, d_buffer: np.ndarray, assignment: Assignment, seq_len: int
+    ) -> np.ndarray:
+        """Gradient of :meth:`forward`: scatter d_buffer back to tokens."""
+
+    @abc.abstractmethod
+    def backward_inverse(
+        self, dy: np.ndarray, buffer: np.ndarray, assignment: Assignment
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Gradient of :meth:`inverse`.
+
+        Returns:
+            ``(d_buffer, d_weights)`` with shapes (E, T, M) and (E, T).
+        """
+
+
+class ExpertBase(abc.ABC):
+    """One expert network mapping (T, M) -> (T, M)."""
+
+    def __init__(self) -> None:
+        self.params: dict[str, np.ndarray] = {}
+        self.grads: dict[str, np.ndarray] = {}
+
+    @abc.abstractmethod
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Compute the expert output for a (T, M) slice."""
+
+    @abc.abstractmethod
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        """Backprop through the last forward; accumulates weight grads.
+
+        Returns:
+            (T, M) gradient w.r.t. the expert input.
+        """
+
+    def zero_grad(self) -> None:
+        """Reset accumulated parameter gradients."""
+        for key, value in self.params.items():
+            self.grads[key] = np.zeros_like(value)
+
+    def num_parameters(self) -> int:
+        """Total trainable scalars in this expert."""
+        return sum(p.size for p in self.params.values())
+
+
+class DispatchBase(abc.ABC):
+    """Collective exchange of (E, T, M) buffers across an EP group.
+
+    The dispatcher sees the buffers of *all* ranks of the group (this is an
+    in-process SPMD runtime) and returns the post-exchange buffers, rank by
+    rank.  Combine is the inverse exchange.
+    """
+
+    @abc.abstractmethod
+    def dispatch(self, buffers: list[np.ndarray]) -> list[np.ndarray]:
+        """Token -> expert exchange (AlltoAll dispatch)."""
+
+    @abc.abstractmethod
+    def combine(self, buffers: list[np.ndarray]) -> list[np.ndarray]:
+        """Expert -> token exchange (AlltoAll combine)."""
+
+
+class HookPoint:
+    """Names of the six non-invasive hook sites (paper §3.1)."""
+
+    BEFORE_MOE_START = "before_moe_start"
+    BEFORE_DISPATCH = "before_dispatch"
+    AFTER_DISPATCH = "after_dispatch"
+    BEFORE_COMBINE = "before_combine"
+    AFTER_COMBINE = "after_combine"
+    BEFORE_MOE_END = "before_moe_end"
+
+
+class CallbackBase:
+    """Base class for non-invasive modifications (paper Listing 1).
+
+    Subclasses override any subset of the six hook methods; each receives
+    the tensor flowing through that point plus a mutable
+    :class:`~repro.moe.hooks.HookContext` and returns the (possibly
+    replaced) tensor.  Examples: input reformatting for multimodal data at
+    ``before_moe_start``/``before_moe_end``; compression at
+    ``before_dispatch`` paired with decompression at ``after_dispatch``.
+    """
+
+    def before_moe_start_hook(self, x: np.ndarray, ctx) -> np.ndarray:
+        """Called on the layer input before gating."""
+        return x
+
+    def before_dispatch_hook(self, x: np.ndarray, ctx) -> np.ndarray:
+        """Called on the ordered buffer before the AlltoAll dispatch."""
+        return x
+
+    def after_dispatch_hook(self, x: np.ndarray, ctx) -> np.ndarray:
+        """Called on the received buffer after the AlltoAll dispatch."""
+        return x
+
+    def before_combine_hook(self, x: np.ndarray, ctx) -> np.ndarray:
+        """Called on the expert outputs before the AlltoAll combine."""
+        return x
+
+    def after_combine_hook(self, x: np.ndarray, ctx) -> np.ndarray:
+        """Called on the buffer after the AlltoAll combine."""
+        return x
+
+    def before_moe_end_hook(self, x: np.ndarray, ctx) -> np.ndarray:
+        """Called on the layer output before it is returned."""
+        return x

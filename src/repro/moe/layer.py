@@ -1,0 +1,241 @@
+"""The MOELayer: gate + order + dispatch + experts + combine + hooks.
+
+Functional (numpy) realization of the paper's Listing 2 object.  Single-
+rank by default; pass a :class:`~repro.moe.interfaces.DispatchBase` plus
+peer layers to run true expert parallelism over virtual ranks (see
+:func:`expert_parallel_forward`).
+
+The backward pass covers the differentiable paths of real MoE training:
+expert weights, expert inputs, combine weights (through the gate's
+``backward_weights``) and the layer input.  Top-k index selection is
+non-differentiable, exactly as in GShard/Tutel.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import ShapeError
+from .hooks import HookContext, HookRunner
+from .interfaces import Assignment, CallbackBase, ExpertBase, GateBase, OrderBase
+from .ordering import TutelOrder
+
+
+class MOELayer:
+    """A sparsely-activated MoE feed-forward layer.
+
+    Args:
+        gate: routing function.
+        experts: one :class:`ExpertBase` per expert; length fixes ``E``.
+        order: layout transform (defaults to :class:`TutelOrder`).
+        capacity_factor: the paper's ``f``; ``None`` sizes capacity for
+            the worst case (no token ever dropped).
+        callbacks: non-invasive hooks, applied in registration order.
+        name: label used in hook contexts and errors.
+
+    Raises:
+        ShapeError: when the gate's expert count disagrees with
+            ``len(experts)``.
+    """
+
+    def __init__(
+        self,
+        gate: GateBase,
+        experts: list[ExpertBase],
+        *,
+        order: OrderBase | None = None,
+        capacity_factor: float | None = 1.2,
+        callbacks: tuple[CallbackBase, ...] = (),
+        name: str = "moe",
+    ) -> None:
+        if gate.num_experts != len(experts):
+            raise ShapeError(
+                f"gate routes to {gate.num_experts} experts but "
+                f"{len(experts)} expert modules were given"
+            )
+        self.gate = gate
+        self.experts = experts
+        self.order = order if order is not None else TutelOrder()
+        self.capacity_factor = capacity_factor
+        self.hooks = HookRunner(callbacks)
+        self.name = name
+        self._cache: dict[str, object] = {}
+
+    # -- helpers -------------------------------------------------------------
+
+    @property
+    def num_experts(self) -> int:
+        """Number of experts ``E``."""
+        return len(self.experts)
+
+    def capacity(self, num_tokens: int) -> int:
+        """Slots per expert ``T = ceil(k * f * S / E)`` (paper §2.1)."""
+        if self.capacity_factor is None:
+            return num_tokens  # worst case: one expert takes everything
+        return max(
+            1,
+            math.ceil(
+                self.gate.top_k
+                * self.capacity_factor
+                * num_tokens
+                / self.num_experts
+            ),
+        )
+
+    def _flatten(self, x: np.ndarray) -> tuple[np.ndarray, tuple[int, ...]]:
+        if x.ndim == 3:
+            b, l, m = x.shape
+            return x.reshape(b * l, m), (b, l, m)
+        if x.ndim == 2:
+            return x, x.shape
+        raise ShapeError(f"expected (B, L, M) or (S, M) input, got {x.shape}")
+
+    # -- forward ---------------------------------------------------------------
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Run the full gate -> order -> experts -> combine pipeline.
+
+        Accepts (B, L, M) or (S, M); returns the same shape.  Dropped
+        tokens yield zero (the transformer's residual connection carries
+        them through unchanged, as in GShard).
+        """
+        flat, shape = self._flatten(x)
+        ctx = HookContext(layer_name=self.name)
+        flat = self.hooks.run("before_moe_start", flat, ctx)
+
+        assignment = self.gate.assign(flat, self.capacity(flat.shape[0]))
+        buffer = self.order.forward(flat, assignment)
+        buffer = self.hooks.run("before_dispatch", buffer, ctx)
+        # Single-rank execution: dispatch/combine are identity exchanges.
+        buffer = self.hooks.run("after_dispatch", buffer, ctx)
+
+        outputs = np.empty_like(buffer)
+        for e, expert in enumerate(self.experts):
+            outputs[e] = expert.forward(buffer[e])
+        outputs = self.hooks.run("before_combine", outputs, ctx)
+        outputs = self.hooks.run("after_combine", outputs, ctx)
+
+        y = self.order.inverse(outputs, assignment, flat.shape[0])
+        y = self.hooks.run("before_moe_end", y, ctx)
+
+        self._cache = {
+            "x": flat,
+            "assignment": assignment,
+            "buffer": buffer,
+            "outputs": outputs,
+            "shape": shape,
+        }
+        return y.reshape(shape)
+
+    # -- backward ----------------------------------------------------------------
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        """Backprop through the cached forward.
+
+        Accumulates gradients into every expert's ``grads`` and the gate's
+        ``grads``; returns the gradient w.r.t. the layer input, same shape
+        as ``dy``.
+
+        Raises:
+            ShapeError: if called before :meth:`forward`.
+        """
+        if not self._cache:
+            raise ShapeError("backward called before forward")
+        flat_dy = dy.reshape(-1, dy.shape[-1])
+        assignment: Assignment = self._cache["assignment"]  # type: ignore[assignment]
+        buffer: np.ndarray = self._cache["buffer"]  # type: ignore[assignment]
+        outputs: np.ndarray = self._cache["outputs"]  # type: ignore[assignment]
+        x: np.ndarray = self._cache["x"]  # type: ignore[assignment]
+
+        d_outputs, d_weights = self.order.backward_inverse(
+            flat_dy, outputs, assignment
+        )
+        d_buffer = np.empty_like(buffer)
+        for e, expert in enumerate(self.experts):
+            d_buffer[e] = expert.backward(d_outputs[e])
+
+        dx = self.order.backward_forward(d_buffer, assignment, x.shape[0])
+        dx = dx + self.gate.backward_weights(x, assignment, d_weights)
+        return dx.reshape(dy.shape)
+
+    def zero_grad(self) -> None:
+        """Reset all expert and gate gradients."""
+        self.gate.zero_grad()
+        for expert in self.experts:
+            expert.zero_grad()
+
+    @property
+    def aux_loss(self) -> float:
+        """Load-balancing loss of the last forward (0 before any call)."""
+        if not self._cache:
+            return 0.0
+        assignment: Assignment = self._cache["assignment"]  # type: ignore[assignment]
+        return assignment.aux_loss
+
+
+def expert_parallel_forward(
+    layers: list[MOELayer],
+    inputs: list[np.ndarray],
+    dispatcher,
+) -> list[np.ndarray]:
+    """Run one MoE layer per virtual rank with true EP dispatch/combine.
+
+    Each rank routes its own tokens with its own gate, the dispatcher
+    exchanges the (E, T, M) buffers so that rank ``i`` computes only its
+    local experts' slice for *all* ranks' tokens, and the combine exchange
+    returns the outputs.  The test suite checks this equals every rank
+    running all experts locally.
+
+    Args:
+        layers: one :class:`MOELayer` per rank.  All ranks must host the
+            same gate/expert shapes; rank ``i`` owns experts
+            ``[i*E/W, (i+1)*E/W)`` and its local expert list must match.
+        inputs: one (S, M) batch per rank.
+        dispatcher: a :class:`~repro.moe.interfaces.DispatchBase` for the
+            EP group.
+
+    Returns:
+        One (S, M) output per rank.
+
+    Raises:
+        ShapeError: on mismatched rank counts or uneven expert division.
+    """
+    world = len(layers)
+    if len(inputs) != world:
+        raise ShapeError(
+            f"{world} layers but {len(inputs)} rank inputs were given"
+        )
+    num_experts = layers[0].num_experts
+    if num_experts % world != 0:
+        raise ShapeError(
+            f"{num_experts} experts not divisible over {world} ranks"
+        )
+    local = num_experts // world
+
+    assignments = []
+    buffers = []
+    for layer, x in zip(layers, inputs):
+        assignment = layer.gate.assign(x, layer.capacity(x.shape[0]))
+        assignments.append(assignment)
+        buffers.append(layer.order.forward(x, assignment))
+
+    received = dispatcher.dispatch(buffers)
+    computed = []
+    for rank, (layer, buf) in enumerate(zip(layers, received)):
+        # buf rows are (world * local) expert slices: for each source rank,
+        # this rank's local experts.
+        out = np.empty_like(buf)
+        slices = np.split(buf, world, axis=0)
+        for src, chunk in enumerate(slices):
+            for j in range(local):
+                expert = layer.experts[rank * local + j]
+                out[src * local + j] = expert.forward(chunk[j])
+        computed.append(out)
+
+    returned = dispatcher.combine(computed)
+    outputs = []
+    for layer, assignment, buf, x in zip(layers, assignments, returned, inputs):
+        outputs.append(layer.order.inverse(buf, assignment, x.shape[0]))
+    return outputs

@@ -1,0 +1,119 @@
+"""The two pre-implemented ordering functions (paper §2.1 / §3.1).
+
+Both transform a (S, M) token batch into the (E, T, M) dispatch layout and
+back.  They are *algorithmically* different but *numerically* identical
+(a property the test suite checks):
+
+* :class:`GShardOrder` -- dense one-hot algebra (einsum + matmul), as in
+  the original GShard implementation;
+* :class:`TutelOrder` -- index-arithmetic gather/scatter, mirroring
+  Tutel's SIMT-efficient sparse kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from .functional import one_hot
+from .interfaces import Assignment, OrderBase
+
+
+def _check_buffer(buffer: np.ndarray, assignment: Assignment) -> None:
+    e, t = assignment.token_ids.shape
+    if buffer.ndim != 3 or buffer.shape[:2] != (e, t):
+        raise ShapeError(
+            f"buffer shape {buffer.shape} incompatible with assignment "
+            f"({e}, {t}, M)"
+        )
+
+
+class GShardOrder(OrderBase):
+    """Dense one-hot ordering (einsum formulation).
+
+    Builds the (E, T, S) dispatch tensor explicitly; O(E*T*S) memory, so
+    suited to validation-scale problems -- which is exactly how the
+    original GShard lowering behaves before XLA fusion.
+    """
+
+    def _location_tensor(self, assignment: Assignment, seq_len: int) -> np.ndarray:
+        """(E, T, S) one-hot: slot (e, t) holds token s."""
+        return one_hot(assignment.token_ids, seq_len)
+
+    def forward(self, x: np.ndarray, assignment: Assignment) -> np.ndarray:
+        """Gather: ``buffer = einsum('ets,sm->etm', loc, x)``."""
+        loc = self._location_tensor(assignment, x.shape[0])
+        return np.einsum("ets,sm->etm", loc, x)
+
+    def inverse(
+        self, buffer: np.ndarray, assignment: Assignment, seq_len: int
+    ) -> np.ndarray:
+        """Weighted combine: ``y = einsum('ets,et,etm->sm', ...)``."""
+        _check_buffer(buffer, assignment)
+        loc = self._location_tensor(assignment, seq_len)
+        return np.einsum("ets,et,etm->sm", loc, assignment.weights, buffer)
+
+    def backward_forward(
+        self, d_buffer: np.ndarray, assignment: Assignment, seq_len: int
+    ) -> np.ndarray:
+        """d(forward)/dx: transpose of the gather."""
+        _check_buffer(d_buffer, assignment)
+        loc = self._location_tensor(assignment, seq_len)
+        return np.einsum("ets,etm->sm", loc, d_buffer)
+
+    def backward_inverse(
+        self, dy: np.ndarray, buffer: np.ndarray, assignment: Assignment
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """d(inverse)/d(buffer, weights)."""
+        _check_buffer(buffer, assignment)
+        loc = self._location_tensor(assignment, dy.shape[0])
+        d_buffer = np.einsum("ets,et,sm->etm", loc, assignment.weights, dy)
+        d_weights = np.einsum("ets,etm,sm->et", loc, buffer, dy)
+        return d_buffer, d_weights
+
+
+class TutelOrder(OrderBase):
+    """Sparse index-arithmetic ordering (Tutel's fast dispatch)."""
+
+    def forward(self, x: np.ndarray, assignment: Assignment) -> np.ndarray:
+        """Gather rows; empty slots (-1) stay zero."""
+        e, t = assignment.token_ids.shape
+        buffer = np.zeros((e, t, x.shape[1]), dtype=x.dtype)
+        valid = assignment.token_ids >= 0
+        buffer[valid] = x[assignment.token_ids[valid]]
+        return buffer
+
+    def inverse(
+        self, buffer: np.ndarray, assignment: Assignment, seq_len: int
+    ) -> np.ndarray:
+        """Weighted scatter-add back to token rows."""
+        _check_buffer(buffer, assignment)
+        y = np.zeros((seq_len, buffer.shape[2]), dtype=buffer.dtype)
+        valid = assignment.token_ids >= 0
+        contributions = assignment.weights[valid][:, None] * buffer[valid]
+        np.add.at(y, assignment.token_ids[valid], contributions)
+        return y
+
+    def backward_forward(
+        self, d_buffer: np.ndarray, assignment: Assignment, seq_len: int
+    ) -> np.ndarray:
+        """Scatter-add slot gradients back to token gradients."""
+        _check_buffer(d_buffer, assignment)
+        dx = np.zeros((seq_len, d_buffer.shape[2]), dtype=d_buffer.dtype)
+        valid = assignment.token_ids >= 0
+        np.add.at(dx, assignment.token_ids[valid], d_buffer[valid])
+        return dx
+
+    def backward_inverse(
+        self, dy: np.ndarray, buffer: np.ndarray, assignment: Assignment
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Gather output gradients into slot and weight gradients."""
+        _check_buffer(buffer, assignment)
+        e, t = assignment.token_ids.shape
+        d_buffer = np.zeros_like(buffer)
+        d_weights = np.zeros((e, t), dtype=buffer.dtype)
+        valid = assignment.token_ids >= 0
+        dy_rows = dy[assignment.token_ids[valid]]
+        d_buffer[valid] = assignment.weights[valid][:, None] * dy_rows
+        d_weights[valid] = np.sum(buffer[valid] * dy_rows, axis=-1)
+        return d_buffer, d_weights

@@ -1,0 +1,155 @@
+"""SoftMoE routing (Puigcerver et al.), the paper's fourth gate family.
+
+Unlike the hard top-k gates, SoftMoE computes *dense* convex mixtures:
+every expert slot receives a softmax-weighted average of all tokens
+(dispatch), and every token receives a softmax-weighted average of all
+slot outputs (combine).  There is no token dropping and the whole layer
+is differentiable, which is why the paper lists it among the gate
+families a flexible system must host (§3.1).
+
+Shapes: tokens ``X (S, M)``, per-expert slots ``p``, slot logits
+``L = X @ Phi`` with ``Phi (M, E*p)``:
+
+* dispatch weights ``D = softmax_S(L)``  (column-wise over tokens),
+  slot inputs ``\tilde X = D^T X``                      -> (E*p, M)
+* expert ``e`` processes its ``p`` slots;
+* combine weights ``C = softmax_{E*p}(L)`` (row-wise over slots),
+  outputs ``Y = C @ slot_outputs``                      -> (S, M)
+
+The backward pass is exact (manual matrix calculus) and finite-difference
+checked in the test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+from .functional import softmax, softmax_backward
+from .interfaces import ExpertBase
+
+
+class SoftMoELayer:
+    """A fully-differentiable soft mixture-of-experts layer.
+
+    Args:
+        phi: slot-logit projection, shape (M, E * slots_per_expert).
+        experts: one :class:`ExpertBase` per expert.
+        slots_per_expert: ``p``; total slots = ``E * p``.
+
+    Raises:
+        ShapeError: when ``phi``'s width disagrees with the slot count.
+    """
+
+    def __init__(
+        self,
+        experts: list[ExpertBase],
+        embed_dim: int,
+        slots_per_expert: int = 1,
+        *,
+        seed: int = 0,
+    ) -> None:
+        if slots_per_expert <= 0:
+            raise ShapeError(
+                f"slots_per_expert must be positive, got {slots_per_expert}"
+            )
+        if not experts:
+            raise ShapeError("SoftMoELayer needs at least one expert")
+        rng = np.random.default_rng(seed)
+        self.experts = experts
+        self.embed_dim = embed_dim
+        self.slots_per_expert = slots_per_expert
+        total_slots = len(experts) * slots_per_expert
+        self.params: dict[str, np.ndarray] = {
+            "phi": rng.normal(0.0, embed_dim**-0.5, (embed_dim, total_slots))
+        }
+        self.grads: dict[str, np.ndarray] = {}
+        self.zero_grad()
+        self._cache: dict[str, np.ndarray] = {}
+
+    @property
+    def num_experts(self) -> int:
+        """Number of experts ``E``."""
+        return len(self.experts)
+
+    @property
+    def total_slots(self) -> int:
+        """Total slot count ``E * p``."""
+        return self.num_experts * self.slots_per_expert
+
+    def zero_grad(self) -> None:
+        """Reset phi and expert gradients."""
+        self.grads["phi"] = np.zeros_like(self.params["phi"])
+        for expert in self.experts:
+            expert.zero_grad()
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Soft-dispatch, expert-compute, soft-combine a (S, M) batch.
+
+        Raises:
+            ShapeError: on a non-(S, M) input.
+        """
+        if x.ndim != 2 or x.shape[1] != self.embed_dim:
+            raise ShapeError(
+                f"expected (S, {self.embed_dim}) input, got {x.shape}"
+            )
+        logits = x @ self.params["phi"]  # (S, slots)
+        dispatch = softmax(logits, axis=0)  # over tokens, per slot
+        combine = softmax(logits, axis=1)  # over slots, per token
+
+        slot_inputs = dispatch.T @ x  # (slots, M)
+        slot_outputs = np.empty_like(slot_inputs)
+        p = self.slots_per_expert
+        for e, expert in enumerate(self.experts):
+            slot_outputs[e * p : (e + 1) * p] = expert.forward(
+                slot_inputs[e * p : (e + 1) * p]
+            )
+        y = combine @ slot_outputs  # (S, M)
+
+        self._cache = {
+            "x": x,
+            "logits": logits,
+            "dispatch": dispatch,
+            "combine": combine,
+            "slot_inputs": slot_inputs,
+            "slot_outputs": slot_outputs,
+        }
+        return y
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        """Exact backward pass; accumulates phi and expert gradients.
+
+        Raises:
+            ShapeError: if called before :meth:`forward`.
+        """
+        if not self._cache:
+            raise ShapeError("backward called before forward")
+        cache = self._cache
+        x = cache["x"]
+        dispatch = cache["dispatch"]
+        combine = cache["combine"]
+        slot_outputs = cache["slot_outputs"]
+
+        # y = combine @ slot_outputs
+        d_combine = dy @ slot_outputs.T  # (S, slots)
+        d_slot_outputs = combine.T @ dy  # (slots, M)
+
+        # experts (slot-block diagonal)
+        p = self.slots_per_expert
+        d_slot_inputs = np.empty_like(d_slot_outputs)
+        for e, expert in enumerate(self.experts):
+            d_slot_inputs[e * p : (e + 1) * p] = expert.backward(
+                d_slot_outputs[e * p : (e + 1) * p]
+            )
+
+        # slot_inputs = dispatch^T @ x
+        d_dispatch = x @ d_slot_inputs.T  # (S, slots)
+        dx = dispatch @ d_slot_inputs  # (S, M)
+
+        # softmaxes share the logits
+        d_logits = softmax_backward(dispatch, d_dispatch, axis=0)
+        d_logits += softmax_backward(combine, d_combine, axis=1)
+
+        self.grads["phi"] += x.T @ d_logits
+        dx += d_logits @ self.params["phi"].T
+        return dx

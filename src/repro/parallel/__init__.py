@@ -1,0 +1,49 @@
+"""Simulated cluster substrate: topology, process groups, collective costs.
+
+This package replaces the paper's physical testbeds (Table 3).  It provides
+
+* :mod:`~repro.parallel.topology` -- GPU/node/cluster specifications with
+  intra-node (NVLink/PCIe) and inter-node (InfiniBand) links, including
+  presets for the paper's Testbed A and Testbed B;
+* :mod:`~repro.parallel.groups` -- DP/MP/EP/ESP/PP process-group layout and
+  rank mapping (paper Fig. 2);
+* :mod:`~repro.parallel.collectives` -- analytical cost models for ring
+  AllReduce/AllGather/ReduceScatter and three AlltoAll algorithms;
+* :mod:`~repro.parallel.volumes` -- per-GPU message sizes and FLOP counts
+  for every operation in a transformer-MoE layer.
+"""
+
+from .topology import (
+    GPUSpec,
+    LinkSpec,
+    NodeSpec,
+    ClusterSpec,
+    testbed_a,
+    testbed_b,
+    TESTBEDS,
+)
+from .groups import GroupLayout, build_group_layout
+from .collectives import (
+    CollectiveKind,
+    CollectiveCostModel,
+    A2AAlgorithm,
+)
+from .volumes import LayerVolumes, compute_layer_volumes, nodrop_capacity_factor
+
+__all__ = [
+    "GPUSpec",
+    "LinkSpec",
+    "NodeSpec",
+    "ClusterSpec",
+    "testbed_a",
+    "testbed_b",
+    "TESTBEDS",
+    "GroupLayout",
+    "build_group_layout",
+    "CollectiveKind",
+    "CollectiveCostModel",
+    "A2AAlgorithm",
+    "LayerVolumes",
+    "compute_layer_volumes",
+    "nodrop_capacity_factor",
+]

@@ -1,0 +1,190 @@
+"""Analytical cost models for the collectives used by MoE training.
+
+These are the *ground truth* of the simulated cluster: every operation the
+discrete-event executor runs gets its duration from here.  FSMoE's online
+profiler (:mod:`repro.core.profiler`) then re-measures these costs like
+``nccl-tests`` would and fits the paper's linear models -- the scheduler
+never reads this module directly.
+
+Cost conventions (standard ring-algorithm accounting, all per operation):
+
+* AllGather / ReduceScatter over N ranks, shard of ``n`` bytes per rank:
+  ``t = a + (N-1) * n / BW``
+* AllReduce over N ranks, buffer of ``n`` bytes: ``t = 2a + 2 n (N-1)/(N BW)``
+* AlltoAll over N ranks, local buffer of ``n`` bytes:
+  direct (NCCL): ``t = a + n (N-1)/(N BW)``; the hierarchical 1DH/2DH
+  variants trade extra intra-node phases for fewer inter-node startups.
+
+Inter-node bandwidth is shared: in the standard layout all ``g`` GPUs of a
+node run their EP AlltoAll (or their DP Gradient-AllReduce) concurrently
+through the node's single NIC, so each GPU sees ``BW_inter / g``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import TopologyError
+from .topology import ClusterSpec, LinkSpec
+
+
+class CollectiveKind(enum.Enum):
+    """The five communication primitives of a DP+MP+EP+ESP MoE layer."""
+
+    ALLTOALL = "alltoall"
+    ALLGATHER = "allgather"
+    REDUCESCATTER = "reducescatter"
+    ALLREDUCE = "allreduce"
+
+
+class A2AAlgorithm(enum.Enum):
+    """AlltoAll algorithm choices pre-implemented by FSMoE (paper §3.1)."""
+
+    NCCL = "nccl"  # direct pairwise exchange (NCCL default)
+    HIER_1D = "1dh"  # Hetu's 1D hierarchical algorithm
+    HIER_2D = "2dh"  # Tutel / DeepSpeed-MoE 2D hierarchical algorithm
+
+
+def _ring_phase_ms(link: LinkSpec, moved_bytes: float) -> float:
+    """One ring phase moving ``moved_bytes`` per rank over ``link``."""
+    if moved_bytes <= 0:
+        return 0.0
+    return link.startup_ms + moved_bytes / link.bandwidth_bytes_per_ms
+
+
+@dataclass(frozen=True)
+class CollectiveCostModel:
+    """Cost oracle for one cluster under the standard MoE layout.
+
+    Attributes:
+        cluster: hardware description.
+        nic_concurrency: GPUs per node sharing the NIC simultaneously
+            (defaults to all of them, matching the standard layout where
+            every GPU participates in an inter-node collective at once).
+    """
+
+    cluster: ClusterSpec
+    nic_concurrency: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.nic_concurrency is not None and self.nic_concurrency <= 0:
+            raise TopologyError(
+                f"nic_concurrency must be positive, got {self.nic_concurrency}"
+            )
+
+    # -- effective links --------------------------------------------------
+
+    @property
+    def _nic_share(self) -> int:
+        if self.nic_concurrency is not None:
+            return self.nic_concurrency
+        return self.cluster.gpus_per_node
+
+    @property
+    def inter_link(self) -> LinkSpec:
+        """Per-GPU share of the node NIC."""
+        raw = self.cluster.inter_link
+        return LinkSpec(
+            name=raw.name,
+            bandwidth_bytes_per_ms=raw.bandwidth_bytes_per_ms / self._nic_share,
+            startup_ms=raw.startup_ms,
+        )
+
+    @property
+    def intra_link(self) -> LinkSpec:
+        """Intra-node fabric (NVLink or PCIe)."""
+        return self.cluster.node.intra_link
+
+    # -- intra-node collectives (MP / ESP) ---------------------------------
+
+    def allgather_ms(self, shard_bytes: float, group_size: int) -> float:
+        """Intra-node ring AllGather of one ``shard_bytes`` shard per rank."""
+        if group_size <= 1 or shard_bytes <= 0:
+            return 0.0
+        return _ring_phase_ms(self.intra_link, (group_size - 1) * shard_bytes)
+
+    def reducescatter_ms(self, shard_bytes: float, group_size: int) -> float:
+        """Intra-node ring ReduceScatter producing one shard per rank."""
+        if group_size <= 1 or shard_bytes <= 0:
+            return 0.0
+        return _ring_phase_ms(self.intra_link, (group_size - 1) * shard_bytes)
+
+    # -- inter-node collectives (EP / DP) -----------------------------------
+
+    def allreduce_ms(self, buffer_bytes: float, group_size: int) -> float:
+        """Inter-node ring AllReduce of ``buffer_bytes`` per rank."""
+        if group_size <= 1 or buffer_bytes <= 0:
+            return 0.0
+        moved = 2.0 * buffer_bytes * (group_size - 1) / group_size
+        link = self.inter_link
+        bandwidth = (
+            link.bandwidth_bytes_per_ms * self.cluster.allreduce_efficiency
+        )
+        return 2.0 * link.startup_ms + moved / bandwidth
+
+    def alltoall_ms(
+        self,
+        buffer_bytes: float,
+        group_size: int,
+        algorithm: A2AAlgorithm = A2AAlgorithm.NCCL,
+    ) -> float:
+        """Inter-node AlltoAll of a ``buffer_bytes`` local buffer per rank.
+
+        The EP group spans the nodes of a stage (one GPU per node), so every
+        byte that changes rank crosses the NIC.
+
+        Raises:
+            TopologyError: for an unknown algorithm.
+        """
+        if group_size <= 1 or buffer_bytes <= 0:
+            return 0.0
+        cross = buffer_bytes * (group_size - 1) / group_size
+        eff = self.cluster.a2a_efficiency
+        raw = self.inter_link
+        per_peer = self.cluster.a2a_per_peer_ms
+        peers = group_size - 1
+        g = self.cluster.gpus_per_node
+        a2a_bandwidth = raw.bandwidth_bytes_per_ms * eff
+        if algorithm is A2AAlgorithm.NCCL:
+            # direct pairwise exchange: one message per peer.
+            startup = raw.startup_ms + per_peer * peers
+            return startup + cross / a2a_bandwidth
+        if algorithm is A2AAlgorithm.HIER_1D:
+            # Hetu 1DH: the node leader aggregates all g GPUs' traffic into
+            # one message per peer node, dividing the per-peer latencies by
+            # g, at the cost of the intra staging phase.  The leader owns
+            # the whole NIC, so byte time matches the direct algorithm.
+            intra = _ring_phase_ms(self.intra_link, buffer_bytes)
+            startup = raw.startup_ms + per_peer * peers / g
+            # ``raw`` is the per-GPU NIC share; the leader owns the full
+            # NIC but must move the whole node's traffic (g buffers).
+            leader_bandwidth = (
+                raw.bandwidth_bytes_per_ms * self._nic_share * eff
+            )
+            return intra + startup + (cross * g) / leader_bandwidth
+        if algorithm is A2AAlgorithm.HIER_2D:
+            # Tutel/DeepSpeed 2DH: intra-node alignment phase + inter-node
+            # exchange.  Its aggregation win applies to groups spanning
+            # several GPUs per node (full-world AlltoAll); for one-GPU-per-
+            # node EP groups it only pays the staging.
+            intra = _ring_phase_ms(self.intra_link, buffer_bytes)
+            startup = raw.startup_ms + per_peer * peers
+            return intra + startup + cross / a2a_bandwidth
+        raise TopologyError(f"unknown AlltoAll algorithm {algorithm!r}")
+
+    # -- computation --------------------------------------------------------
+
+    def gemm_ms(self, macs: float, num_gemms: int = 1) -> float:
+        """Dense GEMM time: launch overhead per GEMM + MAC throughput term.
+
+        ``macs`` is the total multiply-accumulate count over all
+        ``num_gemms`` kernels (paper §4.1: alpha_exp and beta_exp scale
+        with the number of identical GEMMs).
+        """
+        if macs < 0:
+            raise TopologyError(f"negative MAC count {macs}")
+        if macs == 0:
+            return 0.0
+        gpu = self.cluster.node.gpu
+        return num_gemms * gpu.gemm_launch_ms + macs / gpu.macs_per_ms

@@ -1,0 +1,147 @@
+"""Process-group layout for DP + MP + EP + ESP (+ PP).
+
+Reproduces the placement in the paper's Fig. 2 generalized to arbitrary
+cluster sizes.  Global ranks are numbered node-major::
+
+    rank = node_index * gpus_per_node + local_index
+
+Within one pipeline stage:
+
+* **MP group** and **ESP group** are the GPUs of one node (same set, two
+  roles) -- their collectives are intra-node;
+* **EP group** joins the GPUs with the same local index across the stage's
+  nodes -- its AlltoAll is inter-node;
+* **DP group** (for dense/attention parameters) joins the same-local-index
+  GPUs across nodes as well: each node processes a distinct mini-batch,
+  so dense weights are replicated across nodes and synchronized by the
+  inter-node Gradient-AllReduce.  Expert weights are *not* replicated
+  across EP positions (each node owns different experts), so they only
+  need DP synchronization when ``expert_dp_degree > 1``.
+
+Pipeline parallelism slices the cluster's nodes into ``n_pp`` contiguous
+stages; every stage contains a full DP/MP/EP/ESP layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import ParallelSpec
+from ..errors import TopologyError
+from .topology import ClusterSpec
+
+
+@dataclass(frozen=True)
+class GroupLayout:
+    """Concrete rank assignment of every parallel group on a cluster.
+
+    All group containers are tuples of tuples of global ranks.
+    """
+
+    cluster: ClusterSpec
+    parallel: ParallelSpec
+    mp_groups: tuple[tuple[int, ...], ...]
+    esp_groups: tuple[tuple[int, ...], ...]
+    ep_groups: tuple[tuple[int, ...], ...]
+    dp_groups: tuple[tuple[int, ...], ...]
+    pp_stages: tuple[tuple[int, ...], ...]
+
+    @property
+    def world_size(self) -> int:
+        """Total ranks in the layout."""
+        return self.parallel.world_size
+
+    def groups_of_rank(self, rank: int) -> dict[str, tuple[int, ...]]:
+        """Return the MP/ESP/EP/DP/PP groups containing ``rank``.
+
+        Raises:
+            TopologyError: if the rank does not appear in every group kind
+                (malformed layout) or is out of range.
+        """
+        if not 0 <= rank < self.world_size:
+            raise TopologyError(
+                f"rank {rank} out of range [0, {self.world_size})"
+            )
+        found: dict[str, tuple[int, ...]] = {}
+        for kind, groups in (
+            ("mp", self.mp_groups),
+            ("esp", self.esp_groups),
+            ("ep", self.ep_groups),
+            ("dp", self.dp_groups),
+            ("pp", self.pp_stages),
+        ):
+            for group in groups:
+                if rank in group:
+                    found[kind] = group
+                    break
+            else:
+                raise TopologyError(f"rank {rank} missing from {kind} groups")
+        return found
+
+
+def _check_divisibility(cluster: ClusterSpec, parallel: ParallelSpec) -> None:
+    if parallel.n_mp != cluster.gpus_per_node:
+        raise TopologyError(
+            f"standard layout requires n_mp == gpus_per_node "
+            f"({cluster.gpus_per_node}), got {parallel.n_mp}"
+        )
+    parallel.validate_standard_layout()
+    if cluster.num_nodes % parallel.n_pp != 0:
+        raise TopologyError(
+            f"num_nodes ({cluster.num_nodes}) not divisible by n_pp "
+            f"({parallel.n_pp})"
+        )
+    nodes_per_stage = cluster.num_nodes // parallel.n_pp
+    if parallel.n_ep != nodes_per_stage:
+        raise TopologyError(
+            f"standard layout requires n_ep == nodes per stage "
+            f"({nodes_per_stage}), got {parallel.n_ep}"
+        )
+
+
+def build_group_layout(
+    cluster: ClusterSpec, parallel: ParallelSpec
+) -> GroupLayout:
+    """Materialize the standard layout of ``parallel`` on ``cluster``.
+
+    Raises:
+        TopologyError: if the layout does not match the paper's standard
+            deployment (n_mp == n_esp == gpus/node, n_ep == n_dp ==
+            nodes/stage) or does not divide the cluster evenly.
+    """
+    _check_divisibility(cluster, parallel)
+    g = cluster.gpus_per_node
+    nodes_per_stage = cluster.num_nodes // parallel.n_pp
+
+    mp_groups: list[tuple[int, ...]] = []
+    ep_groups: list[tuple[int, ...]] = []
+    pp_stages: list[tuple[int, ...]] = []
+
+    for stage in range(parallel.n_pp):
+        first_node = stage * nodes_per_stage
+        stage_ranks: list[int] = []
+        for node in range(first_node, first_node + nodes_per_stage):
+            node_ranks = tuple(node * g + local for local in range(g))
+            mp_groups.append(node_ranks)
+            stage_ranks.extend(node_ranks)
+        pp_stages.append(tuple(stage_ranks))
+        for local in range(g):
+            ep_groups.append(
+                tuple(
+                    (first_node + node) * g + local
+                    for node in range(nodes_per_stage)
+                )
+            )
+
+    # ESP groups coincide with MP groups; DP groups coincide with EP groups
+    # (dense weights replicate across a stage's nodes).  They are stored
+    # separately because their collective roles and message volumes differ.
+    return GroupLayout(
+        cluster=cluster,
+        parallel=parallel,
+        mp_groups=tuple(mp_groups),
+        esp_groups=tuple(mp_groups),
+        ep_groups=tuple(ep_groups),
+        dp_groups=tuple(ep_groups),
+        pp_stages=tuple(pp_stages),
+    )

@@ -1,0 +1,171 @@
+"""Per-GPU message volumes and FLOP counts of a transformer-MoE layer.
+
+This module turns a :class:`~repro.config.MoELayerSpec` plus a
+:class:`~repro.config.ParallelSpec` into the ``n_*`` quantities of the
+paper's performance models (Eq. 1): how many bytes each collective moves
+and how many MACs each computation performs, per GPU, per layer, for the
+*un-chunked* input.  Pipelining with degree ``r`` divides every token-
+proportional quantity by ``r`` while the startup terms stay constant,
+exactly as the paper models with ``t = alpha + (n / r) * beta``.
+
+Dataflow being measured (paper Fig. 2)::
+
+    attention -> MP-ReduceScatter -> gate -> order
+        -> AlltoAll dispatch (inter-node)
+        -> ESP-AllGather      (intra-node)
+        -> experts            (compute)
+        -> ESP-ReduceScatter  (intra-node)
+        -> AlltoAll combine   (inter-node)
+        -> MP-AllGather
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..config import (
+    MoELayerSpec,
+    ParallelSpec,
+    experts_per_ep_rank,
+    tokens_per_gpu,
+)
+
+
+def nodrop_capacity_factor(local_tokens: int, num_experts: int, top_k: int) -> float:
+    """Effective capacity factor for the paper's ``f = *`` (no token drop).
+
+    Without dropping, the dispatch buffer must be sized for the *most
+    loaded* expert.  For a roughly uniform router the per-expert load is
+    Multinomial(k*S, 1/E); the expected maximum of E such cells is
+    approximately ``mu + sqrt(2 * mu * ln E)`` (normal approximation), so
+    the effective over-provisioning factor is ``1 + sqrt(2 ln E / mu)``.
+    A ``1/mu`` term guards tiny workloads where the approximation is loose.
+
+    Args:
+        local_tokens: tokens routed by one GPU (``S``).
+        num_experts: number of experts (``E``).
+        top_k: experts per token (``k``).
+
+    Returns:
+        A factor >= 1 to use in place of ``f``.
+    """
+    mean_per_expert = max(1.0, top_k * local_tokens / num_experts)
+    if num_experts <= 1:
+        return 1.0
+    spread = math.sqrt(2.0 * math.log(num_experts) / mean_per_expert)
+    return 1.0 + spread + 1.0 / mean_per_expert
+
+
+def effective_capacity_factor(spec: MoELayerSpec, parallel: ParallelSpec) -> float:
+    """Resolve the spec's capacity factor, expanding ``None`` (no-drop)."""
+    if spec.capacity_factor is not None:
+        return spec.capacity_factor
+    return nodrop_capacity_factor(
+        tokens_per_gpu(spec, parallel), spec.num_experts, spec.top_k
+    )
+
+
+@dataclass(frozen=True)
+class LayerVolumes:
+    """All per-GPU sizes of one transformer-MoE layer (forward direction).
+
+    Sizes are bytes, compute is MACs; backward doubles compute volumes and
+    reuses communication volumes (paper §4.4).
+
+    Attributes:
+        local_tokens: tokens entering the MoE block per GPU (``S``).
+        capacity_per_expert: padded tokens per expert per source GPU
+            (``T = k*f*S/E``, ceil'd).
+        tokens_per_expert: tokens one expert processes after dispatch and
+            ESP-AllGather (``N_EP * N_ESP * T``).
+        a2a_bytes: local AlltoAll buffer per GPU (dispatch == combine).
+        esp_shard_bytes: per-rank shard of the ESP AllGather/ReduceScatter.
+        mp_shard_bytes: per-rank shard of the MP ReduceScatter/AllGather.
+        expert_macs: expert GEMM MACs per GPU (forward).
+        expert_num_gemms: number of GEMM kernels behind ``expert_macs``.
+        attention_macs: attention-block MACs per GPU (forward).
+        gate_macs: routing-function MACs per GPU.
+        order_macs: data-layout (ordering) cost in MAC-equivalents.
+        dense_grad_bytes: gradient bytes per GPU synchronized by the DP
+            Gradient-AllReduce (attention + gate parameters).
+    """
+
+    local_tokens: int
+    capacity_per_expert: int
+    tokens_per_expert: int
+    a2a_bytes: float
+    esp_shard_bytes: float
+    mp_shard_bytes: float
+    expert_macs: float
+    expert_num_gemms: int
+    attention_macs: float
+    gate_macs: float
+    order_macs: float
+    dense_grad_bytes: float
+
+
+def compute_layer_volumes(
+    spec: MoELayerSpec, parallel: ParallelSpec
+) -> LayerVolumes:
+    """Compute every per-GPU volume for ``spec`` laid out as ``parallel``.
+
+    Raises:
+        ConfigError: if experts cannot be evenly divided over EP ranks.
+    """
+    n_local_experts = experts_per_ep_rank(spec, parallel)
+    tokens = tokens_per_gpu(spec, parallel)
+    f = effective_capacity_factor(spec, parallel)
+    elem = spec.dtype_bytes
+    m = spec.embed_dim
+    h = spec.hidden_dim
+
+    capacity = max(1, math.ceil(spec.top_k * f * tokens / spec.num_experts))
+    tokens_per_expert = parallel.n_ep * parallel.n_esp * capacity
+
+    a2a_bytes = float(spec.num_experts * capacity * m * elem)
+    # After dispatch each GPU holds (local experts x N_EP x T) tokens;
+    # the ESP AllGather shares that shard with the node's other GPUs.
+    esp_shard_bytes = float(n_local_experts * parallel.n_ep * capacity * m * elem)
+    # MP ReduceScatter splits the node's (B*L, M) activations over N_MP.
+    mp_shard_bytes = float(spec.tokens_per_worker * m * elem / max(1, parallel.n_mp))
+
+    shard_hidden = h / max(1, parallel.n_esp)
+    num_gemms = spec.num_gemms_per_expert
+    expert_macs = float(
+        n_local_experts * num_gemms * tokens_per_expert * m * shard_hidden
+    )
+
+    # Attention per GPU: QKV (3 M^2) + scores/context (2 L M) + output (M^2)
+    # per token, sharded over MP.
+    attention_macs = float(
+        spec.tokens_per_worker
+        * (4.0 * m * m + 2.0 * spec.seq_len * m)
+        / max(1, parallel.n_mp)
+    )
+
+    gate_macs = float(tokens * m * spec.num_experts)
+    # Ordering is a permutation/scatter of k rows per token; charge one
+    # MAC-equivalent per moved element (it is memory bound and tiny --
+    # Table 2 measures it at <1.5% of the layer).
+    order_macs = float(tokens * spec.top_k * m)
+
+    attn_params = 4.0 * m * m / max(1, parallel.n_mp)
+    gate_params = float(m * spec.num_experts)
+    norm_params = 4.0 * m  # two LayerNorms (scale + bias)
+    dense_grad_bytes = (attn_params + gate_params + norm_params) * elem
+
+    return LayerVolumes(
+        local_tokens=tokens,
+        capacity_per_expert=capacity,
+        tokens_per_expert=tokens_per_expert,
+        a2a_bytes=a2a_bytes,
+        esp_shard_bytes=esp_shard_bytes,
+        mp_shard_bytes=mp_shard_bytes,
+        expert_macs=expert_macs,
+        expert_num_gemms=n_local_experts * num_gemms,
+        attention_macs=attention_macs,
+        gate_macs=gate_macs,
+        order_macs=order_macs,
+        dense_grad_bytes=dense_grad_bytes,
+    )

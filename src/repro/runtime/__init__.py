@@ -1,0 +1,24 @@
+"""In-process SPMD runtime: virtual ranks and data-moving collectives.
+
+The timing side of this library never moves real data; this package is the
+*correctness* substrate.  A :class:`VirtualGroup` holds one numpy array per
+rank and implements the data semantics of the NCCL collectives
+(AllReduce, AllGather, ReduceScatter, AlltoAll), so routing, dispatch and
+expert-sharding logic can be executed and checked for real.
+"""
+
+from .virtual_cluster import (
+    VirtualGroup,
+    all_gather,
+    all_reduce,
+    all_to_all,
+    reduce_scatter,
+)
+
+__all__ = [
+    "VirtualGroup",
+    "all_reduce",
+    "all_gather",
+    "reduce_scatter",
+    "all_to_all",
+]

@@ -1,0 +1,132 @@
+"""Numpy implementations of the data semantics of NCCL collectives.
+
+All functions take and return *lists of arrays*, one entry per rank of the
+participating group.  They satisfy the standard identities, which the test
+suite checks property-based:
+
+* ``all_gather`` then slicing returns each rank's input;
+* ``reduce_scatter`` followed by ``all_gather`` equals ``all_reduce``;
+* ``all_to_all`` applied twice is the identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ShapeError
+
+
+def _check_group(buffers: list[np.ndarray]) -> int:
+    if not buffers:
+        raise ShapeError("collective needs at least one rank buffer")
+    first_shape = buffers[0].shape
+    for i, buf in enumerate(buffers):
+        if buf.shape != first_shape:
+            raise ShapeError(
+                f"rank {i} buffer shape {buf.shape} != rank 0 shape "
+                f"{first_shape}"
+            )
+    return len(buffers)
+
+
+def all_reduce(buffers: list[np.ndarray]) -> list[np.ndarray]:
+    """Sum-AllReduce: every rank receives the elementwise sum."""
+    _check_group(buffers)
+    total = np.sum(np.stack(buffers, axis=0), axis=0)
+    return [total.copy() for _ in buffers]
+
+
+def all_gather(buffers: list[np.ndarray], axis: int = 0) -> list[np.ndarray]:
+    """AllGather: every rank receives the concatenation along ``axis``."""
+    _check_group(buffers)
+    gathered = np.concatenate(buffers, axis=axis)
+    return [gathered.copy() for _ in buffers]
+
+
+def reduce_scatter(buffers: list[np.ndarray], axis: int = 0) -> list[np.ndarray]:
+    """ReduceScatter: sum across ranks, then split along ``axis``.
+
+    Raises:
+        ShapeError: if the axis length is not divisible by the group size.
+    """
+    n = _check_group(buffers)
+    total = np.sum(np.stack(buffers, axis=0), axis=0)
+    if total.shape[axis] % n != 0:
+        raise ShapeError(
+            f"axis {axis} length {total.shape[axis]} not divisible by "
+            f"group size {n}"
+        )
+    return [part.copy() for part in np.split(total, n, axis=axis)]
+
+
+def all_to_all(buffers: list[np.ndarray], axis: int = 0) -> list[np.ndarray]:
+    """AlltoAll: rank ``i`` sends its ``j``-th slice along ``axis`` to ``j``.
+
+    Raises:
+        ShapeError: if the axis length is not divisible by the group size.
+    """
+    n = _check_group(buffers)
+    if buffers[0].shape[axis] % n != 0:
+        raise ShapeError(
+            f"axis {axis} length {buffers[0].shape[axis]} not divisible "
+            f"by group size {n}"
+        )
+    slices = [np.split(buf, n, axis=axis) for buf in buffers]
+    return [
+        np.concatenate([slices[src][dst] for src in range(n)], axis=axis)
+        for dst in range(n)
+    ]
+
+
+@dataclass
+class VirtualGroup:
+    """A named communicator over ``world_size`` in-process ranks.
+
+    Thin object wrapper over the module-level collectives; useful when code
+    wants to carry group size and identity around (mirrors a NCCL
+    communicator handle).
+    """
+
+    world_size: int
+    name: str = "group"
+
+    def __post_init__(self) -> None:
+        if self.world_size <= 0:
+            raise ShapeError(
+                f"world_size must be positive, got {self.world_size}"
+            )
+
+    def _check_membership(self, buffers: list[np.ndarray]) -> None:
+        if len(buffers) != self.world_size:
+            raise ShapeError(
+                f"group {self.name!r} expects {self.world_size} buffers, "
+                f"got {len(buffers)}"
+            )
+
+    def all_reduce(self, buffers: list[np.ndarray]) -> list[np.ndarray]:
+        """Sum-AllReduce across the group."""
+        self._check_membership(buffers)
+        return all_reduce(buffers)
+
+    def all_gather(
+        self, buffers: list[np.ndarray], axis: int = 0
+    ) -> list[np.ndarray]:
+        """AllGather along ``axis`` across the group."""
+        self._check_membership(buffers)
+        return all_gather(buffers, axis=axis)
+
+    def reduce_scatter(
+        self, buffers: list[np.ndarray], axis: int = 0
+    ) -> list[np.ndarray]:
+        """ReduceScatter along ``axis`` across the group."""
+        self._check_membership(buffers)
+        return reduce_scatter(buffers, axis=axis)
+
+    def all_to_all(
+        self, buffers: list[np.ndarray], axis: int = 0
+    ) -> list[np.ndarray]:
+        """AlltoAll along ``axis`` across the group."""
+        self._check_membership(buffers)
+        return all_to_all(buffers, axis=axis)

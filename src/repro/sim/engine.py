@@ -1,0 +1,84 @@
+"""List-scheduling discrete-event engine.
+
+Semantics (mirroring CUDA stream execution):
+
+* each stream runs at most one task at a time, in (priority, insertion)
+  order among the tasks that are *ready* (all dependencies finished);
+* a ready task starts as soon as its stream is free (work-conserving;
+  streams never idle while ready work exists);
+* tasks on different streams run concurrently.
+
+The engine is deterministic: ties break on task id.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from ..errors import ScheduleError
+from .events import TaskGraph
+from .timeline import TaskRecord, Timeline
+
+
+def simulate(graph: TaskGraph) -> Timeline:
+    """Execute ``graph`` and return its :class:`~repro.sim.timeline.Timeline`.
+
+    Raises:
+        ScheduleError: if execution stalls with unfinished tasks (only
+            possible for graphs built outside :class:`TaskGraph.add`'s
+            validation, e.g. after manual mutation).
+    """
+    tasks = graph.tasks
+    if not tasks:
+        return Timeline(records=(), streams=())
+
+    indegree = [len(task.deps) for task in tasks]
+    successors: list[list[int]] = [[] for _ in tasks]
+    for task in tasks:
+        for dep in task.deps:
+            successors[dep].append(task.task_id)
+
+    # Per-stream ready heaps of (priority, task_id).
+    ready: dict[str, list[tuple[int, int]]] = {s: [] for s in graph.streams}
+    for task in tasks:
+        if indegree[task.task_id] == 0:
+            heapq.heappush(ready[task.stream], (task.priority, task.task_id))
+
+    stream_free: dict[str, float] = {s: 0.0 for s in graph.streams}
+    running: list[tuple[float, int]] = []  # (end_time, task_id)
+    records: list[TaskRecord] = []
+    finished = 0
+    now = 0.0
+
+    def start_ready_tasks() -> None:
+        for stream, heap in ready.items():
+            if heap and stream_free[stream] <= now:
+                _, task_id = heapq.heappop(heap)
+                task = tasks[task_id]
+                start = now
+                end = start + task.duration_ms
+                stream_free[stream] = end
+                records.append(TaskRecord(task=task, start_ms=start, end_ms=end))
+                heapq.heappush(running, (end, task_id))
+
+    start_ready_tasks()
+    while finished < len(tasks):
+        if not running:
+            unfinished = [t.name for t in tasks if indegree[t.task_id] >= 0]
+            raise ScheduleError(
+                f"simulation stalled with {len(tasks) - finished} unfinished "
+                f"tasks (first few: {unfinished[:5]})"
+            )
+        now, done_id = heapq.heappop(running)
+        finished += 1
+        indegree[done_id] = -1  # mark complete
+        for succ in successors[done_id]:
+            indegree[succ] -= 1
+            if indegree[succ] == 0:
+                task = tasks[succ]
+                heapq.heappush(ready[task.stream], (task.priority, succ))
+        # A completion both frees a stream and may unblock tasks on others.
+        start_ready_tasks()
+
+    records.sort(key=lambda r: (r.start_ms, r.task.task_id))
+    return Timeline(records=tuple(records), streams=graph.streams)

@@ -1,0 +1,159 @@
+"""Tasks and task graphs consumed by the discrete-event engine."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..errors import ScheduleError
+
+
+class TaskKind(enum.Enum):
+    """Operation categories, matching the paper's Fig. 3 legend."""
+
+    ESP_ALLGATHER = "esp_allgather"  # legend 0
+    ESP_REDUCESCATTER = "esp_reducescatter"  # legend 1
+    A2A_DISPATCH = "a2a_dispatch"  # legend 2
+    A2A_COMBINE = "a2a_combine"  # legend 3
+    EXPERT = "expert"  # legend 4
+    OTHERS = "others"  # legend 5 (attention, gate, order, MP comm)
+    GRAD_ALLREDUCE = "grad_allreduce"  # legend 6
+
+    @property
+    def glyph(self) -> str:
+        """Single character used by the ASCII Gantt renderer."""
+        return {
+            TaskKind.ESP_ALLGATHER: "G",
+            TaskKind.ESP_REDUCESCATTER: "S",
+            TaskKind.A2A_DISPATCH: "D",
+            TaskKind.A2A_COMBINE: "C",
+            TaskKind.EXPERT: "E",
+            TaskKind.OTHERS: "o",
+            TaskKind.GRAD_ALLREDUCE: "R",
+        }[self]
+
+
+#: canonical stream names used by the schedule builders.
+STREAM_COMPUTE = "compute"
+STREAM_INTRA = "intra"
+STREAM_INTER = "inter"
+STREAM_DEFAULT = "default"
+
+
+@dataclass(frozen=True)
+class Task:
+    """One unit of work bound to a stream.
+
+    Attributes:
+        task_id: unique id within its graph (assigned by the graph).
+        name: human-readable label, e.g. ``"bw L3 D(2)"``.
+        kind: operation category (drives Gantt glyphs and per-kind stats).
+        stream: resource this task occupies while running.
+        duration_ms: execution time.
+        deps: ids of tasks that must finish before this one starts.
+        priority: within-stream tie-break; lower runs first.
+    """
+
+    task_id: int
+    name: str
+    kind: TaskKind
+    stream: str
+    duration_ms: float
+    deps: tuple[int, ...] = ()
+    priority: int = 0
+
+
+@dataclass
+class TaskGraph:
+    """A dependency graph of :class:`Task` objects.
+
+    Build with :meth:`add`, which assigns ids and validates dependencies
+    eagerly (referenced tasks must already exist, so graphs are acyclic by
+    construction).
+    """
+
+    tasks: list[Task] = field(default_factory=list)
+
+    def add(
+        self,
+        name: str,
+        kind: TaskKind,
+        stream: str,
+        duration_ms: float,
+        deps: tuple[int, ...] | list[int] = (),
+        priority: int = 0,
+    ) -> int:
+        """Append a task and return its id.
+
+        Raises:
+            ScheduleError: on negative duration or a forward/unknown
+                dependency reference.
+        """
+        if duration_ms < 0:
+            raise ScheduleError(
+                f"task {name!r} has negative duration {duration_ms}"
+            )
+        task_id = len(self.tasks)
+        dep_tuple = tuple(deps)
+        for dep in dep_tuple:
+            if not 0 <= dep < task_id:
+                raise ScheduleError(
+                    f"task {name!r} depends on unknown/future task id {dep}"
+                )
+        self.tasks.append(
+            Task(
+                task_id=task_id,
+                name=name,
+                kind=kind,
+                stream=stream,
+                duration_ms=duration_ms,
+                deps=dep_tuple,
+                priority=priority,
+            )
+        )
+        return task_id
+
+    def merge(self, other: "TaskGraph", deps: tuple[int, ...] = ()) -> dict[int, int]:
+        """Append all tasks of ``other``, offsetting ids.
+
+        Every root of ``other`` (task without dependencies) additionally
+        gains ``deps`` from this graph, which chains sub-graphs in time.
+
+        Returns:
+            Mapping from ``other``'s task ids to the new ids.
+        """
+        mapping: dict[int, int] = {}
+        for task in other.tasks:
+            new_deps = tuple(mapping[d] for d in task.deps)
+            if not new_deps:
+                new_deps = deps
+            mapping[task.task_id] = self.add(
+                name=task.name,
+                kind=task.kind,
+                stream=task.stream,
+                duration_ms=task.duration_ms,
+                deps=new_deps,
+                priority=task.priority,
+            )
+        return mapping
+
+    @property
+    def streams(self) -> tuple[str, ...]:
+        """All stream names referenced by tasks, in first-use order."""
+        seen: dict[str, None] = {}
+        for task in self.tasks:
+            seen.setdefault(task.stream, None)
+        return tuple(seen)
+
+    def total_work_ms(self) -> float:
+        """Sum of all task durations (a lower bound on 1-stream makespan)."""
+        return sum(task.duration_ms for task in self.tasks)
+
+    def sinks(self) -> tuple[int, ...]:
+        """Ids of tasks that nothing depends on."""
+        depended: set[int] = set()
+        for task in self.tasks:
+            depended.update(task.deps)
+        return tuple(
+            task.task_id for task in self.tasks if task.task_id not in depended
+        )

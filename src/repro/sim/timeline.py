@@ -1,0 +1,167 @@
+"""Execution traces: makespan, per-kind/per-stream stats, exports."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from .events import Task, TaskKind
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """One executed task with its realized start/end times."""
+
+    task: Task
+    start_ms: float
+    end_ms: float
+
+    @property
+    def duration_ms(self) -> float:
+        """Realized duration (equals the task's declared duration)."""
+        return self.end_ms - self.start_ms
+
+
+@dataclass(frozen=True)
+class Timeline:
+    """Immutable result of simulating a :class:`~repro.sim.events.TaskGraph`."""
+
+    records: tuple[TaskRecord, ...]
+    streams: tuple[str, ...]
+
+    @property
+    def makespan_ms(self) -> float:
+        """End time of the last task (0 for an empty graph)."""
+        if not self.records:
+            return 0.0
+        return max(record.end_ms for record in self.records)
+
+    def busy_ms(self, stream: str) -> float:
+        """Total busy time of ``stream``."""
+        return sum(
+            record.duration_ms
+            for record in self.records
+            if record.task.stream == stream
+        )
+
+    def utilization(self, stream: str) -> float:
+        """Busy fraction of ``stream`` over the makespan (0 when empty)."""
+        span = self.makespan_ms
+        if span <= 0:
+            return 0.0
+        return self.busy_ms(stream) / span
+
+    def kind_ms(self, kind: TaskKind) -> float:
+        """Total time spent in tasks of ``kind``."""
+        return sum(
+            record.duration_ms
+            for record in self.records
+            if record.task.kind is kind
+        )
+
+    def records_on(self, stream: str) -> tuple[TaskRecord, ...]:
+        """Records executed on ``stream``, in start order."""
+        return tuple(
+            record for record in self.records if record.task.stream == stream
+        )
+
+    def end_of(self, task_id: int) -> float:
+        """Finish time of a specific task.
+
+        Raises:
+            KeyError: if the task never ran.
+        """
+        for record in self.records:
+            if record.task.task_id == task_id:
+                return record.end_ms
+        raise KeyError(f"task id {task_id} not in timeline")
+
+    # -- rendering -----------------------------------------------------------
+
+    def gantt_ascii(self, width: int = 100) -> str:
+        """Render one text row per stream; glyphs follow Fig. 3's legend.
+
+        ``G`` ESP-AllGather, ``S`` ESP-ReduceScatter, ``D`` AlltoAll
+        dispatch, ``C`` AlltoAll combine, ``E`` experts, ``o`` others,
+        ``R`` Gradient-AllReduce, ``.`` idle.
+        """
+        span = self.makespan_ms
+        if span <= 0 or width <= 0:
+            return "(empty timeline)"
+        scale = width / span
+        lines = []
+        label_width = max((len(s) for s in self.streams), default=0)
+        for stream in self.streams:
+            row = ["."] * width
+            for record in self.records_on(stream):
+                lo = int(record.start_ms * scale)
+                hi = max(lo + 1, int(record.end_ms * scale))
+                for col in range(lo, min(hi, width)):
+                    row[col] = record.task.kind.glyph
+            lines.append(f"{stream:<{label_width}} |{''.join(row)}|")
+        lines.append(
+            f"{'':<{label_width}} 0{'-' * (width - 2)}> {span:.3f} ms"
+        )
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        """Multi-line per-stream utilization summary."""
+        lines = [f"makespan: {self.makespan_ms:.3f} ms"]
+        for stream in self.streams:
+            lines.append(
+                f"  {stream}: busy {self.busy_ms(stream):.3f} ms "
+                f"({100.0 * self.utilization(stream):.1f}%)"
+            )
+        return "\n".join(lines)
+
+    # -- exports ---------------------------------------------------------------
+
+    def to_rows(self) -> list[dict[str, object]]:
+        """Flat dict rows (name, kind, stream, start/end/duration in ms).
+
+        Convenient for pandas/CSV post-processing in notebooks.
+        """
+        return [
+            {
+                "task_id": record.task.task_id,
+                "name": record.task.name,
+                "kind": record.task.kind.value,
+                "stream": record.task.stream,
+                "start_ms": record.start_ms,
+                "end_ms": record.end_ms,
+                "duration_ms": record.duration_ms,
+            }
+            for record in self.records
+        ]
+
+    def to_chrome_trace(self) -> str:
+        """Chrome ``about://tracing`` / Perfetto JSON for the timeline.
+
+        Streams map to thread ids; durations are complete ("X") events in
+        microseconds, so a schedule can be inspected interactively.
+        """
+        tid_of = {stream: i for i, stream in enumerate(self.streams)}
+        events = [
+            {
+                "name": stream,
+                "ph": "M",
+                "pid": 0,
+                "tid": tid,
+                "cat": "__metadata",
+                "args": {"name": stream},
+            }
+            for stream, tid in tid_of.items()
+        ]
+        for record in self.records:
+            events.append(
+                {
+                    "name": record.task.name,
+                    "cat": record.task.kind.value,
+                    "ph": "X",
+                    "pid": 0,
+                    "tid": tid_of[record.task.stream],
+                    "ts": record.start_ms * 1000.0,
+                    "dur": record.duration_ms * 1000.0,
+                }
+            )
+        return json.dumps({"traceEvents": events})

@@ -1,0 +1,34 @@
+"""The MoE training systems compared in the paper's evaluation.
+
+=================  =========================================================
+System             Schedule
+=================  =========================================================
+DeepSpeedMoE       sequential default schedule (Fig. 3a), r = 1
+Tutel              PipeMoE adaptive pipelining, 2 streams, GAR exposed
+TutelImproved      Tutel + GAR overlapped with non-MoE backward (Fig. 3b)
+PipeMoELina        Tutel + Lina's fixed 30 MB gradient chunks
+FSMoENoIIO         FSMoE without inter/intra-node comm overlap (2 streams)
+FSMoE              full system (Fig. 3d): 3 streams, per-phase Algorithm 1
+                   degrees, adaptive gradient partitioning
+=================  =========================================================
+"""
+
+from .base import TrainingSystem
+from .dsmoe import DeepSpeedMoE
+from .tutel import Tutel, TutelImproved
+from .lina import PipeMoELina
+from .fsmoe import FSMoE, FSMoENoIIO
+
+#: every system, in the order the paper's figures list them.
+ALL_SYSTEMS = (DeepSpeedMoE, Tutel, TutelImproved, PipeMoELina, FSMoENoIIO, FSMoE)
+
+__all__ = [
+    "TrainingSystem",
+    "DeepSpeedMoE",
+    "Tutel",
+    "TutelImproved",
+    "PipeMoELina",
+    "FSMoENoIIO",
+    "FSMoE",
+    "ALL_SYSTEMS",
+]

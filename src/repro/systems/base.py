@@ -1,0 +1,87 @@
+"""Common interface of all training systems."""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+from ..core.perf_model import PerfModelSet
+from ..core.pipeline_degree import DEFAULT_MAX_DEGREE
+from ..core.schedules import IterationSpec, build_iteration_graph
+from ..models.transformer import LayerProfile
+from ..sim.engine import simulate
+from ..sim.timeline import Timeline
+
+
+class TrainingSystem(abc.ABC):
+    """A scheduling strategy for training a stack of MoE layers.
+
+    Concrete systems translate layer profiles into an
+    :class:`~repro.core.schedules.IterationSpec`; everything else
+    (simulation, phase splitting for pipeline parallelism) is shared.
+    """
+
+    #: display name used in benchmark tables.
+    name: str = "system"
+
+    def __init__(self, r_max: int = DEFAULT_MAX_DEGREE) -> None:
+        self.r_max = r_max
+
+    @abc.abstractmethod
+    def build_iteration_spec(
+        self,
+        profiles: Sequence[LayerProfile],
+        models: PerfModelSet,
+        include_gar: bool = True,
+    ) -> IterationSpec:
+        """Assemble the iteration description for this system.
+
+        Args:
+            profiles: one profile per generalized layer, forward order.
+            models: fitted performance models of the target cluster.
+            include_gar: set False to exclude gradient synchronization
+                (used by the pipeline-parallel model to charge it once).
+        """
+
+    def iteration_time_ms(
+        self,
+        profiles: Sequence[LayerProfile],
+        models: PerfModelSet,
+        *,
+        phase: str = "both",
+        include_gar: bool = True,
+    ) -> float:
+        """Simulated makespan of one iteration (or one phase)."""
+        spec = self.build_iteration_spec(profiles, models, include_gar)
+        return simulate(build_iteration_graph(spec, phase=phase)).makespan_ms
+
+    def timeline(
+        self,
+        profiles: Sequence[LayerProfile],
+        models: PerfModelSet,
+        *,
+        phase: str = "both",
+        include_gar: bool = True,
+    ) -> Timeline:
+        """Full execution trace (for Gantt rendering and inspection)."""
+        spec = self.build_iteration_spec(profiles, models, include_gar)
+        return simulate(build_iteration_graph(spec, phase=phase))
+
+    def phase_times_ms(
+        self, profiles: Sequence[LayerProfile], models: PerfModelSet
+    ) -> tuple[float, float, float]:
+        """(forward, backward-without-GAR, backward-with-GAR) makespans.
+
+        The pipeline-parallel model consumes these to build the GPipe
+        schedule with gradient work charged once at the flush.
+        """
+        fw = self.iteration_time_ms(
+            profiles, models, phase="forward", include_gar=False
+        )
+        bw_no_gar = self.iteration_time_ms(
+            profiles, models, phase="backward", include_gar=False
+        )
+        bw_gar = self.iteration_time_ms(
+            profiles, models, phase="backward", include_gar=True
+        )
+        return fw, bw_no_gar, bw_gar

@@ -1,0 +1,215 @@
+"""FSMoE: the paper's full system, and its No-IIO ablation.
+
+* per-phase pipeline degrees from Algorithm 1 (SLSQP over the four case
+  objectives) -- forward with ``t_gar = 0``, backward with the AllReduce
+  time the partition plan injects;
+* adaptive gradient partitioning (§5): window fill + differential
+  evolution over the residual;
+* three streams (compute / intra-node / inter-node) so ESP collectives
+  overlap AlltoAll (Fig. 3d).
+
+``FSMoENoIIO`` keeps the degrees and the partitioning but serializes
+intra- with inter-node communication on one stream (the paper's
+"FSMoE-No-IIO" ablation, Table 5 and Fig. 6).
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Sequence
+
+from ..core.gradient_partition import (
+    GeneralizedLayer,
+    GradientPartitionPlan,
+    plan_gradient_partition,
+)
+from ..core.perf_model import PerfModelSet
+from ..core.pipeline_degree import find_optimal_pipeline_degree
+from ..core.schedules import (
+    GarMode,
+    IterationSpec,
+    LayerPhaseSchedule,
+    StreamMap,
+    THREE_STREAM,
+    TWO_STREAM,
+    build_iteration_graph,
+)
+from ..models.transformer import LayerProfile
+from ..sim.engine import simulate
+from .base import TrainingSystem
+
+
+@functools.lru_cache(maxsize=4096)
+def _forward_degree(profile: LayerProfile, r_max: int) -> int:
+    return find_optimal_pipeline_degree(profile.ctx_fw, r_max=r_max).degree
+
+
+@functools.lru_cache(maxsize=4096)
+def _backward_degree_no_gar(profile: LayerProfile, r_max: int) -> int:
+    return find_optimal_pipeline_degree(profile.ctx_bw, r_max=r_max).degree
+
+
+@functools.lru_cache(maxsize=1024)
+def _partition_plan(
+    profiles: tuple[LayerProfile, ...],
+    models: PerfModelSet,
+    r_max: int,
+    merged_comm: bool,
+) -> GradientPartitionPlan:
+    layers = [
+        GeneralizedLayer(
+            ctx=p.ctx_bw,
+            dense_overlappable_ms=p.dense_bw_ms,
+            grad_bytes=p.grad_bytes,
+        )
+        for p in profiles
+    ]
+    return plan_gradient_partition(
+        layers, models.allreduce, r_max=r_max, merged_comm=merged_comm
+    )
+
+
+class FSMoE(TrainingSystem):
+    """The full FSMoE schedule (Fig. 3d)."""
+
+    name = "FSMoE"
+    _streams: StreamMap = THREE_STREAM
+    _merged_comm = False
+
+    def _phase_degrees(
+        self,
+        profiles: tuple[LayerProfile, ...],
+        models: PerfModelSet,
+        plan: GradientPartitionPlan | None,
+    ) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """Per-layer (forward, backward) degrees from Algorithm 1."""
+        fw = tuple(_forward_degree(p, self.r_max) for p in profiles)
+        if plan is not None:
+            bw = tuple(s.degree for s in plan.solutions)
+        else:
+            bw = tuple(
+                _backward_degree_no_gar(p, self.r_max) for p in profiles
+            )
+        return fw, bw
+
+    def build_iteration_spec(
+        self,
+        profiles: Sequence[LayerProfile],
+        models: PerfModelSet,
+        include_gar: bool = True,
+    ) -> IterationSpec:
+        """Per-phase Algorithm-1 degrees + adaptive gradient partitioning."""
+        key = tuple(profiles)
+        plan = (
+            _partition_plan(key, models, self.r_max, self._merged_comm)
+            if include_gar
+            else None
+        )
+        fw_degrees, bw_degrees = self._phase_degrees(key, models, plan)
+        forward = tuple(
+            LayerPhaseSchedule(
+                ctx=p.ctx_fw, degree=fw_degrees[i], dense_ms=p.dense_fw_ms
+            )
+            for i, p in enumerate(key)
+        )
+        if plan is not None:
+            backward = tuple(
+                LayerPhaseSchedule(
+                    ctx=p.ctx_bw.with_t_gar(plan.t_gar_ms[i]),
+                    degree=bw_degrees[i],
+                    dense_ms=p.dense_bw_ms,
+                )
+                for i, p in enumerate(key)
+            )
+            grad_bytes = tuple(p.grad_bytes for p in key)
+            gar_mode = GarMode.ADAPTIVE
+        else:
+            backward = tuple(
+                LayerPhaseSchedule(
+                    ctx=p.ctx_bw, degree=bw_degrees[i], dense_ms=p.dense_bw_ms
+                )
+                for i, p in enumerate(key)
+            )
+            grad_bytes = tuple(0.0 for _ in key)
+            gar_mode = GarMode.END
+        return IterationSpec(
+            name=self.name,
+            forward=forward,
+            backward=backward,
+            grad_bytes=grad_bytes,
+            ar_model=models.allreduce,
+            streams=self._streams,
+            gar_mode=gar_mode,
+            plan=plan,
+        )
+
+
+@functools.lru_cache(maxsize=4096)
+def _merged_phase_degree(
+    profiles: tuple[LayerProfile, ...],
+    models: PerfModelSet,
+    r_max: int,
+    phase: str,
+) -> int:
+    """Best degree for one phase of the merged-comm (2-stream) schedule.
+
+    Algorithm 1's closed forms assume a dedicated inter-node stream; on a
+    merged comm stream they overestimate the benefit of chunking.  The
+    No-IIO ablation therefore picks its per-phase degree by sweeping its
+    *own* schedule's simulated makespan -- still adaptive and per-phase,
+    just against the correct stream model.
+    """
+    best_r, best_t = 1, float("inf")
+    for r in range(1, r_max + 1):
+        layers = tuple(
+            LayerPhaseSchedule(
+                ctx=p.ctx_fw if phase == "forward" else p.ctx_bw,
+                degree=r,
+                dense_ms=(
+                    p.dense_fw_ms if phase == "forward" else p.dense_bw_ms
+                ),
+            )
+            for p in profiles
+        )
+        spec = IterationSpec(
+            name="noiio-sweep",
+            forward=layers,
+            backward=layers,
+            grad_bytes=tuple(0.0 for _ in profiles),
+            ar_model=models.allreduce,
+            streams=TWO_STREAM,
+            gar_mode=GarMode.END,
+        )
+        t = simulate(build_iteration_graph(spec, phase=phase)).makespan_ms
+        if t < best_t - 1e-12:
+            best_t = t
+            best_r = r
+    return best_r
+
+
+class FSMoENoIIO(FSMoE):
+    """FSMoE without the inter/intra-node communication overlap.
+
+    Keeps the adaptive per-phase degrees and the gradient partitioning but
+    serializes all communication on one stream.  Its degrees come from a
+    per-phase sweep of the merged-comm schedule, its windows are sized
+    with the merged-comm formula, and its in-pipeline AllReduce slices run
+    at background priority (they fill the comm stream's expert-compute
+    gaps instead of delaying combines).
+    """
+
+    name = "FSMoE-No-IIO"
+    _streams = TWO_STREAM
+    _merged_comm = True
+
+    def _phase_degrees(
+        self,
+        profiles: tuple[LayerProfile, ...],
+        models: PerfModelSet,
+        plan: GradientPartitionPlan | None,
+    ) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        """Per-phase degrees swept on the 2-stream schedule itself."""
+        fw = _merged_phase_degree(profiles, models, self.r_max, "forward")
+        bw = _merged_phase_degree(profiles, models, self.r_max, "backward")
+        n = len(profiles)
+        return (fw,) * n, (bw,) * n

@@ -1,0 +1,51 @@
+"""PipeMoE + Lina: fixed-size gradient chunking (paper §6.4).
+
+Lina partitions the gradient into fixed chunks (30 MB) and overlaps the
+chunked aggregation with expert computation and non-MoE backward work,
+giving AlltoAll priority on the network.  The fixed size is its weakness
+("its performance is hit or miss", §6.4): too-large chunks head-of-line
+block AlltoAll, too-small chunks waste startup latency -- which is exactly
+what FSMoE's adaptive partitioning fixes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.perf_model import PerfModelSet
+from ..core.schedules import GarMode, IterationSpec, LINA_CHUNK_BYTES
+from ..models.transformer import LayerProfile
+from .tutel import Tutel, _oracle_degree, _pipemoe_spec
+
+
+class PipeMoELina(Tutel):
+    """PipeMoE pipelining + Lina's fixed 30 MB gradient chunks."""
+
+    name = "PipeMoE+Lina"
+
+    def __init__(self, r_max: int = 16, chunk_bytes: float = LINA_CHUNK_BYTES):
+        super().__init__(r_max)
+        self.chunk_bytes = chunk_bytes
+
+    def build_iteration_spec(
+        self,
+        profiles: Sequence[LayerProfile],
+        models: PerfModelSet,
+        include_gar: bool = True,
+    ) -> IterationSpec:
+        """PipeMoE schedule with background 30 MB AllReduce chunks."""
+        key = tuple(profiles)
+        degree = _oracle_degree(key, models, self.r_max, include_gar)
+        spec = _pipemoe_spec(
+            key, models, degree, GarMode.FIXED_CHUNKS, include_gar, self.name
+        )
+        return IterationSpec(
+            name=spec.name,
+            forward=spec.forward,
+            backward=spec.backward,
+            grad_bytes=spec.grad_bytes,
+            ar_model=spec.ar_model,
+            streams=spec.streams,
+            gar_mode=spec.gar_mode,
+            gar_chunk_bytes=self.chunk_bytes,
+        )

@@ -1,0 +1,105 @@
+"""Tutel with PipeMoE's adaptive pipelining, and its improved variant.
+
+Tutel overlaps AlltoAll with expert computation on two streams (one comm,
+one compute -- Fig. 3b) using a single pipeline degree for both phases.
+We grant the baseline an *oracle* degree: an exhaustive integer sweep of
+its own schedule's simulated makespan, which upper-bounds what PipeMoE's
+analytic model can pick and therefore makes FSMoE's measured gains
+conservative (see DESIGN.md, "Honest baselines").
+
+``TutelImproved`` additionally releases each layer's Gradient-AllReduce
+right after that layer's dense backward so it can hide under non-MoE work
+(the paper's "Tutel-Improved").
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Sequence
+
+from ..core.perf_model import PerfModelSet
+from ..core.schedules import (
+    GarMode,
+    IterationSpec,
+    LayerPhaseSchedule,
+    TWO_STREAM,
+    build_iteration_graph,
+)
+from ..models.transformer import LayerProfile
+from ..sim.engine import simulate
+from .base import TrainingSystem
+
+
+@functools.lru_cache(maxsize=4096)
+def _oracle_degree(
+    profiles: tuple[LayerProfile, ...],
+    models: PerfModelSet,
+    r_max: int,
+    include_gar: bool,
+) -> int:
+    """Integer sweep of the PipeMoE schedule's simulated iteration time."""
+    best_r, best_t = 1, float("inf")
+    for r in range(1, r_max + 1):
+        spec = _pipemoe_spec(
+            profiles, models, r, GarMode.END, include_gar, name="sweep"
+        )
+        t = simulate(build_iteration_graph(spec)).makespan_ms
+        if t < best_t - 1e-12:
+            best_t = t
+            best_r = r
+    return best_r
+
+
+def _pipemoe_spec(
+    profiles: tuple[LayerProfile, ...],
+    models: PerfModelSet,
+    degree: int,
+    gar_mode: GarMode,
+    include_gar: bool,
+    name: str,
+) -> IterationSpec:
+    forward = tuple(
+        LayerPhaseSchedule(ctx=p.ctx_fw, degree=degree, dense_ms=p.dense_fw_ms)
+        for p in profiles
+    )
+    backward = tuple(
+        LayerPhaseSchedule(ctx=p.ctx_bw, degree=degree, dense_ms=p.dense_bw_ms)
+        for p in profiles
+    )
+    grad_bytes = tuple(p.grad_bytes if include_gar else 0.0 for p in profiles)
+    return IterationSpec(
+        name=name,
+        forward=forward,
+        backward=backward,
+        grad_bytes=grad_bytes,
+        ar_model=models.allreduce,
+        streams=TWO_STREAM,
+        gar_mode=gar_mode,
+    )
+
+
+class Tutel(TrainingSystem):
+    """Tutel + PipeMoE: two-stream pipelining, GAR exposed at the end."""
+
+    name = "Tutel"
+    _gar_mode = GarMode.END
+
+    def build_iteration_spec(
+        self,
+        profiles: Sequence[LayerProfile],
+        models: PerfModelSet,
+        include_gar: bool = True,
+    ) -> IterationSpec:
+        """Oracle-swept single degree, shared by forward and backward."""
+        key = tuple(profiles)
+        degree = _oracle_degree(key, models, self.r_max, include_gar)
+        return _pipemoe_spec(
+            key, models, degree, self._gar_mode, include_gar, self.name
+        )
+
+
+class TutelImproved(Tutel):
+    """Tutel with Gradient-AllReduce overlapped with non-MoE backward."""
+
+    name = "Tutel-Improved"
+    _gar_mode = GarMode.DENSE_OVERLAP

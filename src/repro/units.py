@@ -1,0 +1,66 @@
+"""Physical units and conversion constants used across the library.
+
+Conventions (applied everywhere, never mixed):
+
+* time        -> milliseconds (``ms``)
+* data sizes  -> bytes
+* bandwidth   -> bytes per millisecond (``bytes/ms``); note that
+  1 GB/s == 1e6 bytes/ms, which keeps magnitudes readable.
+* compute     -> multiply-accumulate operations (MACs); one (m, n, k) GEMM
+  counts ``m * n * k`` MACs.
+"""
+
+from __future__ import annotations
+
+# --- data sizes -------------------------------------------------------------
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+KB = 1_000
+MB = 1_000_000
+GB = 1_000_000_000
+
+#: bytes per element for the dtypes the paper trains with.
+DTYPE_BYTES = {
+    "float32": 4,
+    "float16": 2,
+    "bfloat16": 2,
+}
+
+#: default training dtype in the paper's experiments (PyTorch-1.12 fp32 runs).
+DEFAULT_DTYPE = "float32"
+
+
+def dtype_nbytes(dtype: str) -> int:
+    """Return bytes-per-element for ``dtype``.
+
+    Raises:
+        KeyError: if the dtype is not one of float32/float16/bfloat16.
+    """
+    return DTYPE_BYTES[dtype]
+
+
+# --- bandwidth --------------------------------------------------------------
+
+
+def gbps_to_bytes_per_ms(gigabytes_per_second: float) -> float:
+    """Convert GB/s (decimal gigabytes) to bytes/ms."""
+    return gigabytes_per_second * GB / 1_000.0
+
+
+def gbit_to_bytes_per_ms(gigabits_per_second: float) -> float:
+    """Convert Gb/s (network-style gigabits) to bytes/ms."""
+    return gigabits_per_second / 8.0 * GB / 1_000.0
+
+
+# --- time -------------------------------------------------------------------
+
+MS_PER_S = 1_000.0
+US_PER_MS = 1_000.0
+
+
+def seconds(ms: float) -> float:
+    """Convert milliseconds to seconds (for human-facing reports)."""
+    return ms / MS_PER_S

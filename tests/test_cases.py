@@ -1,0 +1,143 @@
+"""Unit and property tests for the four-case taxonomy (paper §4.2, §5.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cases import (
+    CASE_BRANCHES,
+    Case,
+    analytic_time,
+    case_time,
+    classify,
+    overlappable_time,
+    overlappable_time_merged_comm,
+)
+from repro.core.constraints import PipelineContext
+from repro.core.perf_model import LinearPerfModel
+
+from .helpers import pipeline_contexts
+
+
+def ctx_for(case: Case) -> PipelineContext:
+    """Hand-built contexts landing squarely in each case."""
+    small = LinearPerfModel(0.01, 1e-8)
+    if case is Case.CASE1:  # huge GAR -> inter-node dominated
+        return PipelineContext(
+            a2a=LinearPerfModel(0.2, 3e-7), n_a2a=5e7,
+            ag=small, n_ag=1e6, rs=small, n_rs=1e6,
+            exp=LinearPerfModel(0.05, 1e-10), n_exp=1e9,
+            t_gar=500.0,
+        )
+    if case is Case.CASE2:  # experts dominate
+        return PipelineContext(
+            a2a=LinearPerfModel(0.1, 1e-7), n_a2a=1e6,
+            ag=small, n_ag=1e6, rs=small, n_rs=1e6,
+            exp=LinearPerfModel(0.05, 1e-9), n_exp=1e11,
+        )
+    if case is Case.CASE3:  # AlltoAll dominates
+        return PipelineContext(
+            a2a=LinearPerfModel(0.2, 3e-7), n_a2a=1e8,
+            ag=small, n_ag=1e6, rs=small, n_rs=1e6,
+            exp=LinearPerfModel(0.05, 1e-10), n_exp=1e8,
+        )
+    # CASE4: intra-node dominates
+    return PipelineContext(
+        a2a=LinearPerfModel(0.05, 1e-8), n_a2a=1e6,
+        ag=LinearPerfModel(0.1, 5e-7), n_ag=1e8,
+        rs=LinearPerfModel(0.1, 5e-7), n_rs=1e8,
+        exp=LinearPerfModel(0.05, 1e-10), n_exp=1e8,
+    )
+
+
+class TestClassification:
+    @pytest.mark.parametrize("case", list(Case))
+    def test_hand_built_contexts_classify(self, case):
+        assert classify(ctx_for(case), 4.0) is case
+
+    @given(ctx=pipeline_contexts(with_gar=True), r=st.integers(1, 16))
+    @settings(max_examples=80, deadline=None)
+    def test_classification_total(self, ctx, r):
+        """Every (ctx, r) belongs to exactly one case -- never raises."""
+        case = classify(ctx, float(r))
+        assert case in Case
+
+    @given(ctx=pipeline_contexts(with_gar=True), r=st.integers(1, 16))
+    @settings(max_examples=80, deadline=None)
+    def test_case_matches_a_branch(self, ctx, r):
+        """classify's decision tree agrees with the CASE_BRANCHES table."""
+        case = classify(ctx, float(r))
+        satisfied = []
+        for candidate, branches in CASE_BRANCHES.items():
+            for branch in branches:
+                if all(
+                    getattr(ctx, name)(float(r)) is wanted
+                    for name, wanted in branch
+                ):
+                    satisfied.append(candidate)
+        # Strict predicates can leave boundary ties unmatched, but when a
+        # branch matches it must agree with classify.
+        if satisfied:
+            assert case in satisfied
+
+
+class TestCaseTimes:
+    def test_case1_formula(self):
+        ctx = ctx_for(Case.CASE1)
+        r = 4.0
+        expected = 2 * r * ctx.t_a2a(r) + ctx.t_gar
+        assert case_time(ctx, r, Case.CASE1) == pytest.approx(expected)
+
+    def test_case2_formula(self):
+        ctx = ctx_for(Case.CASE2)
+        r = 4.0
+        expected = (
+            2 * ctx.t_a2a(r) + ctx.t_ag(r) + ctx.t_rs(r) + r * ctx.t_exp(r)
+        )
+        assert case_time(ctx, r, Case.CASE2) == pytest.approx(expected)
+
+    def test_case3_formula(self):
+        ctx = ctx_for(Case.CASE3)
+        r = 4.0
+        expected = 2 * r * ctx.t_a2a(r) + ctx.t_ag(r) + ctx.t_rs(r)
+        assert case_time(ctx, r, Case.CASE3) == pytest.approx(expected)
+
+    def test_case4_formula(self):
+        ctx = ctx_for(Case.CASE4)
+        r = 4.0
+        expected = 2 * ctx.t_a2a(r) + r * (ctx.t_ag(r) + ctx.t_rs(r))
+        assert case_time(ctx, r, Case.CASE4) == pytest.approx(expected)
+
+    @given(ctx=pipeline_contexts(with_gar=True), r=st.integers(1, 16))
+    @settings(max_examples=60, deadline=None)
+    def test_analytic_time_positive(self, ctx, r):
+        assert analytic_time(ctx, float(r)) > 0
+
+
+class TestOverlappableTime:
+    @given(ctx=pipeline_contexts(), r=st.integers(1, 16))
+    @settings(max_examples=60, deadline=None)
+    def test_window_non_negative(self, ctx, r):
+        assert overlappable_time(ctx, float(r)) >= 0.0
+        assert overlappable_time_merged_comm(ctx, float(r)) >= 0.0
+
+    @given(ctx=pipeline_contexts(), r=st.integers(1, 16))
+    @settings(max_examples=60, deadline=None)
+    def test_merged_window_never_larger(self, ctx, r):
+        """A merged comm stream has at most the dedicated stream's slack."""
+        merged = overlappable_time_merged_comm(ctx, float(r))
+        dedicated = overlappable_time(ctx, float(r))
+        assert merged <= dedicated + 1e-9
+
+    def test_case3_window_is_ag_plus_rs(self):
+        ctx = ctx_for(Case.CASE3)
+        r = 4.0
+        assert overlappable_time(ctx, r) == pytest.approx(
+            ctx.t_ag(r) + ctx.t_rs(r)
+        )
+
+    def test_window_ignores_existing_gar(self):
+        ctx = ctx_for(Case.CASE2)
+        assert overlappable_time(ctx.with_t_gar(10.0), 4.0) == pytest.approx(
+            overlappable_time(ctx, 4.0)
+        )

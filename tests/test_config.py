@@ -1,0 +1,144 @@
+"""Unit tests for repro.config."""
+
+import pytest
+
+from repro.config import (
+    MoELayerSpec,
+    ParallelSpec,
+    experts_per_ep_rank,
+    standard_layout,
+    tokens_per_gpu,
+)
+from repro.errors import ConfigError
+
+
+class TestMoELayerSpec:
+    def test_defaults_valid(self):
+        spec = MoELayerSpec()
+        assert spec.hidden_dim == 4 * spec.embed_dim
+        assert spec.tokens_per_worker == spec.batch_size * spec.seq_len
+
+    def test_hidden_dim_rounds_fractional_scale(self):
+        spec = MoELayerSpec(embed_dim=4096, hidden_scale=3.5)
+        assert spec.hidden_dim == 14336
+
+    def test_dtype_bytes(self):
+        assert MoELayerSpec(dtype="float32").dtype_bytes == 4
+        assert MoELayerSpec(dtype="float16").dtype_bytes == 2
+
+    def test_num_gemms_by_ffn_type(self):
+        assert MoELayerSpec(ffn_type="simple").num_gemms_per_expert == 2
+        assert MoELayerSpec(ffn_type="mixtral").num_gemms_per_expert == 3
+
+    def test_nodrop_flag(self):
+        assert MoELayerSpec(capacity_factor=None).drops_tokens is False
+        assert MoELayerSpec(capacity_factor=1.2).drops_tokens is True
+
+    def test_with_replaces_fields(self):
+        spec = MoELayerSpec().with_(batch_size=7)
+        assert spec.batch_size == 7
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("batch_size", 0),
+            ("seq_len", -1),
+            ("embed_dim", 0),
+            ("num_experts", 0),
+            ("top_k", 0),
+            ("num_heads", -2),
+        ],
+    )
+    def test_rejects_non_positive(self, field, value):
+        with pytest.raises(ConfigError):
+            MoELayerSpec(**{field: value})
+
+    def test_rejects_topk_above_experts(self):
+        with pytest.raises(ConfigError):
+            MoELayerSpec(num_experts=2, top_k=3)
+
+    def test_rejects_bad_ffn_type(self):
+        with pytest.raises(ConfigError):
+            MoELayerSpec(ffn_type="dense")  # type: ignore[arg-type]
+
+    def test_rejects_indivisible_heads(self):
+        with pytest.raises(ConfigError):
+            MoELayerSpec(embed_dim=1000, num_heads=3)
+
+    def test_rejects_unknown_dtype(self):
+        with pytest.raises(KeyError):
+            MoELayerSpec(dtype="int8")
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ConfigError):
+            MoELayerSpec(capacity_factor=0.0)
+
+
+class TestParallelSpec:
+    def test_world_size(self):
+        spec = ParallelSpec(n_dp=6, n_mp=8, n_ep=6, n_esp=8, n_pp=1)
+        assert spec.gpus_per_stage == 48
+        assert spec.world_size == 48
+
+    def test_standard_layout_invariants(self):
+        spec = ParallelSpec(n_dp=6, n_mp=8, n_ep=6, n_esp=8)
+        spec.validate_standard_layout()  # should not raise
+
+    def test_standard_layout_rejects_mp_esp_mismatch(self):
+        with pytest.raises(ConfigError):
+            ParallelSpec(n_dp=2, n_mp=4, n_ep=2, n_esp=2).validate_standard_layout()
+
+    def test_standard_layout_rejects_ep_dp_mismatch(self):
+        with pytest.raises(ConfigError):
+            ParallelSpec(n_dp=2, n_mp=4, n_ep=4, n_esp=4).validate_standard_layout()
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ConfigError):
+            ParallelSpec(n_dp=0)
+
+
+class TestStandardLayout:
+    def test_testbed_b_shape(self):
+        spec = standard_layout(32, 4)
+        assert (spec.n_dp, spec.n_mp, spec.n_ep, spec.n_esp) == (8, 4, 8, 4)
+
+    def test_testbed_a_shape(self):
+        spec = standard_layout(48, 8)
+        assert (spec.n_dp, spec.n_mp, spec.n_ep, spec.n_esp) == (6, 8, 6, 8)
+
+    def test_pipeline_splits_nodes(self):
+        spec = standard_layout(48, 8, n_pp=2)
+        assert spec.n_pp == 2
+        assert spec.n_ep == 3
+        assert spec.world_size == 48
+
+    def test_rejects_uneven_gpus(self):
+        with pytest.raises(ConfigError):
+            standard_layout(30, 4)
+
+    def test_rejects_uneven_pp(self):
+        with pytest.raises(ConfigError):
+            standard_layout(32, 4, n_pp=3)
+
+
+class TestDerivedQuantities:
+    def test_experts_per_ep_rank(self):
+        spec = MoELayerSpec(num_experts=16)
+        parallel = ParallelSpec(n_dp=8, n_mp=4, n_ep=8, n_esp=4)
+        assert experts_per_ep_rank(spec, parallel) == 2
+
+    def test_experts_per_ep_rank_uneven_raises(self):
+        spec = MoELayerSpec(num_experts=10, top_k=2)
+        parallel = ParallelSpec(n_dp=8, n_mp=4, n_ep=8, n_esp=4)
+        with pytest.raises(ConfigError):
+            experts_per_ep_rank(spec, parallel)
+
+    def test_tokens_per_gpu_splits_over_mp(self):
+        spec = MoELayerSpec(batch_size=4, seq_len=1024)
+        parallel = ParallelSpec(n_dp=8, n_mp=4, n_ep=8, n_esp=4)
+        assert tokens_per_gpu(spec, parallel) == 1024
+
+    def test_tokens_per_gpu_at_least_one(self):
+        spec = MoELayerSpec(batch_size=1, seq_len=2, num_experts=2, num_heads=1)
+        parallel = ParallelSpec(n_dp=1, n_mp=8, n_ep=1, n_esp=8)
+        assert tokens_per_gpu(spec, parallel) == 1

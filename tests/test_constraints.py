@@ -1,0 +1,88 @@
+"""Unit and property tests for the Q1-Q7 constraints (paper §4.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.constraints import PipelineContext, context_from_volumes
+from repro.core.perf_model import LinearPerfModel, PerfModelSet
+
+from .helpers import pipeline_contexts
+
+
+def simple_ctx(**overrides) -> PipelineContext:
+    defaults = dict(
+        a2a=LinearPerfModel(0.2, 2e-7),
+        n_a2a=1e7,
+        ag=LinearPerfModel(0.05, 1e-7),
+        n_ag=1e7,
+        rs=LinearPerfModel(0.05, 1e-7),
+        n_rs=1e7,
+        exp=LinearPerfModel(0.1, 1e-10),
+        n_exp=1e10,
+        t_gar=0.0,
+    )
+    defaults.update(overrides)
+    return PipelineContext(**defaults)
+
+
+class TestChunkTimes:
+    def test_chunk_times_follow_eq1(self):
+        ctx = simple_ctx()
+        r = 4
+        assert ctx.t_a2a(r) == pytest.approx(0.2 + 1e7 / r * 2e-7)
+        assert ctx.t_exp(r) == pytest.approx(0.1 + 1e10 / r * 1e-10)
+
+    def test_with_t_gar(self):
+        ctx = simple_ctx().with_t_gar(5.0)
+        assert ctx.t_gar == 5.0
+        assert ctx.n_a2a == 1e7
+
+
+class TestMarginsMatchBooleans:
+    @given(ctx=pipeline_contexts(with_gar=True), r=st.integers(1, 16))
+    @settings(max_examples=60, deadline=None)
+    def test_consistency(self, ctx, r):
+        for q in range(1, 8):
+            margin = getattr(ctx, f"q{q}_margin")(r)
+            boolean = getattr(ctx, f"q{q}")(r)
+            assert boolean == (margin > 0)
+
+
+class TestKnownRegimes:
+    def test_q1_true_when_a2a_dominates(self):
+        ctx = simple_ctx(n_a2a=1e8, n_ag=1e6, n_rs=1e6)
+        assert ctx.q1(4)
+
+    def test_q2_true_when_experts_dominate(self):
+        ctx = simple_ctx(n_exp=1e12, n_a2a=1e6)
+        assert ctx.q2(4)
+
+    def test_q4_scales_with_gar(self):
+        ctx = simple_ctx()
+        assert not ctx.q4(4)
+        assert ctx.with_t_gar(100.0).q4(4)
+
+
+class TestContextFromVolumes:
+    def make_models(self):
+        m = LinearPerfModel(0.1, 1e-7)
+        return PerfModelSet(
+            a2a=m, allgather=m, reducescatter=m, allreduce=m,
+            gemm=LinearPerfModel(0.05, 1e-10),
+        )
+
+    def test_backward_doubles_experts_only(self):
+        models = self.make_models()
+        kwargs = dict(
+            a2a_bytes=1e7,
+            esp_shard_bytes=1e7,
+            expert_macs=1e10,
+            expert_num_gemms=2,
+        )
+        fw = context_from_volumes(models, **kwargs)
+        bw = context_from_volumes(models, backward=True, **kwargs)
+        assert bw.n_exp == 2 * fw.n_exp
+        assert bw.exp.alpha == 2 * fw.exp.alpha
+        assert bw.n_a2a == fw.n_a2a
+        assert bw.n_ag == fw.n_ag

@@ -1,0 +1,93 @@
+"""Tests for the three AlltoAll dispatch algorithms (paper §3.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.moe.dispatch import (
+    NcclAllToAll,
+    OneDHierarchicalAllToAll,
+    TwoDHierarchicalAllToAll,
+)
+
+
+def buffers_for(world: int, experts: int, t: int, m: int, seed: int):
+    rng = np.random.default_rng(seed)
+    return [rng.normal(size=(experts, t, m)) for _ in range(world)]
+
+
+class TestEquivalence:
+    @given(
+        world_nodes=st.sampled_from([(4, 2), (8, 4), (8, 2), (6, 3)]),
+        t=st.integers(1, 5),
+        seed=st.integers(0, 50),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_all_three_algorithms_agree(self, world_nodes, t, seed):
+        world, g = world_nodes
+        buffers = buffers_for(world, world * 2, t, 3, seed)
+        direct = NcclAllToAll(world).dispatch(buffers)
+        one_d = OneDHierarchicalAllToAll(world, g).dispatch(buffers)
+        two_d = TwoDHierarchicalAllToAll(world, g).dispatch(buffers)
+        for a, b, c in zip(direct, one_d, two_d):
+            np.testing.assert_allclose(a, b, atol=1e-12)
+            np.testing.assert_allclose(a, c, atol=1e-12)
+
+    @given(seed=st.integers(0, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_dispatch_combine_roundtrip(self, seed):
+        world = 4
+        buffers = buffers_for(world, 8, 3, 5, seed)
+        for algo in (
+            NcclAllToAll(world),
+            OneDHierarchicalAllToAll(world, 2),
+            TwoDHierarchicalAllToAll(world, 2),
+        ):
+            back = algo.combine(algo.dispatch(buffers))
+            for original, returned in zip(buffers, back):
+                np.testing.assert_allclose(original, returned, atol=1e-12)
+
+    def test_single_node_degenerates_to_direct(self):
+        world = 4
+        buffers = buffers_for(world, 8, 2, 3, seed=1)
+        direct = NcclAllToAll(world).dispatch(buffers)
+        two_d = TwoDHierarchicalAllToAll(world, 4).dispatch(buffers)
+        for a, b in zip(direct, two_d):
+            np.testing.assert_allclose(a, b)
+
+
+class TestSemantics:
+    def test_rank_receives_its_expert_slices(self):
+        world = 4
+        buffers = buffers_for(world, 8, 2, 3, seed=5)
+        out = NcclAllToAll(world).dispatch(buffers)
+        local = 8 // world
+        for dst in range(world):
+            for src in range(world):
+                received = out[dst][src * local : (src + 1) * local]
+                sent = buffers[src][dst * local : (dst + 1) * local]
+                np.testing.assert_allclose(received, sent)
+
+
+class TestValidation:
+    def test_wrong_rank_count(self):
+        with pytest.raises(ShapeError):
+            NcclAllToAll(4).dispatch(buffers_for(3, 8, 2, 3, 0))
+
+    def test_indivisible_experts(self):
+        with pytest.raises(ShapeError):
+            NcclAllToAll(4).dispatch(buffers_for(4, 6, 2, 3, 0))
+
+    def test_mismatched_shapes(self):
+        buffers = buffers_for(4, 8, 2, 3, 0)
+        buffers[2] = np.zeros((8, 3, 3))
+        with pytest.raises(ShapeError):
+            NcclAllToAll(4).dispatch(buffers)
+
+    def test_bad_constructor_args(self):
+        with pytest.raises(ShapeError):
+            NcclAllToAll(0)
+        with pytest.raises(ShapeError):
+            TwoDHierarchicalAllToAll(4, 3)  # world not divisible by node

@@ -1,0 +1,111 @@
+"""Gradient-checked tests for the expert networks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.moe.experts import MixtralFFNExpert, SimpleFFNExpert
+
+M, H, T = 10, 24, 6
+
+
+@pytest.fixture(params=[SimpleFFNExpert, MixtralFFNExpert])
+def expert(request):
+    return request.param(M, H, seed=7)
+
+
+class TestForward:
+    def test_output_shape(self, expert):
+        x = np.random.default_rng(0).normal(size=(T, M))
+        assert expert.forward(x).shape == (T, M)
+
+    def test_rejects_bad_shape(self, expert):
+        with pytest.raises(ShapeError):
+            expert.forward(np.zeros((T, M + 1)))
+
+    def test_backward_before_forward_raises(self, expert):
+        with pytest.raises(ShapeError):
+            expert.backward(np.zeros((T, M)))
+
+    def test_num_parameters(self):
+        simple = SimpleFFNExpert(M, H)
+        assert simple.num_parameters() == M * H + H + H * M + M
+        mixtral = MixtralFFNExpert(M, H)
+        assert mixtral.num_parameters() == 3 * M * H
+
+
+class TestGradients:
+    @given(seed=st.integers(0, 30))
+    @settings(max_examples=10, deadline=None)
+    def test_input_gradient_matches_fd(self, seed):
+        for cls in (SimpleFFNExpert, MixtralFFNExpert):
+            expert = cls(M, H, seed=seed)
+            rng = np.random.default_rng(seed + 1)
+            x = rng.normal(size=(T, M))
+            dy = rng.normal(size=(T, M))
+            expert.forward(x)
+            dx = expert.backward(dy)
+
+            eps = 1e-6
+            i, j = 2, 3
+            x_up = x.copy(); x_up[i, j] += eps
+            x_dn = x.copy(); x_dn[i, j] -= eps
+            fd = np.sum((expert.forward(x_up) - expert.forward(x_dn)) * dy) / (
+                2 * eps
+            )
+            assert dx[i, j] == pytest.approx(fd, rel=1e-4, abs=1e-7)
+
+    @pytest.mark.parametrize(
+        "cls,param",
+        [
+            (SimpleFFNExpert, "w1"),
+            (SimpleFFNExpert, "w2"),
+            (SimpleFFNExpert, "b1"),
+            (SimpleFFNExpert, "b2"),
+            (MixtralFFNExpert, "w_gate"),
+            (MixtralFFNExpert, "w_up"),
+            (MixtralFFNExpert, "w_down"),
+        ],
+    )
+    def test_weight_gradients_match_fd(self, cls, param):
+        expert = cls(M, H, seed=13)
+        rng = np.random.default_rng(17)
+        x = rng.normal(size=(T, M))
+        dy = rng.normal(size=(T, M))
+        expert.zero_grad()
+        expert.forward(x)
+        expert.backward(dy)
+        analytic = expert.grads[param]
+
+        w = expert.params[param]
+        index = (1, 2) if w.ndim == 2 else (1,)
+        eps = 1e-6
+        w[index] += eps
+        up = expert.forward(x)
+        w[index] -= 2 * eps
+        down = expert.forward(x)
+        w[index] += eps
+        fd = float(np.sum((up - down) * dy) / (2 * eps))
+        assert analytic[index] == pytest.approx(fd, rel=1e-4, abs=1e-7)
+
+    def test_gradients_accumulate(self):
+        expert = SimpleFFNExpert(M, H, seed=1)
+        x = np.random.default_rng(2).normal(size=(T, M))
+        dy = np.ones((T, M))
+        expert.zero_grad()
+        expert.forward(x)
+        expert.backward(dy)
+        first = expert.grads["w1"].copy()
+        expert.forward(x)
+        expert.backward(dy)
+        np.testing.assert_allclose(expert.grads["w1"], 2 * first)
+
+    def test_zero_grad_resets(self, expert):
+        x = np.random.default_rng(3).normal(size=(T, M))
+        expert.forward(x)
+        expert.backward(np.ones((T, M)))
+        expert.zero_grad()
+        for g in expert.grads.values():
+            assert (g == 0).all()

@@ -1,0 +1,248 @@
+"""Tests for the four routing functions (paper §2.1 / §3.1 / Table 6)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.moe.gates import (
+    GATE_TIMING,
+    ExpertChoiceGate,
+    GateKind,
+    GShardGate,
+    SigmoidGate,
+    XMoEGate,
+    build_gate,
+    capacity_assign,
+    load_balancing_loss,
+)
+
+RNG = np.random.default_rng(42)
+S, M, E, K = 48, 16, 8, 2
+
+
+@pytest.fixture(params=[GShardGate, SigmoidGate, XMoEGate, ExpertChoiceGate])
+def gate(request):
+    return request.param(M, E, K, seed=5)
+
+
+class TestCapacityAssign:
+    def test_respects_capacity(self):
+        indices = np.zeros((10, 1), dtype=int)  # everyone picks expert 0
+        weights = np.ones((10, 1))
+        token_ids, w, dropped, slot_of = capacity_assign(indices, weights, E, 4)
+        assert (token_ids[0] >= 0).sum() == 4
+        assert dropped.sum() == 6
+        assert (slot_of >= 0).sum() == 4
+
+    def test_fills_in_token_order(self):
+        indices = np.array([[1], [1], [1]])
+        weights = np.array([[0.5], [0.6], [0.7]])
+        token_ids, w, _, _ = capacity_assign(indices, weights, E, 2)
+        np.testing.assert_array_equal(token_ids[1], [0, 1])
+        np.testing.assert_allclose(w[1], [0.5, 0.6])
+
+    def test_multi_choice_tokens(self):
+        indices = np.array([[0, 1], [0, 2]])
+        weights = np.array([[0.6, 0.4], [0.7, 0.3]])
+        token_ids, w, dropped, _ = capacity_assign(indices, weights, E, 4)
+        assert token_ids[0, 0] == 0 and token_ids[0, 1] == 1
+        assert token_ids[1, 0] == 0
+        assert token_ids[2, 0] == 1
+        assert not dropped.any()
+
+    @given(
+        s=st.integers(4, 64),
+        cap=st.integers(1, 32),
+        seed=st.integers(0, 100),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_slots_hold_unique_tokens(self, s, cap, seed):
+        rng = np.random.default_rng(seed)
+        # Gates select k *distinct* experts per token (top-k semantics).
+        indices = np.stack(
+            [rng.permutation(E)[:K] for _ in range(s)], axis=0
+        )
+        weights = rng.random((s, K))
+        token_ids, w, dropped, _ = capacity_assign(indices, weights, E, cap)
+        for e in range(E):
+            used = token_ids[e][token_ids[e] >= 0]
+            assert len(used) == len(set(used.tolist()))
+        # empty slots carry zero weight
+        assert (w[token_ids < 0] == 0).all()
+
+
+class TestCommonGateBehaviour:
+    def test_assignment_shapes(self, gate):
+        x = RNG.normal(size=(S, M))
+        a = gate.assign(x, capacity=16)
+        assert a.token_ids.shape == (E, 16)
+        assert a.weights.shape == (E, 16)
+        assert a.scores.shape == (S, E)
+        assert a.dropped.shape == (S,)
+
+    def test_weights_bounded(self, gate):
+        x = RNG.normal(size=(S, M))
+        a = gate.assign(x, capacity=16)
+        assert (a.weights >= 0).all()
+        assert (a.weights <= 1.0 + 1e-9).all()
+
+    def test_empty_slots_have_zero_weight(self, gate):
+        x = RNG.normal(size=(S, M))
+        a = gate.assign(x, capacity=16)
+        empty = a.token_ids < 0
+        assert (a.weights[empty] == 0).all()
+
+    def test_deterministic_given_seed(self, gate):
+        x = RNG.normal(size=(S, M))
+        a1 = type(gate)(M, E, K, seed=9).assign(x, 16)
+        a2 = type(gate)(M, E, K, seed=9).assign(x, 16)
+        np.testing.assert_array_equal(a1.token_ids, a2.token_ids)
+
+
+class TestGShard:
+    def test_topk_selected_by_probability(self):
+        gate = GShardGate(M, E, K, seed=0)
+        x = RNG.normal(size=(S, M))
+        a = gate.assign(x, capacity=S)
+        # with ample capacity no token drops
+        assert not a.dropped.any()
+        # each token contributes at most K slots
+        counts = np.bincount(
+            a.token_ids[a.token_ids >= 0], minlength=S
+        )
+        assert counts.max() <= K
+
+    def test_weights_normalized_per_token(self):
+        gate = GShardGate(M, E, K, seed=0)
+        x = RNG.normal(size=(S, M))
+        a = gate.assign(x, capacity=S)
+        sums = np.zeros(S)
+        valid = a.token_ids >= 0
+        np.add.at(sums, a.token_ids[valid], a.weights[valid])
+        np.testing.assert_allclose(sums, 1.0, rtol=1e-9)
+
+    def test_noisy_mode_changes_routing(self):
+        x = RNG.normal(size=(S, M))
+        quiet = GShardGate(M, E, K, seed=0, noisy=False).assign(x, S)
+        noisy = GShardGate(M, E, K, seed=0, noisy=True).assign(x, S)
+        assert not np.array_equal(quiet.token_ids, noisy.token_ids)
+
+    def test_backward_weights_finite_difference(self):
+        gate = GShardGate(M, E, K, seed=1)
+        x = RNG.normal(size=(8, M))
+        a = gate.assign(x, capacity=8)
+        d_weights = RNG.normal(size=a.weights.shape)
+        gate.zero_grad()
+        gate.backward_weights(x, a, d_weights)
+        analytic = gate.grads["w_gate"].copy()
+
+        w = gate.params["w_gate"]
+        eps = 1e-6
+        i, j = 2, 3
+        w[i, j] += eps
+        up = gate.assign(x, capacity=8)
+        w[i, j] -= 2 * eps
+        down = gate.assign(x, capacity=8)
+        w[i, j] += eps
+        fd = np.sum((up.weights - down.weights) * d_weights) / (2 * eps)
+        assert analytic[i, j] == pytest.approx(fd, rel=1e-4, abs=1e-7)
+
+
+class TestSigmoid:
+    def test_weights_are_sigmoids(self):
+        gate = SigmoidGate(M, E, K, seed=2)
+        x = RNG.normal(size=(S, M))
+        a = gate.assign(x, capacity=S)
+        logits = x @ gate.params["w_gate"]
+        valid = a.token_ids >= 0
+        for e in range(E):
+            for t in np.where(valid[e])[0]:
+                token = a.token_ids[e, t]
+                expected = 1.0 / (1.0 + np.exp(-logits[token, e]))
+                assert a.weights[e, t] == pytest.approx(expected)
+
+    def test_backward_weights_finite_difference(self):
+        gate = SigmoidGate(M, E, K, seed=3)
+        x = RNG.normal(size=(8, M))
+        a = gate.assign(x, capacity=8)
+        d_weights = RNG.normal(size=a.weights.shape)
+        gate.zero_grad()
+        gate.backward_weights(x, a, d_weights)
+        analytic = gate.grads["w_gate"].copy()
+        w = gate.params["w_gate"]
+        eps = 1e-6
+        i, j = 1, 4
+        w[i, j] += eps
+        up = gate.assign(x, 8)
+        w[i, j] -= 2 * eps
+        down = gate.assign(x, 8)
+        w[i, j] += eps
+        fd = np.sum((up.weights - down.weights) * d_weights) / (2 * eps)
+        assert analytic[i, j] == pytest.approx(fd, rel=1e-4, abs=1e-7)
+
+
+class TestXMoE:
+    def test_scores_are_softmax(self):
+        gate = XMoEGate(M, E, K, seed=4)
+        x = RNG.normal(size=(S, M))
+        a = gate.assign(x, capacity=S)
+        np.testing.assert_allclose(a.scores.sum(axis=-1), 1.0, rtol=1e-9)
+
+    def test_low_rank_dim_respected(self):
+        gate = XMoEGate(M, E, K, low_rank_dim=8, seed=4)
+        assert gate.params["w_proj"].shape == (M, 8)
+        assert gate.params["expert_emb"].shape == (E, 8)
+
+
+class TestExpertChoice:
+    def test_every_expert_filled_to_capacity(self):
+        gate = ExpertChoiceGate(M, E, K, seed=6)
+        x = RNG.normal(size=(S, M))
+        cap = 6
+        a = gate.assign(x, capacity=cap)
+        assert (a.token_ids >= 0).sum() == E * cap
+
+    def test_weights_softmax_per_expert(self):
+        gate = ExpertChoiceGate(M, E, K, seed=6)
+        x = RNG.normal(size=(S, M))
+        a = gate.assign(x, capacity=6)
+        np.testing.assert_allclose(
+            a.weights[:, :6].sum(axis=1), 1.0, rtol=1e-9
+        )
+
+    def test_no_aux_loss(self):
+        gate = ExpertChoiceGate(M, E, K, seed=6)
+        a = gate.assign(RNG.normal(size=(S, M)), capacity=6)
+        assert a.aux_loss == 0.0
+
+    def test_capacity_larger_than_tokens(self):
+        gate = ExpertChoiceGate(M, E, K, seed=6)
+        a = gate.assign(RNG.normal(size=(4, M)), capacity=10)
+        assert (a.token_ids >= 0).sum() == E * 4
+
+
+class TestAuxAndRegistry:
+    def test_balanced_router_minimizes_loss(self):
+        scores = np.full((S, E), 1.0 / E)
+        top_idx = np.tile(np.arange(E), S // E * K).reshape(S, K) % E
+        first_uniform = np.arange(S) % E
+        top_idx[:, 0] = first_uniform
+        loss = load_balancing_loss(scores, top_idx, E)
+        assert loss == pytest.approx(1.0)
+
+    def test_imbalanced_router_higher_loss(self):
+        scores = np.zeros((S, E))
+        scores[:, 0] = 1.0
+        top_idx = np.zeros((S, K), dtype=int)
+        assert load_balancing_loss(scores, top_idx, E) > 1.0
+
+    def test_build_gate_factory(self):
+        for kind in GateKind:
+            gate = build_gate(kind, M, E, K, seed=0)
+            assert gate.num_experts == E
+
+    def test_timing_registry_complete(self):
+        assert set(GATE_TIMING) == set(GateKind)
+        assert GATE_TIMING[GateKind.EXPERT_CHOICE].capacity_factor_override == 1.0
+        assert GATE_TIMING[GateKind.XMOE].macs_multiplier > 1.0

@@ -1,0 +1,167 @@
+"""Tests for the two-step adaptive gradient partitioning (paper §5)."""
+
+import pytest
+
+from repro.core.constraints import PipelineContext
+from repro.core.gradient_partition import (
+    GeneralizedLayer,
+    plan_gradient_partition,
+)
+from repro.core.perf_model import LinearPerfModel
+from repro.errors import SolverError
+from repro.units import MB
+
+AR = LinearPerfModel(alpha=0.3, beta=5e-7)
+
+
+def make_layer(
+    grad_mb: float = 10.0,
+    dense_ms: float = 5.0,
+    expert_heavy: bool = True,
+) -> GeneralizedLayer:
+    if expert_heavy:
+        ctx = PipelineContext(
+            a2a=LinearPerfModel(0.15, 1e-7), n_a2a=5e6,
+            ag=LinearPerfModel(0.05, 1e-8), n_ag=5e6,
+            rs=LinearPerfModel(0.05, 1e-8), n_rs=5e6,
+            exp=LinearPerfModel(0.1, 1e-9), n_exp=2e10,
+        )
+    else:
+        ctx = PipelineContext(
+            a2a=LinearPerfModel(0.15, 4e-7), n_a2a=6e7,
+            ag=LinearPerfModel(0.05, 1e-8), n_ag=2e6,
+            rs=LinearPerfModel(0.05, 1e-8), n_rs=2e6,
+            exp=LinearPerfModel(0.05, 1e-11), n_exp=1e9,
+        )
+    return GeneralizedLayer(
+        ctx=ctx, dense_overlappable_ms=dense_ms, grad_bytes=grad_mb * MB
+    )
+
+
+class TestConservation:
+    @pytest.mark.parametrize("n_layers", [1, 2, 4, 8])
+    def test_every_byte_is_placed_once(self, n_layers):
+        layers = [make_layer() for _ in range(n_layers)]
+        plan = plan_gradient_partition(layers, AR, use_differential_evolution=False)
+        placed = (
+            sum(plan.moe_window_bytes)
+            + sum(plan.dense_window_bytes)
+            + sum(plan.extra_bytes)
+            + plan.tail_bytes
+        )
+        total = sum(layer.grad_bytes for layer in layers)
+        assert placed == pytest.approx(total)
+
+    def test_conservation_with_de(self):
+        layers = [make_layer() for _ in range(4)]
+        plan = plan_gradient_partition(layers, AR, seed=1, de_maxiter=10)
+        placed = (
+            sum(plan.moe_window_bytes)
+            + sum(plan.dense_window_bytes)
+            + sum(plan.extra_bytes)
+            + plan.tail_bytes
+        )
+        assert placed == pytest.approx(sum(l.grad_bytes for l in layers))
+
+
+class TestAvailability:
+    def test_single_layer_all_tail(self):
+        """A lone layer's gradients exist only after its own backward."""
+        plan = plan_gradient_partition([make_layer()], AR)
+        assert plan.moe_window_bytes == (0.0,)
+        assert plan.dense_window_bytes == (0.0,)
+        assert plan.extra_bytes == (0.0,)
+        assert plan.tail_bytes == pytest.approx(10 * MB)
+
+    def test_last_layer_hosts_nothing(self):
+        """The first-processed (last-index) layer has no upstream grads."""
+        layers = [make_layer() for _ in range(4)]
+        plan = plan_gradient_partition(layers, AR, de_maxiter=8, seed=0)
+        assert plan.moe_window_bytes[-1] == 0.0
+        assert plan.dense_window_bytes[-1] == 0.0
+        assert plan.extra_bytes[-1] == 0.0
+
+    def test_prefix_sums_respect_production(self):
+        layers = [make_layer(grad_mb=20.0) for _ in range(5)]
+        plan = plan_gradient_partition(layers, AR, de_maxiter=8, seed=2)
+        consumed = 0.0
+        produced = 0.0
+        for i in reversed(range(5)):
+            consumed += (
+                plan.moe_window_bytes[i]
+                + plan.dense_window_bytes[i]
+                + plan.extra_bytes[i]
+            )
+            assert consumed <= produced + 1e-6
+            produced += layers[i].grad_bytes
+
+
+class TestQuality:
+    def test_windows_absorb_before_tail(self):
+        """With large windows and small grads, nothing reaches the tail
+        except the first layer's own gradients."""
+        layers = [make_layer(grad_mb=2.0, dense_ms=50.0) for _ in range(3)]
+        plan = plan_gradient_partition(layers, AR, use_differential_evolution=False)
+        assert plan.tail_bytes == pytest.approx(2.0 * MB)
+
+    def test_de_no_worse_than_greedy_only(self):
+        layers = [make_layer(grad_mb=60.0, dense_ms=1.0) for _ in range(4)]
+        greedy = plan_gradient_partition(
+            layers, AR, use_differential_evolution=False
+        )
+        de = plan_gradient_partition(layers, AR, seed=3)
+        assert (
+            de.total_estimated_backward_ms()
+            <= greedy.total_estimated_backward_ms() + 1e-6
+        )
+
+    def test_t_gar_reflects_assigned_bytes(self):
+        layers = [make_layer(grad_mb=30.0) for _ in range(3)]
+        plan = plan_gradient_partition(layers, AR, seed=4)
+        for i in range(3):
+            assigned = plan.moe_window_bytes[i] + plan.extra_bytes[i]
+            expected = AR.time_ms(assigned)
+            assert plan.t_gar_ms[i] == pytest.approx(expected)
+
+    def test_merged_comm_windows_smaller_or_equal(self):
+        layers = [make_layer(grad_mb=30.0, dense_ms=0.0) for _ in range(3)]
+        dedicated = plan_gradient_partition(
+            layers, AR, use_differential_evolution=False
+        )
+        merged = plan_gradient_partition(
+            layers, AR, merged_comm=True, use_differential_evolution=False
+        )
+        assert sum(merged.moe_window_bytes) <= sum(
+            dedicated.moe_window_bytes
+        ) + 1e-9
+
+
+class TestInterface:
+    def test_rejects_empty(self):
+        with pytest.raises(SolverError):
+            plan_gradient_partition([], AR)
+
+    def test_rejects_negative_inputs(self):
+        with pytest.raises(SolverError):
+            GeneralizedLayer(
+                ctx=make_layer().ctx,
+                dense_overlappable_ms=-1.0,
+                grad_bytes=0.0,
+            )
+        with pytest.raises(SolverError):
+            GeneralizedLayer(
+                ctx=make_layer().ctx,
+                dense_overlappable_ms=0.0,
+                grad_bytes=-5.0,
+            )
+
+    def test_zero_gradients(self):
+        layers = [
+            GeneralizedLayer(
+                ctx=make_layer().ctx, dense_overlappable_ms=1.0, grad_bytes=0.0
+            )
+            for _ in range(2)
+        ]
+        plan = plan_gradient_partition(layers, AR)
+        assert plan.tail_bytes == 0.0
+        assert plan.tail_ms == 0.0

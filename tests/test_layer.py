@@ -1,0 +1,219 @@
+"""Tests for MOELayer: forward/backward, hooks, expert parallelism."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.moe import (
+    GShardGate,
+    MOELayer,
+    MixtralFFNExpert,
+    NcclAllToAll,
+    SimpleFFNExpert,
+    TutelOrder,
+    GShardOrder,
+)
+from repro.moe.interfaces import CallbackBase
+from repro.moe.layer import expert_parallel_forward
+
+S, M, E, K, H = 32, 12, 4, 2, 20
+RNG = np.random.default_rng(0)
+
+
+def make_layer(capacity_factor=2.0, callbacks=(), order=None, seed=1):
+    gate = GShardGate(M, E, K, seed=seed)
+    experts = [SimpleFFNExpert(M, H, seed=seed + 1 + e) for e in range(E)]
+    return MOELayer(
+        gate, experts, capacity_factor=capacity_factor,
+        callbacks=callbacks, order=order,
+    )
+
+
+class TestForward:
+    def test_shapes_2d_and_3d(self):
+        layer = make_layer()
+        x2 = RNG.normal(size=(S, M))
+        assert layer.forward(x2).shape == (S, M)
+        x3 = RNG.normal(size=(2, S // 2, M))
+        assert layer.forward(x3).shape == (2, S // 2, M)
+
+    def test_rejects_bad_rank(self):
+        with pytest.raises(ShapeError):
+            make_layer().forward(np.zeros((2, 2, 2, 2)))
+
+    def test_capacity_formula(self):
+        layer = make_layer(capacity_factor=1.2)
+        # ceil(k * f * S / E) = ceil(2 * 1.2 * 32 / 4) = 20
+        assert layer.capacity(32) == 20
+
+    def test_nodrop_capacity_is_all_tokens(self):
+        layer = make_layer(capacity_factor=None)
+        assert layer.capacity(32) == 32
+
+    def test_identity_experts_reproduce_input(self):
+        """With ample capacity and identity experts, combine(dispatch(x)) == x."""
+        class IdentityExpert(SimpleFFNExpert):
+            def forward(self, x):
+                self._cache = {"x": x}
+                return x
+        gate = GShardGate(M, E, K, seed=3)
+        layer = MOELayer(
+            gate,
+            [IdentityExpert(M, H) for _ in range(E)],
+            capacity_factor=None,
+        )
+        x = RNG.normal(size=(S, M))
+        np.testing.assert_allclose(layer.forward(x), x, atol=1e-9)
+
+    def test_mixtral_experts_work(self):
+        gate = GShardGate(M, E, K, seed=5)
+        layer = MOELayer(
+            gate,
+            [MixtralFFNExpert(M, H, seed=6 + e) for e in range(E)],
+            capacity_factor=2.0,
+        )
+        assert layer.forward(RNG.normal(size=(S, M))).shape == (S, M)
+
+    def test_gate_expert_count_mismatch(self):
+        gate = GShardGate(M, E, K, seed=1)
+        with pytest.raises(ShapeError):
+            MOELayer(gate, [SimpleFFNExpert(M, H)] * (E - 1))
+
+    def test_aux_loss_populated(self):
+        layer = make_layer()
+        assert layer.aux_loss == 0.0
+        layer.forward(RNG.normal(size=(S, M)))
+        assert layer.aux_loss > 0.0
+
+    def test_order_choices_equivalent(self):
+        x = RNG.normal(size=(S, M))
+        y1 = make_layer(order=TutelOrder(), seed=11).forward(x)
+        y2 = make_layer(order=GShardOrder(), seed=11).forward(x)
+        np.testing.assert_allclose(y1, y2, atol=1e-10)
+
+
+class TestBackward:
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(ShapeError):
+            make_layer().backward(np.zeros((S, M)))
+
+    def test_input_gradient_finite_difference(self):
+        layer = make_layer(seed=21)
+        x = RNG.normal(size=(12, M))
+        dy = RNG.normal(size=(12, M))
+        layer.zero_grad()
+        layer.forward(x)
+        dx = layer.backward(dy)
+
+        eps = 1e-6
+        i, j = 4, 7
+        x_up = x.copy(); x_up[i, j] += eps
+        x_dn = x.copy(); x_dn[i, j] -= eps
+        fd = np.sum((layer.forward(x_up) - layer.forward(x_dn)) * dy) / (2 * eps)
+        assert dx[i, j] == pytest.approx(fd, rel=1e-3, abs=1e-6)
+
+    def test_expert_grads_populated(self):
+        layer = make_layer()
+        layer.zero_grad()
+        layer.forward(RNG.normal(size=(S, M)))
+        layer.backward(np.ones((S, M)))
+        touched = [
+            float(np.abs(e.grads["w1"]).sum()) for e in layer.experts
+        ]
+        assert sum(t > 0 for t in touched) >= 1
+
+    def test_gate_grads_populated(self):
+        layer = make_layer()
+        layer.zero_grad()
+        layer.forward(RNG.normal(size=(S, M)))
+        layer.backward(np.ones((S, M)))
+        assert np.abs(layer.gate.grads["w_gate"]).sum() > 0
+
+    def test_zero_grad_clears_everything(self):
+        layer = make_layer()
+        layer.forward(RNG.normal(size=(S, M)))
+        layer.backward(np.ones((S, M)))
+        layer.zero_grad()
+        assert np.abs(layer.gate.grads["w_gate"]).sum() == 0
+        for expert in layer.experts:
+            assert np.abs(expert.grads["w1"]).sum() == 0
+
+
+class RecordingCallback(CallbackBase):
+    def __init__(self):
+        self.sites = []
+
+    def before_moe_start_hook(self, x, ctx):
+        self.sites.append("before_moe_start")
+        return x
+
+    def before_dispatch_hook(self, x, ctx):
+        self.sites.append("before_dispatch")
+        ctx.storage["scale"] = 2.0
+        return x * 2.0
+
+    def after_dispatch_hook(self, x, ctx):
+        self.sites.append("after_dispatch")
+        return x / ctx.storage["scale"]
+
+    def before_combine_hook(self, x, ctx):
+        self.sites.append("before_combine")
+        return x
+
+    def after_combine_hook(self, x, ctx):
+        self.sites.append("after_combine")
+        return x
+
+    def before_moe_end_hook(self, x, ctx):
+        self.sites.append("before_moe_end")
+        return x
+
+
+class TestHooks:
+    def test_hooks_called_in_order(self):
+        cb = RecordingCallback()
+        layer = make_layer(callbacks=(cb,))
+        layer.forward(RNG.normal(size=(S, M)))
+        assert cb.sites == [
+            "before_moe_start",
+            "before_dispatch",
+            "after_dispatch",
+            "before_combine",
+            "after_combine",
+            "before_moe_end",
+        ]
+
+    def test_compress_decompress_pair_is_transparent(self):
+        """The paper's compression example: hooks must not change results."""
+        x = RNG.normal(size=(S, M))
+        plain = make_layer(seed=31).forward(x)
+        hooked = make_layer(seed=31, callbacks=(RecordingCallback(),)).forward(x)
+        np.testing.assert_allclose(plain, hooked, atol=1e-12)
+
+
+class TestExpertParallel:
+    @pytest.mark.parametrize("world", [2, 4])
+    def test_ep_equals_local_execution(self, world):
+        layers = []
+        for _ in range(world):
+            gate = GShardGate(M, E, K, seed=77)
+            experts = [SimpleFFNExpert(M, H, seed=100 + e) for e in range(E)]
+            layers.append(MOELayer(gate, experts, capacity_factor=2.0))
+        inputs = [RNG.normal(size=(16, M)) for _ in range(world)]
+        ep = expert_parallel_forward(layers, inputs, NcclAllToAll(world))
+        local = [layers[r].forward(inputs[r]) for r in range(world)]
+        for a, b in zip(ep, local):
+            np.testing.assert_allclose(a, b, atol=1e-9)
+
+    def test_rejects_uneven_experts(self):
+        layers = [make_layer(seed=1) for _ in range(3)]  # E=4 over 3 ranks
+        inputs = [RNG.normal(size=(8, M))] * 3
+        with pytest.raises(ShapeError):
+            expert_parallel_forward(layers, inputs, NcclAllToAll(3))
+
+    def test_rejects_mismatched_inputs(self):
+        layers = [make_layer(seed=1) for _ in range(2)]
+        with pytest.raises(ShapeError):
+            expert_parallel_forward(
+                layers, [RNG.normal(size=(8, M))], NcclAllToAll(2)
+            )

@@ -1,0 +1,145 @@
+"""Tests for model presets, layer profiling and the Table-2 breakdown."""
+
+import pytest
+
+from repro.config import MoELayerSpec
+from repro.errors import ConfigError
+from repro.models import (
+    GPT2_XL,
+    MIXTRAL_7B,
+    MIXTRAL_22B,
+    MODEL_PRESETS,
+    gpipe_iteration_ms,
+    layer_op_breakdown,
+    layer_spec_for,
+    microbatch_spec,
+    profile_layer,
+)
+from repro.models.transformer import BREAKDOWN_OPS
+from repro.moe.gates import GateKind
+
+
+class TestPresets:
+    def test_registry_complete(self):
+        assert set(MODEL_PRESETS) == {"GPT2-XL", "Mixtral-7B", "Mixtral-22B"}
+
+    def test_mixtral_7b_geometry(self):
+        spec = layer_spec_for(
+            MIXTRAL_7B, batch_size=1, seq_len=1024, num_experts=8
+        )
+        assert spec.embed_dim == 4096
+        assert spec.hidden_dim == 14336
+        assert spec.ffn_type == "mixtral"
+
+    def test_mixtral_22b_geometry(self):
+        spec = layer_spec_for(
+            MIXTRAL_22B, batch_size=1, seq_len=1024, num_experts=6
+        )
+        assert spec.embed_dim == 6144
+        assert spec.hidden_dim == 16384
+
+    def test_gpt2_heads_divide(self):
+        spec = layer_spec_for(GPT2_XL, batch_size=1, seq_len=256, num_experts=8)
+        assert spec.embed_dim % spec.num_heads == 0
+
+    def test_paper_e2e_defaults(self):
+        assert MIXTRAL_7B.top_k == 2
+        assert MIXTRAL_7B.capacity_factor == 1.2
+        assert MIXTRAL_7B.num_layers == 7  # Testbed-B setting (§6.4)
+        assert MIXTRAL_22B.num_layers == 33  # Testbed-A setting (§6.4)
+
+    def test_rejects_bad_expert_count(self):
+        with pytest.raises(ConfigError):
+            layer_spec_for(GPT2_XL, batch_size=1, seq_len=256, num_experts=0)
+
+
+class TestProfileLayer:
+    def test_profile_fields_positive(self, profile_b):
+        assert profile_b.dense_fw_ms > 0
+        assert profile_b.dense_bw_ms > profile_b.dense_fw_ms
+        assert profile_b.grad_bytes > 0
+        assert profile_b.gate_ms > 0
+        assert profile_b.order_ms > 0
+
+    def test_backward_context_doubles_experts(self, profile_b):
+        assert profile_b.ctx_bw.n_exp == 2 * profile_b.ctx_fw.n_exp
+        assert profile_b.ctx_bw.n_a2a == profile_b.ctx_fw.n_a2a
+
+    def test_expert_choice_shrinks_capacity(self, small_spec, parallel_b, models_b):
+        gshard = profile_layer(
+            small_spec, parallel_b, models_b, gate_kind=GateKind.GSHARD
+        )
+        ec = profile_layer(
+            small_spec, parallel_b, models_b, gate_kind=GateKind.EXPERT_CHOICE
+        )
+        assert ec.volumes.a2a_bytes < gshard.volumes.a2a_bytes
+        assert ec.spec.capacity_factor == 1.0
+
+    def test_xmoe_costs_more_routing(self, small_spec, parallel_b, models_b):
+        gshard = profile_layer(
+            small_spec, parallel_b, models_b, gate_kind=GateKind.GSHARD
+        )
+        xmoe = profile_layer(
+            small_spec, parallel_b, models_b, gate_kind=GateKind.XMOE
+        )
+        assert xmoe.gate_ms > gshard.gate_ms
+
+    def test_routing_overhead_multiplier(self, small_spec, parallel_b, models_b):
+        base = profile_layer(small_spec, parallel_b, models_b)
+        slow = profile_layer(
+            small_spec, parallel_b, models_b, routing_overhead=3.0
+        )
+        assert slow.gate_ms == pytest.approx(3.0 * base.gate_ms)
+        with pytest.raises(ConfigError):
+            profile_layer(small_spec, parallel_b, models_b, routing_overhead=0)
+
+
+class TestBreakdown:
+    def test_all_paper_ops_present(self, profile_b, models_b):
+        fw = layer_op_breakdown(profile_b, models_b, "forward")
+        assert tuple(fw) == BREAKDOWN_OPS
+
+    def test_forward_has_no_allreduce(self, profile_b, models_b):
+        fw = layer_op_breakdown(profile_b, models_b, "forward")
+        assert fw["AllReduce"] == 0.0
+
+    def test_backward_doubles_compute(self, profile_b, models_b):
+        fw = layer_op_breakdown(profile_b, models_b, "forward")
+        bw = layer_op_breakdown(profile_b, models_b, "backward")
+        assert bw["Attention"] == pytest.approx(2 * fw["Attention"])
+        assert bw["Experts"] > 1.8 * fw["Experts"]
+        assert bw["AllReduce"] > 0
+        assert bw["AlltoAll"] == pytest.approx(fw["AlltoAll"])
+
+    def test_rejects_unknown_phase(self, profile_b, models_b):
+        with pytest.raises(ConfigError):
+            layer_op_breakdown(profile_b, models_b, "sideways")
+
+
+class TestPipelineParallel:
+    def test_microbatch_splits_batch_first(self):
+        spec = MoELayerSpec(batch_size=4, seq_len=1024)
+        micro = microbatch_spec(spec, 4)
+        assert micro.batch_size == 1
+        assert micro.seq_len == 1024
+
+    def test_microbatch_falls_back_to_sequence(self):
+        spec = MoELayerSpec(batch_size=1, seq_len=1024)
+        micro = microbatch_spec(spec, 4)
+        assert micro.batch_size == 1
+        assert micro.seq_len == 256
+
+    def test_microbatch_rejects_unsplittable(self):
+        spec = MoELayerSpec(batch_size=1, seq_len=1000)
+        with pytest.raises(ConfigError):
+            microbatch_spec(spec, 3)
+
+    def test_gpipe_formula(self):
+        # (m + p - 1) * (tf + tb) + exposed
+        assert gpipe_iteration_ms(2.0, 3.0, 1.0, num_stages=2, num_micro=4) == (
+            pytest.approx(5 * 5.0 + 1.0)
+        )
+
+    def test_gpipe_rejects_bad_counts(self):
+        with pytest.raises(ConfigError):
+            gpipe_iteration_ms(1.0, 1.0, 0.0, num_stages=0, num_micro=2)

@@ -1,0 +1,134 @@
+"""Property tests for the numpy numerics in repro.moe.functional."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import ShapeError
+from repro.moe.functional import (
+    l2_normalize,
+    one_hot,
+    relu,
+    relu_backward,
+    sigmoid,
+    silu,
+    silu_backward,
+    softmax,
+    softmax_backward,
+    softplus,
+    top_k,
+)
+
+arrays = hnp.arrays(
+    dtype=np.float64,
+    shape=hnp.array_shapes(min_dims=2, max_dims=2, min_side=2, max_side=16),
+    elements=st.floats(-50, 50),
+)
+
+
+class TestSoftmax:
+    @given(x=arrays)
+    @settings(max_examples=50, deadline=None)
+    def test_rows_sum_to_one(self, x):
+        y = softmax(x, axis=-1)
+        np.testing.assert_allclose(y.sum(axis=-1), 1.0, rtol=1e-9)
+        assert (y >= 0).all()
+
+    def test_stable_for_large_inputs(self):
+        y = softmax(np.array([[1e4, 1e4 + 1.0]]))
+        assert np.isfinite(y).all()
+
+    @given(x=arrays)
+    @settings(max_examples=30, deadline=None)
+    def test_backward_matches_finite_difference(self, x):
+        dy = np.ones_like(x)
+        y = softmax(x, axis=-1)
+        analytic = softmax_backward(y, dy, axis=-1)
+        # d(sum of softmax)/dx == 0 since rows always sum to 1.
+        np.testing.assert_allclose(analytic, 0.0, atol=1e-9)
+
+
+class TestActivations:
+    @given(x=arrays)
+    @settings(max_examples=30, deadline=None)
+    def test_sigmoid_bounded(self, x):
+        y = sigmoid(x)
+        # float64 saturates to exactly 0/1 beyond |x| ~ 37.
+        assert ((y >= 0) & (y <= 1)).all()
+        moderate = np.abs(x) < 30
+        assert ((y[moderate] > 0) & (y[moderate] < 1)).all()
+
+    @given(x=arrays)
+    @settings(max_examples=30, deadline=None)
+    def test_softplus_positive_and_above_relu(self, x):
+        y = softplus(x)
+        assert (y > 0).all()
+        assert (y >= relu(x)).all()
+
+    @given(v=st.floats(-20, 20))
+    @settings(max_examples=40, deadline=None)
+    def test_silu_derivative_finite_difference(self, v):
+        x = np.array([v])
+        eps = 1e-6
+        fd = (silu(x + eps) - silu(x - eps)) / (2 * eps)
+        np.testing.assert_allclose(silu_backward(x), fd, atol=1e-5)
+
+    def test_relu_backward_zero_at_negative(self):
+        x = np.array([-1.0, 0.0, 2.0])
+        np.testing.assert_array_equal(relu_backward(x), [0.0, 0.0, 1.0])
+
+
+class TestL2Normalize:
+    @given(x=arrays)
+    @settings(max_examples=30, deadline=None)
+    def test_unit_rows(self, x):
+        x = x + 1.0  # avoid exactly-zero rows
+        y = l2_normalize(x, axis=-1)
+        norms = np.linalg.norm(y, axis=-1)
+        np.testing.assert_allclose(norms, 1.0, rtol=1e-6)
+
+    def test_zero_row_safe(self):
+        y = l2_normalize(np.zeros((2, 3)))
+        assert np.isfinite(y).all()
+
+
+class TestTopK:
+    @given(x=arrays, k=st.integers(1, 2))
+    @settings(max_examples=50, deadline=None)
+    def test_values_sorted_and_correct(self, x, k):
+        vals, idx = top_k(x, k, axis=-1)
+        assert vals.shape == x.shape[:-1] + (k,)
+        # descending order
+        assert (np.diff(vals, axis=-1) <= 1e-12).all()
+        # values actually come from the indexed positions
+        np.testing.assert_array_equal(
+            np.take_along_axis(x, idx, axis=-1), vals
+        )
+        # they are the true maxima
+        np.testing.assert_allclose(
+            vals[..., 0], x.max(axis=-1), rtol=1e-12
+        )
+
+    def test_rejects_k_too_large(self):
+        with pytest.raises(ShapeError):
+            top_k(np.zeros((2, 3)), 4)
+
+
+class TestOneHot:
+    def test_basic(self):
+        out = one_hot(np.array([0, 2]), 3)
+        np.testing.assert_array_equal(out, [[1, 0, 0], [0, 0, 1]])
+
+    def test_negative_means_empty(self):
+        out = one_hot(np.array([-1, 1]), 2)
+        np.testing.assert_array_equal(out, [[0, 0], [0, 1]])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ShapeError):
+            one_hot(np.array([3]), 3)
+
+    def test_nd_shape(self):
+        out = one_hot(np.zeros((2, 3), dtype=int), 4)
+        assert out.shape == (2, 3, 4)

@@ -1,0 +1,113 @@
+"""Tests for the two ordering functions: equivalence and gradients."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.moe.gates import GShardGate
+from repro.moe.ordering import GShardOrder, TutelOrder
+
+M, E, K = 12, 4, 2
+
+
+def make_assignment(s: int, capacity: int, seed: int):
+    rng = np.random.default_rng(seed)
+    gate = GShardGate(M, E, K, seed=seed)
+    x = rng.normal(size=(s, M))
+    return x, gate.assign(x, capacity)
+
+
+class TestEquivalence:
+    @given(s=st.integers(4, 40), cap=st.integers(2, 24), seed=st.integers(0, 50))
+    @settings(max_examples=40, deadline=None)
+    def test_forward_identical(self, s, cap, seed):
+        x, a = make_assignment(s, cap, seed)
+        np.testing.assert_allclose(
+            GShardOrder().forward(x, a), TutelOrder().forward(x, a), atol=1e-12
+        )
+
+    @given(s=st.integers(4, 40), cap=st.integers(2, 24), seed=st.integers(0, 50))
+    @settings(max_examples=40, deadline=None)
+    def test_inverse_identical(self, s, cap, seed):
+        x, a = make_assignment(s, cap, seed)
+        rng = np.random.default_rng(seed + 1)
+        buffer = rng.normal(size=(E, a.capacity, M))
+        np.testing.assert_allclose(
+            GShardOrder().inverse(buffer, a, s),
+            TutelOrder().inverse(buffer, a, s),
+            atol=1e-12,
+        )
+
+    @given(s=st.integers(4, 24), cap=st.integers(2, 16), seed=st.integers(0, 20))
+    @settings(max_examples=25, deadline=None)
+    def test_backward_identical(self, s, cap, seed):
+        x, a = make_assignment(s, cap, seed)
+        rng = np.random.default_rng(seed + 2)
+        d_buffer = rng.normal(size=(E, a.capacity, M))
+        dy = rng.normal(size=(s, M))
+        buffer = TutelOrder().forward(x, a)
+        g1 = GShardOrder()
+        g2 = TutelOrder()
+        np.testing.assert_allclose(
+            g1.backward_forward(d_buffer, a, s),
+            g2.backward_forward(d_buffer, a, s),
+            atol=1e-12,
+        )
+        db1, dw1 = g1.backward_inverse(dy, buffer, a)
+        db2, dw2 = g2.backward_inverse(dy, buffer, a)
+        np.testing.assert_allclose(db1, db2, atol=1e-12)
+        np.testing.assert_allclose(dw1, dw2, atol=1e-12)
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("order_cls", [GShardOrder, TutelOrder])
+    def test_buffer_rows_are_selected_tokens(self, order_cls):
+        x, a = make_assignment(16, 8, seed=3)
+        buffer = order_cls().forward(x, a)
+        for e in range(E):
+            for t in range(a.capacity):
+                token = a.token_ids[e, t]
+                if token >= 0:
+                    np.testing.assert_allclose(buffer[e, t], x[token])
+                else:
+                    np.testing.assert_allclose(buffer[e, t], 0.0)
+
+    @pytest.mark.parametrize("order_cls", [GShardOrder, TutelOrder])
+    def test_inverse_applies_weights(self, order_cls):
+        x, a = make_assignment(16, 32, seed=4)  # ample capacity, no drops
+        order = order_cls()
+        buffer = order.forward(x, a)
+        y = order.inverse(buffer, a, 16)
+        # identity experts + normalized GShard weights => y == x exactly
+        np.testing.assert_allclose(y, x, atol=1e-9)
+
+    @pytest.mark.parametrize("order_cls", [GShardOrder, TutelOrder])
+    def test_forward_backward_adjoint(self, order_cls):
+        """<forward(x), g> == <x, backward_forward(g)> (gather adjoint)."""
+        x, a = make_assignment(20, 8, seed=5)
+        rng = np.random.default_rng(9)
+        g = rng.normal(size=(E, a.capacity, M))
+        order = order_cls()
+        lhs = float(np.sum(order.forward(x, a) * g))
+        rhs = float(np.sum(x * order.backward_forward(g, a, 20)))
+        assert lhs == pytest.approx(rhs)
+
+    @pytest.mark.parametrize("order_cls", [GShardOrder, TutelOrder])
+    def test_inverse_gradients_finite_difference(self, order_cls):
+        x, a = make_assignment(10, 6, seed=6)
+        order = order_cls()
+        rng = np.random.default_rng(11)
+        buffer = rng.normal(size=(E, a.capacity, M))
+        dy = rng.normal(size=(10, M))
+        d_buffer, d_weights = order.backward_inverse(dy, buffer, a)
+
+        eps = 1e-6
+        e, t, m = 1, 0, 2
+        buffer[e, t, m] += eps
+        up = order.inverse(buffer, a, 10)
+        buffer[e, t, m] -= 2 * eps
+        down = order.inverse(buffer, a, 10)
+        buffer[e, t, m] += eps
+        fd = float(np.sum((up - down) * dy) / (2 * eps))
+        assert d_buffer[e, t, m] == pytest.approx(fd, abs=1e-6)

@@ -1,0 +1,100 @@
+"""Unit and property tests for repro.core.perf_model."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.perf_model import LinearPerfModel, PerfModelSet, fit_linear_model
+from repro.errors import SolverError
+
+
+class TestLinearPerfModel:
+    def test_time_linear(self):
+        m = LinearPerfModel(alpha=1.0, beta=0.5)
+        assert m.time_ms(0) == 0.0
+        assert m.time_ms(2) == 2.0
+        assert m.time_ms(4) == 3.0
+
+    def test_chunk_time(self):
+        m = LinearPerfModel(alpha=1.0, beta=0.5)
+        assert m.chunk_time_ms(8, 4) == 1.0 + 1.0
+
+    def test_inverse_roundtrip(self):
+        m = LinearPerfModel(alpha=0.3, beta=2e-6)
+        n = 1_000_000
+        assert m.inverse(m.time_ms(n)) == pytest.approx(n)
+
+    def test_inverse_clamps_below_alpha(self):
+        m = LinearPerfModel(alpha=1.0, beta=1.0)
+        assert m.inverse(0.5) == 0.0
+
+    def test_inverse_zero_beta(self):
+        m = LinearPerfModel(alpha=1.0, beta=0.0)
+        assert m.inverse(0.5) == 0.0
+        assert m.inverse(2.0) == float("inf")
+
+    def test_scaled(self):
+        m = LinearPerfModel(alpha=1.0, beta=2.0).scaled(2.0, 3.0)
+        assert (m.alpha, m.beta) == (2.0, 6.0)
+
+
+class TestFit:
+    @given(
+        alpha=st.floats(0.01, 2.0),
+        beta=st.floats(1e-8, 1e-4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_exact_recovery(self, alpha, beta):
+        sizes = [float((i + 1) * 2**18) for i in range(16)]
+        times = [alpha + beta * n for n in sizes]
+        model, r2 = fit_linear_model(sizes, times)
+        assert model.alpha == pytest.approx(alpha, rel=1e-6, abs=1e-9)
+        assert model.beta == pytest.approx(beta, rel=1e-6)
+        assert r2 == pytest.approx(1.0)
+
+    def test_noisy_fit_r2_high(self):
+        rng = np.random.default_rng(0)
+        sizes = [float((i + 1) * 2**18) for i in range(24)]
+        times = [
+            (0.2 + 3e-7 * n) * rng.normal(1.0, 0.02) for n in sizes
+        ]
+        model, r2 = fit_linear_model(sizes, times)
+        assert r2 > 0.99
+        assert model.beta == pytest.approx(3e-7, rel=0.1)
+
+    def test_negative_alpha_clamped(self):
+        sizes = [1.0, 2.0, 3.0]
+        times = [0.0, 1.0, 2.0]  # perfect line with alpha = -1
+        model, _ = fit_linear_model(sizes, times)
+        assert model.alpha == 0.0
+
+    def test_rejects_too_few_samples(self):
+        with pytest.raises(SolverError):
+            fit_linear_model([1.0], [1.0])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(SolverError):
+            fit_linear_model([1.0, 2.0], [1.0])
+
+
+class TestPerfModelSet:
+    def make_set(self):
+        m = LinearPerfModel(alpha=0.1, beta=1e-7)
+        return PerfModelSet(a2a=m, allgather=m, reducescatter=m, allreduce=m,
+                            gemm=LinearPerfModel(alpha=0.05, beta=1e-10))
+
+    def test_expert_model_scales_alpha_only(self):
+        s = self.make_set()
+        e3 = s.expert_model(3)
+        assert e3.alpha == pytest.approx(0.15)
+        assert e3.beta == s.gemm.beta
+
+    def test_expert_model_rejects_zero(self):
+        with pytest.raises(SolverError):
+            self.make_set().expert_model(0)
+
+    def test_as_dict_names(self):
+        assert set(self.make_set().as_dict()) == {
+            "a2a", "allgather", "reducescatter", "allreduce", "gemm"
+        }

@@ -1,0 +1,124 @@
+"""Tests for Algorithm 1 (FindOptimalPipelineDegree)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cases import Case, analytic_time
+from repro.core.constraints import PipelineContext
+from repro.core.perf_model import LinearPerfModel
+from repro.core.pipeline_degree import (
+    find_optimal_pipeline_degree,
+    oracle_integer_degree,
+)
+from repro.errors import SolverError
+
+from .helpers import pipeline_contexts
+
+
+class TestAgainstOracle:
+    @given(ctx=pipeline_contexts(with_gar=True))
+    @settings(max_examples=40, deadline=None)
+    def test_slsqp_matches_integer_oracle(self, ctx):
+        """Algorithm 1 finds (near-)oracle degrees on the analytic model.
+
+        The SLSQP search solves smooth relaxations, so we assert the
+        resulting *time* is within 2% of the brute-force optimum (ties in
+        degree are fine -- several degrees often share the optimum).
+        """
+        slsqp = find_optimal_pipeline_degree(ctx, r_max=16)
+        oracle = oracle_integer_degree(ctx, r_max=16)
+        assert slsqp.time_ms <= oracle.time_ms * 1.02 + 1e-9
+
+    @given(ctx=pipeline_contexts())
+    @settings(max_examples=30, deadline=None)
+    def test_solution_consistent_with_analytic_time(self, ctx):
+        sol = find_optimal_pipeline_degree(ctx, r_max=16)
+        assert sol.time_ms == pytest.approx(
+            analytic_time(ctx, float(sol.degree))
+        )
+        assert 1 <= sol.degree <= 16
+
+
+class TestKnownOptima:
+    def test_startup_dominated_prefers_r1(self):
+        """Huge alphas + tiny volumes: chunking only adds startups."""
+        ctx = PipelineContext(
+            a2a=LinearPerfModel(5.0, 1e-9), n_a2a=1e4,
+            ag=LinearPerfModel(5.0, 1e-9), n_ag=1e4,
+            rs=LinearPerfModel(5.0, 1e-9), n_rs=1e4,
+            exp=LinearPerfModel(5.0, 1e-12), n_exp=1e6,
+        )
+        assert find_optimal_pipeline_degree(ctx).degree == 1
+
+    def test_balanced_overlap_prefers_pipelining(self):
+        """Zero startup + equal comm/compute: more chunks always help."""
+        ctx = PipelineContext(
+            a2a=LinearPerfModel(0.001, 2e-7), n_a2a=5e7,
+            ag=LinearPerfModel(0.001, 1e-8), n_ag=5e7,
+            rs=LinearPerfModel(0.001, 1e-8), n_rs=5e7,
+            exp=LinearPerfModel(0.001, 1e-9), n_exp=2e10,
+        )
+        assert find_optimal_pipeline_degree(ctx).degree >= 4
+
+    def test_gar_shifts_regime_to_case1(self):
+        ctx = PipelineContext(
+            a2a=LinearPerfModel(0.2, 2e-7), n_a2a=5e7,
+            ag=LinearPerfModel(0.05, 1e-8), n_ag=5e6,
+            rs=LinearPerfModel(0.05, 1e-8), n_rs=5e6,
+            exp=LinearPerfModel(0.1, 1e-10), n_exp=1e9,
+            t_gar=1000.0,
+        )
+        sol = find_optimal_pipeline_degree(ctx)
+        assert sol.case is Case.CASE1
+        # In case 1 time = 2 r alpha + const + t_gar: minimal r wins.
+        assert sol.degree == 1
+
+
+class TestInterface:
+    def test_rejects_bad_rmax(self):
+        ctx = PipelineContext(
+            a2a=LinearPerfModel(0.1, 1e-7), n_a2a=1e6,
+            ag=LinearPerfModel(0.1, 1e-7), n_ag=1e6,
+            rs=LinearPerfModel(0.1, 1e-7), n_rs=1e6,
+            exp=LinearPerfModel(0.1, 1e-10), n_exp=1e9,
+        )
+        with pytest.raises(SolverError):
+            find_optimal_pipeline_degree(ctx, r_max=0)
+        with pytest.raises(SolverError):
+            oracle_integer_degree(ctx, r_max=0)
+
+    def test_per_case_times_reported(self):
+        ctx = PipelineContext(
+            a2a=LinearPerfModel(0.1, 1e-7), n_a2a=1e7,
+            ag=LinearPerfModel(0.05, 1e-8), n_ag=1e7,
+            rs=LinearPerfModel(0.05, 1e-8), n_rs=1e7,
+            exp=LinearPerfModel(0.05, 1e-10), n_exp=1e10,
+        )
+        sol = find_optimal_pipeline_degree(ctx)
+        assert set(sol.per_case_time_ms) == set(Case)
+        assert min(sol.per_case_time_ms.values()) < float("inf")
+
+    def test_rmax_caps_degree(self):
+        ctx = PipelineContext(
+            a2a=LinearPerfModel(0.0001, 2e-7), n_a2a=5e7,
+            ag=LinearPerfModel(0.0001, 1e-8), n_ag=5e7,
+            rs=LinearPerfModel(0.0001, 1e-8), n_rs=5e7,
+            exp=LinearPerfModel(0.0001, 1e-9), n_exp=2e10,
+        )
+        assert find_optimal_pipeline_degree(ctx, r_max=3).degree <= 3
+
+
+class TestForwardBackwardDiffer:
+    def test_912_of_1458_claim_mechanism(self, profile_b):
+        """Paper §4.4: fw and bw can have different optimal degrees.
+
+        Verify the mechanism exists for the reference profile: backward
+        doubles the expert share, which changes the case geometry.
+        """
+        fw = find_optimal_pipeline_degree(profile_b.ctx_fw)
+        bw = find_optimal_pipeline_degree(profile_b.ctx_bw)
+        assert fw.degree >= 1 and bw.degree >= 1
+        # Degrees (and, in intra-dominated Case 4, even the times) may
+        # coincide; backward can never be cheaper than forward.
+        assert bw.time_ms >= fw.time_ms

@@ -1,0 +1,106 @@
+"""Property tests for the virtual-rank collectives (data semantics)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ShapeError
+from repro.runtime import (
+    VirtualGroup,
+    all_gather,
+    all_reduce,
+    all_to_all,
+    reduce_scatter,
+)
+
+
+def rank_buffers(world: int, rows: int, cols: int, seed: int):
+    rng = np.random.default_rng(seed)
+    return [rng.normal(size=(rows, cols)) for _ in range(world)]
+
+
+worlds = st.sampled_from([2, 4, 8])
+seeds = st.integers(0, 100)
+
+
+class TestIdentities:
+    @given(world=worlds, seed=seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_allreduce_is_sum(self, world, seed):
+        buffers = rank_buffers(world, 4, 3, seed)
+        out = all_reduce(buffers)
+        expected = sum(buffers)
+        for o in out:
+            np.testing.assert_allclose(o, expected)
+
+    @given(world=worlds, seed=seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_reduce_scatter_then_all_gather_equals_all_reduce(self, world, seed):
+        buffers = rank_buffers(world, world * 2, 3, seed)
+        rs = reduce_scatter(buffers)
+        ag = all_gather(rs)
+        ar = all_reduce(buffers)
+        for a, b in zip(ag, ar):
+            np.testing.assert_allclose(a, b)
+
+    @given(world=worlds, seed=seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_all_to_all_is_involution(self, world, seed):
+        buffers = rank_buffers(world, world * 3, 2, seed)
+        twice = all_to_all(all_to_all(buffers))
+        for original, roundtrip in zip(buffers, twice):
+            np.testing.assert_allclose(original, roundtrip)
+
+    @given(world=worlds, seed=seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_all_gather_slices_recover_inputs(self, world, seed):
+        buffers = rank_buffers(world, 2, 3, seed)
+        gathered = all_gather(buffers)
+        for rank, original in enumerate(buffers):
+            slice_ = gathered[0][rank * 2 : (rank + 1) * 2]
+            np.testing.assert_allclose(slice_, original)
+
+    @given(world=worlds, seed=seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_all_to_all_moves_correct_slices(self, world, seed):
+        buffers = rank_buffers(world, world, 2, seed)
+        out = all_to_all(buffers)
+        for dst in range(world):
+            for src in range(world):
+                np.testing.assert_allclose(
+                    out[dst][src : src + 1], buffers[src][dst : dst + 1]
+                )
+
+
+class TestValidation:
+    def test_empty_group_rejected(self):
+        with pytest.raises(ShapeError):
+            all_reduce([])
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(ShapeError):
+            all_reduce([np.zeros((2, 2)), np.zeros((3, 2))])
+
+    def test_indivisible_axis_rejected(self):
+        with pytest.raises(ShapeError):
+            all_to_all([np.zeros((3, 2)), np.zeros((3, 2))])
+        with pytest.raises(ShapeError):
+            reduce_scatter([np.zeros((3, 2)), np.zeros((3, 2))])
+
+
+class TestVirtualGroup:
+    def test_enforces_membership_count(self):
+        group = VirtualGroup(world_size=4)
+        with pytest.raises(ShapeError):
+            group.all_reduce([np.zeros(2)] * 3)
+
+    def test_delegates(self):
+        group = VirtualGroup(world_size=2, name="ep")
+        buffers = [np.ones((2, 2)), np.full((2, 2), 3.0)]
+        out = group.all_reduce(buffers)
+        np.testing.assert_allclose(out[0], 4.0)
+
+    def test_rejects_bad_world(self):
+        with pytest.raises(ShapeError):
+            VirtualGroup(world_size=0)

@@ -1,0 +1,111 @@
+"""Property tests on schedule invariants, over random workloads."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.perf_model import LinearPerfModel
+from repro.core.schedules import (
+    GarMode,
+    IterationSpec,
+    LayerPhaseSchedule,
+    SINGLE_STREAM,
+    THREE_STREAM,
+    TWO_STREAM,
+    build_iteration_graph,
+)
+from repro.sim import simulate
+
+from .helpers import pipeline_contexts
+
+AR = LinearPerfModel(alpha=0.2, beta=4e-7)
+
+
+def spec_for(ctx, streams, degree, n_layers=2, grad_mb=8.0,
+             gar_mode=GarMode.END):
+    fw = LayerPhaseSchedule(ctx=ctx, degree=degree, dense_ms=1.0)
+    bw = LayerPhaseSchedule(ctx=ctx, degree=degree, dense_ms=2.0)
+    return IterationSpec(
+        name="prop",
+        forward=(fw,) * n_layers,
+        backward=(bw,) * n_layers,
+        grad_bytes=(grad_mb * 1e6,) * n_layers,
+        ar_model=AR,
+        streams=streams,
+        gar_mode=gar_mode,
+    )
+
+
+@given(ctx=pipeline_contexts(), degree=st.integers(1, 8))
+@settings(max_examples=30, deadline=None)
+def test_makespan_bounded_by_work_and_critical_path(ctx, degree):
+    spec = spec_for(ctx, THREE_STREAM, degree)
+    graph = build_iteration_graph(spec)
+    timeline = simulate(graph)
+    # never faster than the busiest stream, never slower than total work
+    busiest = max(timeline.busy_ms(s) for s in timeline.streams)
+    assert timeline.makespan_ms >= busiest - 1e-9
+    assert timeline.makespan_ms <= graph.total_work_ms() + 1e-9
+
+
+@given(ctx=pipeline_contexts(), degree=st.integers(1, 8))
+@settings(max_examples=30, deadline=None)
+def test_more_streams_never_hurt(ctx, degree):
+    """With identical tasks, splitting streams can only remove contention."""
+    t1 = simulate(
+        build_iteration_graph(spec_for(ctx, SINGLE_STREAM, degree))
+    ).makespan_ms
+    t2 = simulate(
+        build_iteration_graph(spec_for(ctx, TWO_STREAM, degree))
+    ).makespan_ms
+    t3 = simulate(
+        build_iteration_graph(spec_for(ctx, THREE_STREAM, degree))
+    ).makespan_ms
+    assert t2 <= t1 + 1e-9
+    assert t3 <= t2 + 1e-9
+
+
+@given(ctx=pipeline_contexts(), degree=st.integers(1, 8))
+@settings(max_examples=20, deadline=None)
+def test_gar_overlap_never_slower_than_exposed(ctx, degree):
+    """Background-priority AllReduce can only fill gaps, never add time."""
+    exposed = simulate(
+        build_iteration_graph(
+            spec_for(ctx, THREE_STREAM, degree, gar_mode=GarMode.END)
+        )
+    ).makespan_ms
+    overlapped = simulate(
+        build_iteration_graph(
+            spec_for(ctx, THREE_STREAM, degree, gar_mode=GarMode.DENSE_OVERLAP)
+        )
+    ).makespan_ms
+    # Non-preemptive head-of-line blocking can cost at most one AllReduce.
+    assert overlapped <= exposed + AR.time_ms(8.0 * 1e6) + 1e-9
+
+
+@given(ctx=pipeline_contexts(), degree=st.integers(1, 8),
+       n_layers=st.integers(1, 4))
+@settings(max_examples=20, deadline=None)
+def test_makespan_monotone_in_layers(ctx, degree, n_layers):
+    shorter = simulate(
+        build_iteration_graph(
+            spec_for(ctx, THREE_STREAM, degree, n_layers=n_layers)
+        )
+    ).makespan_ms
+    longer = simulate(
+        build_iteration_graph(
+            spec_for(ctx, THREE_STREAM, degree, n_layers=n_layers + 1)
+        )
+    ).makespan_ms
+    assert longer > shorter
+
+
+@given(ctx=pipeline_contexts())
+@settings(max_examples=20, deadline=None)
+def test_phase_split_consistent_with_both(ctx):
+    spec = spec_for(ctx, THREE_STREAM, 4)
+    fw = simulate(build_iteration_graph(spec, phase="forward")).makespan_ms
+    bw = simulate(build_iteration_graph(spec, phase="backward")).makespan_ms
+    both = simulate(build_iteration_graph(spec, phase="both")).makespan_ms
+    # phases serialize at the loss boundary
+    assert both == pytest.approx(fw + bw, rel=1e-9)

@@ -1,0 +1,233 @@
+"""Tests for the task-graph schedule builders (paper Fig. 3)."""
+
+import pytest
+
+from repro.core.constraints import PipelineContext
+from repro.core.perf_model import LinearPerfModel
+from repro.core.schedules import (
+    GarMode,
+    IterationSpec,
+    LayerPhaseSchedule,
+    SINGLE_STREAM,
+    THREE_STREAM,
+    TWO_STREAM,
+    add_moe_block,
+    build_iteration_graph,
+    chunk_gradient,
+)
+from repro.errors import ScheduleError
+from repro.sim import TaskGraph, TaskKind, simulate
+from repro.units import MB
+
+AR = LinearPerfModel(alpha=0.3, beta=5e-7)
+
+CTX = PipelineContext(
+    a2a=LinearPerfModel(0.15, 2e-7), n_a2a=2e7,
+    ag=LinearPerfModel(0.05, 5e-8), n_ag=2e7,
+    rs=LinearPerfModel(0.05, 5e-8), n_rs=2e7,
+    exp=LinearPerfModel(0.1, 5e-10), n_exp=2e10,
+)
+
+
+def make_spec(streams, gar_mode, n_layers=2, grad_mb=10.0, plan=None,
+              degree=4):
+    layer_fw = LayerPhaseSchedule(ctx=CTX, degree=degree, dense_ms=1.0)
+    layer_bw = LayerPhaseSchedule(ctx=CTX, degree=degree, dense_ms=2.0)
+    return IterationSpec(
+        name="test",
+        forward=(layer_fw,) * n_layers,
+        backward=(layer_bw,) * n_layers,
+        grad_bytes=(grad_mb * MB,) * n_layers,
+        ar_model=AR,
+        streams=streams,
+        gar_mode=gar_mode,
+        plan=plan,
+    )
+
+
+class TestMoEBlock:
+    def test_task_count_and_kinds(self):
+        g = TaskGraph()
+        handle = add_moe_block(
+            g, CTX, degree=3, streams=THREE_STREAM,
+            entry_deps=(), priority_base=0, label="blk",
+        )
+        assert len(g.tasks) == 5 * 3
+        assert len(handle.dispatch_ids) == 3
+        assert len(handle.combine_ids) == 3
+        kinds = [t.kind for t in g.tasks]
+        assert kinds.count(TaskKind.A2A_DISPATCH) == 3
+        assert kinds.count(TaskKind.EXPERT) == 3
+
+    def test_chunk_dependency_chain(self):
+        g = TaskGraph()
+        add_moe_block(
+            g, CTX, degree=2, streams=THREE_STREAM,
+            entry_deps=(), priority_base=0, label="blk",
+        )
+        by_name = {t.name: t for t in g.tasks}
+        assert by_name["blk AG(0)"].deps == (by_name["blk D(0)"].task_id,)
+        assert by_name["blk E(0)"].deps == (by_name["blk AG(0)"].task_id,)
+        assert by_name["blk RS(0)"].deps == (by_name["blk E(0)"].task_id,)
+        assert by_name["blk C(0)"].deps == (by_name["blk RS(0)"].task_id,)
+
+    def test_streams_respect_map(self):
+        g = TaskGraph()
+        add_moe_block(
+            g, CTX, degree=2, streams=THREE_STREAM,
+            entry_deps=(), priority_base=0, label="blk",
+        )
+        for t in g.tasks:
+            if t.kind in (TaskKind.A2A_DISPATCH, TaskKind.A2A_COMBINE):
+                assert t.stream == "inter"
+            elif t.kind in (TaskKind.ESP_ALLGATHER, TaskKind.ESP_REDUCESCATTER):
+                assert t.stream == "intra"
+            else:
+                assert t.stream == "compute"
+
+    def test_gar_slice_between_dispatch_and_combines(self):
+        g = TaskGraph()
+        add_moe_block(
+            g, CTX, degree=2, streams=THREE_STREAM,
+            entry_deps=(), priority_base=0, label="blk",
+            gar_slice_ms=1.0,
+        )
+        by_name = {t.name: t for t in g.tasks}
+        gar = by_name["blk GAR(pipe)"]
+        assert by_name["blk D(1)"].task_id in gar.deps
+        assert gar.task_id in by_name["blk C(0)"].deps
+
+    def test_background_gar_does_not_gate_combines(self):
+        g = TaskGraph()
+        add_moe_block(
+            g, CTX, degree=2, streams=TWO_STREAM,
+            entry_deps=(), priority_base=0, label="blk",
+            gar_slice_ms=1.0, gar_background=True,
+        )
+        by_name = {t.name: t for t in g.tasks}
+        gar = by_name["blk GAR(pipe)"]
+        assert gar.task_id not in by_name["blk C(0)"].deps
+        assert gar.priority >= 10**9
+
+
+class TestIterationGraph:
+    def test_single_stream_makespan_is_total_work(self):
+        spec = make_spec(SINGLE_STREAM, GarMode.END, degree=1)
+        g = build_iteration_graph(spec)
+        tl = simulate(g)
+        assert tl.makespan_ms == pytest.approx(g.total_work_ms())
+
+    def test_multi_stream_strictly_faster(self):
+        sequential = simulate(
+            build_iteration_graph(make_spec(SINGLE_STREAM, GarMode.END))
+        ).makespan_ms
+        overlapped = simulate(
+            build_iteration_graph(make_spec(THREE_STREAM, GarMode.END))
+        ).makespan_ms
+        assert overlapped < sequential
+
+    def test_gar_task_counts(self):
+        end = build_iteration_graph(make_spec(TWO_STREAM, GarMode.END))
+        dense = build_iteration_graph(
+            make_spec(TWO_STREAM, GarMode.DENSE_OVERLAP)
+        )
+        chunks = build_iteration_graph(
+            make_spec(TWO_STREAM, GarMode.FIXED_CHUNKS, grad_mb=70.0)
+        )
+        def gar_count(g):
+            return sum(
+                1 for t in g.tasks if t.kind is TaskKind.GRAD_ALLREDUCE
+            )
+        assert gar_count(end) == 2
+        assert gar_count(dense) == 2
+        assert gar_count(chunks) == 2 * 3  # 70 MB -> 30 + 30 + 10 per layer
+
+    def test_phase_split(self):
+        spec = make_spec(THREE_STREAM, GarMode.END)
+        fw = build_iteration_graph(spec, phase="forward")
+        bw = build_iteration_graph(spec, phase="backward")
+        both = build_iteration_graph(spec, phase="both")
+        assert len(fw.tasks) + len(bw.tasks) == len(both.tasks)
+        assert all("fw" in t.name for t in fw.tasks)
+        assert not any("fw" in t.name for t in bw.tasks)
+
+    def test_unknown_phase_rejected(self):
+        with pytest.raises(ScheduleError):
+            build_iteration_graph(
+                make_spec(THREE_STREAM, GarMode.END), phase="sideways"
+            )
+
+    def test_forward_backward_ordering(self):
+        spec = make_spec(THREE_STREAM, GarMode.END, n_layers=2)
+        tl = simulate(build_iteration_graph(spec))
+        fw_end = max(
+            r.end_ms for r in tl.records if r.task.name.startswith("fw")
+        )
+        bw_start = min(
+            r.start_ms for r in tl.records if r.task.name.startswith("bw")
+        )
+        assert bw_start >= fw_end - 1e-9
+
+    def test_gar_end_runs_last(self):
+        spec = make_spec(TWO_STREAM, GarMode.END)
+        tl = simulate(build_iteration_graph(spec))
+        gar_starts = [
+            r.start_ms
+            for r in tl.records
+            if r.task.kind is TaskKind.GRAD_ALLREDUCE
+        ]
+        non_gar_end = max(
+            r.end_ms
+            for r in tl.records
+            if r.task.kind is not TaskKind.GRAD_ALLREDUCE
+        )
+        assert min(gar_starts) >= non_gar_end - 1e-9
+
+
+class TestValidation:
+    def test_mismatched_lengths_rejected(self):
+        layer = LayerPhaseSchedule(ctx=CTX, degree=1, dense_ms=1.0)
+        with pytest.raises(ScheduleError):
+            IterationSpec(
+                name="bad",
+                forward=(layer,),
+                backward=(layer, layer),
+                grad_bytes=(0.0,),
+                ar_model=AR,
+                streams=TWO_STREAM,
+                gar_mode=GarMode.END,
+            )
+
+    def test_adaptive_requires_plan(self):
+        layer = LayerPhaseSchedule(ctx=CTX, degree=1, dense_ms=1.0)
+        with pytest.raises(ScheduleError):
+            IterationSpec(
+                name="bad",
+                forward=(layer,),
+                backward=(layer,),
+                grad_bytes=(1.0,),
+                ar_model=AR,
+                streams=THREE_STREAM,
+                gar_mode=GarMode.ADAPTIVE,
+            )
+
+    def test_degree_must_be_positive(self):
+        with pytest.raises(ScheduleError):
+            LayerPhaseSchedule(ctx=CTX, degree=0, dense_ms=1.0)
+
+
+class TestChunkGradient:
+    def test_exact_multiple(self):
+        assert chunk_gradient(60 * MB, 30 * MB) == [30 * MB, 30 * MB]
+
+    def test_remainder(self):
+        chunks = chunk_gradient(70 * MB, 30 * MB)
+        assert chunks[:2] == [30 * MB, 30 * MB]
+        assert chunks[2] == pytest.approx(10 * MB)
+
+    def test_zero(self):
+        assert chunk_gradient(0.0, 30 * MB) == []
+
+    def test_rejects_bad_chunk(self):
+        with pytest.raises(ScheduleError):
+            chunk_gradient(10.0, 0.0)

@@ -1,0 +1,127 @@
+"""Tests for the SoftMoE layer (dense differentiable routing)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.moe.experts import SimpleFFNExpert
+from repro.moe.soft_moe import SoftMoELayer
+
+S, M, E, P, H = 24, 10, 4, 2, 16
+RNG = np.random.default_rng(0)
+
+
+def make_layer(seed=3):
+    experts = [SimpleFFNExpert(M, H, seed=seed + e) for e in range(E)]
+    return SoftMoELayer(experts, embed_dim=M, slots_per_expert=P, seed=seed)
+
+
+class TestForward:
+    def test_output_shape(self):
+        layer = make_layer()
+        assert layer.forward(RNG.normal(size=(S, M))).shape == (S, M)
+
+    def test_slot_count(self):
+        layer = make_layer()
+        assert layer.total_slots == E * P
+        assert layer.params["phi"].shape == (M, E * P)
+
+    def test_dispatch_weights_are_convex_over_tokens(self):
+        layer = make_layer()
+        layer.forward(RNG.normal(size=(S, M)))
+        dispatch = layer._cache["dispatch"]
+        np.testing.assert_allclose(dispatch.sum(axis=0), 1.0, rtol=1e-9)
+
+    def test_combine_weights_are_convex_over_slots(self):
+        layer = make_layer()
+        layer.forward(RNG.normal(size=(S, M)))
+        combine = layer._cache["combine"]
+        np.testing.assert_allclose(combine.sum(axis=1), 1.0, rtol=1e-9)
+
+    def test_no_tokens_dropped_ever(self):
+        """SoftMoE's core property: every token influences the output."""
+        layer = make_layer()
+        x = RNG.normal(size=(S, M))
+        y0 = layer.forward(x)
+        x2 = x.copy()
+        x2[S - 1] += 10.0  # perturb the last token only
+        y2 = layer.forward(x2)
+        assert not np.allclose(y0[: S - 1], y2[: S - 1])  # mixes globally
+
+    def test_rejects_bad_shapes(self):
+        layer = make_layer()
+        with pytest.raises(ShapeError):
+            layer.forward(np.zeros((S, M + 1)))
+        with pytest.raises(ShapeError):
+            SoftMoELayer([], embed_dim=M)
+        with pytest.raises(ShapeError):
+            SoftMoELayer(
+                [SimpleFFNExpert(M, H)], embed_dim=M, slots_per_expert=0
+            )
+
+
+class TestBackward:
+    def test_backward_before_forward(self):
+        with pytest.raises(ShapeError):
+            make_layer().backward(np.zeros((S, M)))
+
+    def test_input_gradient_finite_difference(self):
+        layer = make_layer(seed=11)
+        x = RNG.normal(size=(8, M))
+        dy = RNG.normal(size=(8, M))
+        layer.zero_grad()
+        layer.forward(x)
+        dx = layer.backward(dy)
+
+        eps = 1e-6
+        i, j = 3, 5
+        x_up = x.copy(); x_up[i, j] += eps
+        x_dn = x.copy(); x_dn[i, j] -= eps
+        fd = np.sum((layer.forward(x_up) - layer.forward(x_dn)) * dy) / (2 * eps)
+        assert dx[i, j] == pytest.approx(fd, rel=1e-4, abs=1e-7)
+
+    def test_phi_gradient_finite_difference(self):
+        layer = make_layer(seed=13)
+        x = RNG.normal(size=(8, M))
+        dy = RNG.normal(size=(8, M))
+        layer.zero_grad()
+        layer.forward(x)
+        layer.backward(dy)
+        analytic = layer.grads["phi"].copy()
+
+        phi = layer.params["phi"]
+        eps = 1e-6
+        i, j = 2, 3
+        phi[i, j] += eps
+        up = layer.forward(x)
+        phi[i, j] -= 2 * eps
+        down = layer.forward(x)
+        phi[i, j] += eps
+        fd = float(np.sum((up - down) * dy) / (2 * eps))
+        assert analytic[i, j] == pytest.approx(fd, rel=1e-4, abs=1e-7)
+
+    def test_expert_gradients_flow(self):
+        layer = make_layer()
+        layer.zero_grad()
+        layer.forward(RNG.normal(size=(S, M)))
+        layer.backward(np.ones((S, M)))
+        for expert in layer.experts:
+            assert np.abs(expert.grads["w1"]).sum() > 0
+
+    def test_training_reduces_loss(self):
+        """A few SGD steps on phi + experts must reduce a simple loss."""
+        layer = make_layer(seed=29)
+        x = RNG.normal(size=(32, M))
+        target = np.tanh(x @ RNG.normal(0, M**-0.5, (M, M)))
+        losses = []
+        for _ in range(15):
+            layer.zero_grad()
+            y = layer.forward(x)
+            err = y - target
+            losses.append(float((err**2).mean()))
+            layer.backward(2 * err / err.size)
+            layer.params["phi"] -= 0.5 * layer.grads["phi"]
+            for expert in layer.experts:
+                for name, grad in expert.grads.items():
+                    expert.params[name] -= 0.5 * grad
+        assert losses[-1] < losses[0] * 0.9

@@ -1,0 +1,63 @@
+"""Unit tests for repro.sim.timeline."""
+
+import pytest
+
+from repro.sim import TaskGraph, TaskKind, simulate
+
+
+def build_timeline():
+    g = TaskGraph()
+    a = g.add("a", TaskKind.A2A_DISPATCH, "inter", 2.0)
+    b = g.add("b", TaskKind.EXPERT, "compute", 3.0, deps=(a,))
+    g.add("c", TaskKind.A2A_COMBINE, "inter", 2.0, deps=(b,))
+    return simulate(g)
+
+
+class TestTimelineStats:
+    def test_makespan(self):
+        assert build_timeline().makespan_ms == 7.0
+
+    def test_busy_per_stream(self):
+        tl = build_timeline()
+        assert tl.busy_ms("inter") == 4.0
+        assert tl.busy_ms("compute") == 3.0
+
+    def test_utilization(self):
+        tl = build_timeline()
+        assert tl.utilization("inter") == pytest.approx(4.0 / 7.0)
+        assert tl.utilization("compute") == pytest.approx(3.0 / 7.0)
+
+    def test_kind_ms(self):
+        tl = build_timeline()
+        assert tl.kind_ms(TaskKind.A2A_DISPATCH) == 2.0
+        assert tl.kind_ms(TaskKind.EXPERT) == 3.0
+        assert tl.kind_ms(TaskKind.GRAD_ALLREDUCE) == 0.0
+
+    def test_records_on_stream_sorted(self):
+        tl = build_timeline()
+        records = tl.records_on("inter")
+        assert [r.task.name for r in records] == ["a", "c"]
+        assert records[0].start_ms <= records[1].start_ms
+
+    def test_end_of(self):
+        tl = build_timeline()
+        assert tl.end_of(0) == 2.0
+        with pytest.raises(KeyError):
+            tl.end_of(99)
+
+
+class TestRendering:
+    def test_gantt_contains_streams_and_glyphs(self):
+        text = build_timeline().gantt_ascii(width=40)
+        assert "inter" in text
+        assert "compute" in text
+        assert "D" in text and "E" in text and "C" in text
+
+    def test_gantt_empty(self):
+        g = TaskGraph()
+        assert "(empty timeline)" in simulate(g).gantt_ascii()
+
+    def test_summary_mentions_makespan(self):
+        text = build_timeline().summary()
+        assert "makespan" in text
+        assert "inter" in text

@@ -1,0 +1,57 @@
+"""Tests for timeline exports (rows + Chrome trace)."""
+
+import json
+
+from repro.sim import TaskGraph, TaskKind, simulate
+
+
+def build_timeline():
+    g = TaskGraph()
+    a = g.add("dispatch", TaskKind.A2A_DISPATCH, "inter", 2.0)
+    b = g.add("experts", TaskKind.EXPERT, "compute", 3.0, deps=(a,))
+    g.add("combine", TaskKind.A2A_COMBINE, "inter", 2.0, deps=(b,))
+    return simulate(g)
+
+
+class TestRows:
+    def test_one_row_per_task(self):
+        rows = build_timeline().to_rows()
+        assert len(rows) == 3
+        assert {row["name"] for row in rows} == {
+            "dispatch", "experts", "combine"
+        }
+
+    def test_row_fields(self):
+        rows = build_timeline().to_rows()
+        first = min(rows, key=lambda r: r["start_ms"])
+        assert first["name"] == "dispatch"
+        assert first["kind"] == "a2a_dispatch"
+        assert first["stream"] == "inter"
+        assert first["duration_ms"] == 2.0
+        assert first["end_ms"] == first["start_ms"] + first["duration_ms"]
+
+
+class TestChromeTrace:
+    def test_valid_json_with_duration_events(self):
+        trace = json.loads(build_timeline().to_chrome_trace())
+        events = trace["traceEvents"]
+        duration_events = [e for e in events if e["ph"] == "X"]
+        assert len(duration_events) == 3
+        for event in duration_events:
+            assert event["dur"] > 0
+            assert event["ts"] >= 0
+
+    def test_streams_become_threads(self):
+        trace = json.loads(build_timeline().to_chrome_trace())
+        metadata = [
+            e for e in trace["traceEvents"] if e.get("cat") == "__metadata"
+        ]
+        assert {m["args"]["name"] for m in metadata} == {"inter", "compute"}
+
+    def test_microsecond_units(self):
+        trace = json.loads(build_timeline().to_chrome_trace())
+        dispatch = next(
+            e for e in trace["traceEvents"]
+            if e.get("name") == "dispatch" and e["ph"] == "X"
+        )
+        assert dispatch["dur"] == 2000.0  # 2 ms -> 2000 us

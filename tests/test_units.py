@@ -1,0 +1,40 @@
+"""Unit tests for repro.units conversions."""
+
+import pytest
+
+from repro.units import (
+    DEFAULT_DTYPE,
+    MB,
+    MS_PER_S,
+    dtype_nbytes,
+    gbit_to_bytes_per_ms,
+    gbps_to_bytes_per_ms,
+    seconds,
+)
+
+
+class TestConversions:
+    def test_gbps(self):
+        # 1 GB/s == 1e9 bytes / 1e3 ms.
+        assert gbps_to_bytes_per_ms(1.0) == pytest.approx(1e6)
+
+    def test_gbit(self):
+        # 100 Gb/s == 12.5 GB/s == 1.25e7 bytes/ms.
+        assert gbit_to_bytes_per_ms(100.0) == pytest.approx(1.25e7)
+
+    def test_seconds(self):
+        assert seconds(1500.0) == pytest.approx(1.5)
+        assert MS_PER_S == 1000.0
+
+    def test_dtype_sizes(self):
+        assert dtype_nbytes("float32") == 4
+        assert dtype_nbytes("float16") == 2
+        assert dtype_nbytes("bfloat16") == 2
+        assert dtype_nbytes(DEFAULT_DTYPE) == 4
+
+    def test_unknown_dtype_raises(self):
+        with pytest.raises(KeyError):
+            dtype_nbytes("fp8")
+
+    def test_mb_is_decimal(self):
+        assert MB == 1_000_000

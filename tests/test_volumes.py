@@ -1,0 +1,141 @@
+"""Unit and property tests for repro.parallel.volumes."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import MoELayerSpec, ParallelSpec
+from repro.parallel.volumes import (
+    compute_layer_volumes,
+    effective_capacity_factor,
+    nodrop_capacity_factor,
+)
+
+PARALLEL_B = ParallelSpec(n_dp=8, n_mp=4, n_ep=8, n_esp=4)
+
+
+def spec_with(**kwargs) -> MoELayerSpec:
+    base = dict(
+        batch_size=4,
+        seq_len=1024,
+        embed_dim=1600,
+        hidden_scale=4,
+        num_experts=8,
+        top_k=2,
+        capacity_factor=1.2,
+        num_heads=25,
+    )
+    base.update(kwargs)
+    return MoELayerSpec(**base)
+
+
+class TestCapacity:
+    def test_paper_formula(self):
+        vol = compute_layer_volumes(spec_with(), PARALLEL_B)
+        # S = 4*1024/4 = 1024; T = ceil(k*f*S/E) = ceil(2*1.2*1024/8) = 308.
+        assert vol.local_tokens == 1024
+        assert vol.capacity_per_expert == 308
+
+    def test_tokens_per_expert_gathers_all_sources(self):
+        vol = compute_layer_volumes(spec_with(), PARALLEL_B)
+        assert vol.tokens_per_expert == 8 * 4 * 308  # N_EP * N_ESP * T
+
+    def test_nodrop_factor_above_one(self):
+        assert nodrop_capacity_factor(1024, 8, 2) > 1.0
+
+    def test_nodrop_factor_shrinks_with_tokens(self):
+        small = nodrop_capacity_factor(64, 8, 2)
+        large = nodrop_capacity_factor(65536, 8, 2)
+        assert large < small
+
+    def test_nodrop_single_expert_is_one(self):
+        assert nodrop_capacity_factor(1024, 1, 1) == 1.0
+
+    def test_effective_capacity_resolves_none(self):
+        spec = spec_with(capacity_factor=None)
+        f = effective_capacity_factor(spec, PARALLEL_B)
+        assert f > 1.0
+        assert effective_capacity_factor(spec_with(), PARALLEL_B) == 1.2
+
+
+class TestVolumes:
+    def test_a2a_bytes_formula(self):
+        vol = compute_layer_volumes(spec_with(), PARALLEL_B)
+        assert vol.a2a_bytes == 8 * 308 * 1600 * 4
+
+    def test_esp_shard_is_received_slice(self):
+        vol = compute_layer_volumes(spec_with(), PARALLEL_B)
+        # experts/node = 1, so shard = N_EP * T * M * dtype.
+        assert vol.esp_shard_bytes == 8 * 308 * 1600 * 4
+
+    def test_mp_shard_splits_tokens(self):
+        vol = compute_layer_volumes(spec_with(), PARALLEL_B)
+        assert vol.mp_shard_bytes == 4 * 1024 * 1600 * 4 / 4
+
+    def test_expert_macs_shard_hidden(self):
+        vol = compute_layer_volumes(spec_with(), PARALLEL_B)
+        expected = 1 * 2 * vol.tokens_per_expert * 1600 * (6400 / 4)
+        assert vol.expert_macs == pytest.approx(expected)
+
+    def test_mixtral_has_three_gemms(self):
+        simple = compute_layer_volumes(spec_with(ffn_type="simple"), PARALLEL_B)
+        mixtral = compute_layer_volumes(spec_with(ffn_type="mixtral"), PARALLEL_B)
+        assert mixtral.expert_num_gemms == 3
+        assert simple.expert_num_gemms == 2
+        assert mixtral.expert_macs == pytest.approx(1.5 * simple.expert_macs)
+
+    def test_grad_bytes_cover_attention_and_gate(self):
+        vol = compute_layer_volumes(spec_with(), PARALLEL_B)
+        attn = 4 * 1600 * 1600 / 4
+        gate = 1600 * 8
+        norm = 4 * 1600
+        assert vol.dense_grad_bytes == pytest.approx((attn + gate + norm) * 4)
+
+
+class TestScaling:
+    @given(factor=st.sampled_from([2, 4]))
+    @settings(max_examples=10, deadline=None)
+    def test_token_proportional_quantities_scale(self, factor):
+        base = compute_layer_volumes(spec_with(seq_len=512), PARALLEL_B)
+        scaled = compute_layer_volumes(
+            spec_with(seq_len=512 * factor), PARALLEL_B
+        )
+        # capacity ceils to whole tokens, so scaling is near-proportional.
+        assert scaled.a2a_bytes == pytest.approx(
+            base.a2a_bytes * factor, rel=0.02
+        )
+        assert scaled.esp_shard_bytes == pytest.approx(
+            base.esp_shard_bytes * factor, rel=0.02
+        )
+        assert scaled.expert_macs == pytest.approx(
+            base.expert_macs * factor, rel=0.02
+        )
+        # gradient volume is parameter-bound, not token-bound.
+        assert scaled.dense_grad_bytes == base.dense_grad_bytes
+
+    @given(
+        b=st.sampled_from([1, 2, 4]),
+        l=st.sampled_from([256, 512, 1024]),
+        m=st.sampled_from([1024, 2048]),
+        k=st.sampled_from([1, 2, 4]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_all_volumes_positive(self, b, l, m, k):
+        spec = spec_with(
+            batch_size=b, seq_len=l, embed_dim=m, num_heads=16, top_k=k
+        )
+        vol = compute_layer_volumes(spec, PARALLEL_B)
+        assert vol.a2a_bytes > 0
+        assert vol.esp_shard_bytes > 0
+        assert vol.expert_macs > 0
+        assert vol.attention_macs > 0
+        assert vol.dense_grad_bytes > 0
+        assert vol.capacity_per_expert >= 1
+
+    def test_capacity_ceils(self):
+        # k*f*S/E = 2*1.2*256/8 = 76.8 -> 77.
+        spec = spec_with(batch_size=1, seq_len=1024)
+        vol = compute_layer_volumes(spec, PARALLEL_B)
+        assert vol.capacity_per_expert == math.ceil(2 * 1.2 * 256 / 8)
