@@ -15,7 +15,7 @@ import pathlib
 import pytest
 
 from repro import standard_layout, testbed_a, testbed_b
-from repro.core.profiler import profile_cluster
+from repro.planner import ProfileStore
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -38,17 +38,27 @@ def cluster_b():
 
 
 @pytest.fixture(scope="session")
-def models_a(cluster_a):
-    """Fitted performance models for Testbed A."""
-    parallel = standard_layout(cluster_a.total_gpus, cluster_a.gpus_per_node)
-    return profile_cluster(cluster_a, parallel).models
+def profile_store():
+    """One profile cache for the whole benchmark session.
+
+    Every benchmark that reuses a configuration (same layer spec, same
+    deployment) hits this store instead of re-profiling.
+    """
+    return ProfileStore()
 
 
 @pytest.fixture(scope="session")
-def models_b(cluster_b):
-    """Fitted performance models for Testbed B."""
+def models_a(cluster_a, profile_store):
+    """Fitted performance models for Testbed A (store-cached)."""
+    parallel = standard_layout(cluster_a.total_gpus, cluster_a.gpus_per_node)
+    return profile_store.models(cluster_a, parallel)
+
+
+@pytest.fixture(scope="session")
+def models_b(cluster_b, profile_store):
+    """Fitted performance models for Testbed B (store-cached)."""
     parallel = standard_layout(cluster_b.total_gpus, cluster_b.gpus_per_node)
-    return profile_cluster(cluster_b, parallel).models
+    return profile_store.models(cluster_b, parallel)
 
 
 @pytest.fixture(scope="session")

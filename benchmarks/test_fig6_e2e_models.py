@@ -50,7 +50,8 @@ CASES = [
 
 @pytest.mark.parametrize("testbed,preset,seq_len", CASES)
 def test_fig6_e2e_speedups(testbed, preset, seq_len, cluster_a, cluster_b,
-                           models_a, models_b, emit, benchmark):
+                           models_a, models_b, profile_store, emit,
+                           benchmark):
     cluster = cluster_a if testbed == "A" else cluster_b
     models = models_a if testbed == "A" else models_b
     # The subsampled run trims deep models to 8 layers (identical layers,
@@ -60,7 +61,9 @@ def test_fig6_e2e_speedups(testbed, preset, seq_len, cluster_a, cluster_b,
     result = benchmark.pedantic(
         evaluate_model,
         args=(preset, cluster, models, systems()),
-        kwargs=dict(seq_len=seq_len, num_layers=num_layers),
+        kwargs=dict(
+            seq_len=seq_len, num_layers=num_layers, store=profile_store
+        ),
         rounds=1,
         iterations=1,
     )

@@ -31,19 +31,22 @@ def systems():
     ]
 
 
-def run_case(cluster, models, seq_len, num_layers):
+def run_case(cluster, models, seq_len, num_layers, store=None):
     return evaluate_model(
         MIXTRAL_7B, cluster, models, systems(),
-        seq_len=seq_len, num_layers=num_layers,
+        seq_len=seq_len, num_layers=num_layers, store=store,
     )
 
 
-def test_fig7_varied_seq_len(cluster_a, models_a, emit, benchmark):
+def test_fig7_varied_seq_len(cluster_a, models_a, profile_store, emit,
+                             benchmark):
     num_layers = 7 if full_run() else 4
     rows = []
     results = {}
     for seq_len in (512, 1024, 2048):
-        result = run_case(cluster_a, models_a, seq_len, num_layers)
+        result = run_case(
+            cluster_a, models_a, seq_len, num_layers, profile_store
+        )
         results[seq_len] = result
         rows.append(
             [
@@ -69,19 +72,20 @@ def test_fig7_varied_seq_len(cluster_a, models_a, emit, benchmark):
         assert result.speedup("FSMoE", "Tutel") > 1.05
 
 
-def test_fig7_varied_world_size(cluster_a, models_a, emit, benchmark):
+def test_fig7_varied_world_size(cluster_a, profile_store, emit, benchmark):
     from repro import standard_layout
-    from repro.core.profiler import profile_cluster
 
     num_layers = 7 if full_run() else 4
     rows = []
     speedups = {}
 
     def run_scaled(total_gpus, layers):
+        # The store keys on the scaled ClusterSpec, so each P profiles
+        # once across the warm-up and measured sweeps.
         scaled = cluster_a.scaled_to(total_gpus)
         parallel = standard_layout(scaled.total_gpus, scaled.gpus_per_node)
-        models = profile_cluster(scaled, parallel).models
-        return run_case(scaled, models, 1024, layers)
+        models = profile_store.models(scaled, parallel)
+        return run_case(scaled, models, 1024, layers, profile_store)
 
     benchmark.pedantic(run_scaled, args=(16, 2), rounds=1, iterations=1)
 

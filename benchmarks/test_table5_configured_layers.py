@@ -25,6 +25,7 @@ import pytest
 from repro.bench import (
     configured_layer_grid,
     evaluate_config,
+    evaluate_config_grid,
     format_table,
     speedups_over,
 )
@@ -46,7 +47,7 @@ DEFAULT_STRIDE = 27
 
 @pytest.mark.parametrize("testbed", ["A", "B"])
 def test_table5_configured_layers(testbed, cluster_a, cluster_b, models_a,
-                                  models_b, emit, benchmark):
+                                  models_b, profile_store, emit, benchmark):
     cluster = cluster_a if testbed == "A" else cluster_b
     models = models_a if testbed == "A" else models_b
     stride = 1 if full_run() else DEFAULT_STRIDE
@@ -55,9 +56,11 @@ def test_table5_configured_layers(testbed, cluster_a, cluster_b, models_a,
     )
     systems = [Tutel(), TutelImproved(), FSMoENoIIO(), FSMoE()]
 
-    results = [
-        evaluate_config(spec, cluster, models, systems) for spec in specs
-    ]
+    # The whole grid goes through one plan_many sweep: concurrent
+    # planning, all profiling deduplicated in the session store.
+    results = evaluate_config_grid(
+        specs, cluster, models, systems, store=profile_store
+    )
     table5 = speedups_over(results, "Tutel")
 
     rows = [

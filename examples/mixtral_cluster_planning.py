@@ -9,17 +9,20 @@ the kind of what-if analysis the simulated substrate makes free.
 Run:  python examples/mixtral_cluster_planning.py
 """
 
-from repro import profile_cluster, standard_layout, testbed_a, testbed_b
+from repro import ProfileStore, standard_layout, testbed_a, testbed_b
 from repro.bench import evaluate_model, format_table
-from repro.models import MIXTRAL_7B, layer_op_breakdown, layer_spec_for, \
-    profile_layer
+from repro.models import MIXTRAL_7B, layer_op_breakdown, layer_spec_for
 from repro.models.memory import estimate_memory, max_layers_that_fit
 from repro.systems import DeepSpeedMoE, FSMoE, Tutel
+
+# One profile cache for both testbeds: re-running a what-if against an
+# already-profiled deployment costs nothing.
+STORE = ProfileStore()
 
 
 def plan(cluster, seq_len: int, num_layers: int) -> None:
     parallel = standard_layout(cluster.total_gpus, cluster.gpus_per_node)
-    models = profile_cluster(cluster, parallel).models
+    models = STORE.models(cluster, parallel)
 
     spec = layer_spec_for(
         MIXTRAL_7B, batch_size=1, seq_len=seq_len, num_experts=parallel.n_ep
@@ -33,7 +36,7 @@ def plan(cluster, seq_len: int, num_layers: int) -> None:
           f"{footprint.total_gib:.1f} GiB/GPU of {gpu_gib:.0f} GiB "
           f"({'fits' if footprint.fits(gpu_gib) else 'DOES NOT FIT'}; "
           f"max {limit} layers)")
-    profile = profile_layer(spec, parallel, models)
+    profile = STORE.layer_profile(spec, parallel, models)
     breakdown = layer_op_breakdown(profile, models, "backward")
     total = sum(breakdown.values())
     comm = (
@@ -44,7 +47,7 @@ def plan(cluster, seq_len: int, num_layers: int) -> None:
     result = evaluate_model(
         MIXTRAL_7B, cluster, models,
         [DeepSpeedMoE(), Tutel(), FSMoE()],
-        seq_len=seq_len, num_layers=num_layers,
+        seq_len=seq_len, num_layers=num_layers, store=STORE,
     )
     tokens = spec.batch_size * seq_len * parallel.n_dp
 

@@ -4,37 +4,37 @@
 Walks the full FSMoE pipeline from the paper in ~40 lines:
 
 1. describe the cluster (paper Testbed B) and the standard parallel layout;
-2. run the online profiler and fit the alpha-beta performance models;
+2. build a PlanCompiler: the online profiler runs once behind a cache;
 3. describe an MoE transformer layer;
 4. let Algorithm 1 pick per-phase pipeline degrees;
-5. simulate every training system and compare iteration times.
+5. compile + simulate every training system and compare iteration times;
+6. persist the winning plan as JSON (it replays bit-identically).
 
 Run:  python examples/quickstart.py
 """
 
 from repro import (
-    FSMoE,
-    MoELayerSpec,
-    Tutel,
     DeepSpeedMoE,
+    FSMoE,
+    IterationPlan,
+    MoELayerSpec,
+    PlanCompiler,
+    Tutel,
     find_optimal_pipeline_degree,
-    profile_cluster,
-    profile_layer,
-    standard_layout,
     testbed_b,
 )
 
 # 1. the cluster: 8 nodes x 4 GPUs, 100 Gb/s InfiniBand (paper Table 3).
 cluster = testbed_b()
-parallel = standard_layout(cluster.total_gpus, cluster.gpus_per_node)
+
+# 2. the plan compiler: profiles the deployment once (paper section 3.2:
+# microbenchmark + least squares), then serves everything from its store.
+compiler = PlanCompiler(cluster, noise=0.01, seed=0)
+parallel = compiler.parallel
 print(f"cluster: {cluster.name} ({cluster.total_gpus} GPUs), "
       f"layout: MP=ESP={parallel.n_mp}, EP=DP={parallel.n_ep}")
-
-# 2. online profiling (paper section 3.2): microbenchmark + least squares.
-profiled = profile_cluster(cluster, parallel, noise=0.01, seed=0)
 print("fitted models (r^2):",
-      {name: round(r2, 5) for name, r2 in profiled.r_squared.items()})
-models = profiled.models
+      {name: round(r2, 5) for name, r2 in compiler.fit_quality.items()})
 
 # 3. one transformer-MoE layer (GShard routing, top-2, f=1.2).
 spec = MoELayerSpec(
@@ -47,7 +47,7 @@ spec = MoELayerSpec(
     capacity_factor=1.2,
     num_heads=16,
 )
-profile = profile_layer(spec, parallel, models)
+profile = compiler.layer_profile(spec)
 
 # 4. Algorithm 1: optimal pipeline degree per phase.
 fw = find_optimal_pipeline_degree(profile.ctx_fw)
@@ -56,13 +56,21 @@ print(f"Algorithm 1: forward r={fw.degree} ({fw.case.name}, "
       f"{fw.time_ms:.2f} ms), backward r={bw.degree} ({bw.case.name}, "
       f"{bw.time_ms:.2f} ms)")
 
-# 5. full-iteration comparison (2 identical layers).
-profiles = [profile, profile]
+# 5. full-iteration comparison (2 identical layers; heterogeneous stacks
+# -- a list of different specs -- work exactly the same way).
+stack = [spec, spec]
+times = {}
 for system in (DeepSpeedMoE(), Tutel(), FSMoE()):
-    t = system.iteration_time_ms(profiles, models)
-    print(f"{system.name:>8}: {t:8.2f} ms / iteration")
+    times[system.name] = compiler.iteration_time_ms(stack, system)
+    print(f"{system.name:>8}: {times[system.name]:8.2f} ms / iteration")
 
-t_tutel = Tutel().iteration_time_ms(profiles, models)
-t_fsmoe = FSMoE().iteration_time_ms(profiles, models)
-print(f"\nFSMoE speedup over Tutel: {t_tutel / t_fsmoe:.2f}x "
+print(f"\nFSMoE speedup over Tutel: {times['Tutel'] / times['FSMoE']:.2f}x "
       f"(paper Table 5 average: 1.22x on this testbed)")
+
+# 6. plans are plain data: serialize, reload, replay -- no re-planning.
+plan = compiler.compile(stack, FSMoE())
+replayed = IterationPlan.from_json(plan.to_json())
+assert replayed.makespan_ms() == plan.makespan_ms()
+print(f"plan JSON round-trip OK ({len(plan.to_json())} bytes, "
+      f"degrees {plan.degrees})")
+print(f"profile store: {compiler.store.stats}")

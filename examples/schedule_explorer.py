@@ -13,9 +13,7 @@ import argparse
 
 from repro import (
     MoELayerSpec,
-    profile_cluster,
-    profile_layer,
-    standard_layout,
+    PlanCompiler,
     testbed_a,
     testbed_b,
 )
@@ -41,8 +39,8 @@ def main() -> None:
     args = parser.parse_args()
 
     cluster = testbed_a() if args.testbed == "A" else testbed_b()
-    parallel = standard_layout(cluster.total_gpus, cluster.gpus_per_node)
-    models = profile_cluster(cluster, parallel).models
+    compiler = PlanCompiler(cluster)
+    parallel = compiler.parallel
 
     spec = MoELayerSpec(
         batch_size=args.batch_size,
@@ -54,8 +52,7 @@ def main() -> None:
         capacity_factor=args.capacity_factor,
         num_heads=16,
     )
-    profile = profile_layer(spec, parallel, models)
-    profiles = [profile, profile]
+    stack = [spec, spec]
 
     systems = [
         DeepSpeedMoE(), Tutel(), TutelImproved(), PipeMoELina(),
@@ -69,7 +66,7 @@ def main() -> None:
 
     baseline = None
     for system in systems:
-        timeline = system.timeline(profiles, models, phase="backward")
+        timeline = compiler.simulate(stack, system, phase="backward")
         if baseline is None:
             baseline = timeline.makespan_ms
         speedup = baseline / timeline.makespan_ms

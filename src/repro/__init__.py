@@ -88,6 +88,14 @@ from .systems import (
     Tutel,
     TutelImproved,
 )
+from .planner import (
+    IterationPlan,
+    PlanCompiler,
+    PlanPoint,
+    ProfileStore,
+    SweepResult,
+    plan_many,
+)
 
 __version__ = "1.0.0"
 
@@ -144,4 +152,11 @@ __all__ = [
     "PipeMoELina",
     "FSMoENoIIO",
     "FSMoE",
+    # planner
+    "ProfileStore",
+    "PlanCompiler",
+    "IterationPlan",
+    "PlanPoint",
+    "SweepResult",
+    "plan_many",
 ]

@@ -4,6 +4,7 @@ from .workloads import TABLE4_GRID, configured_layer_grid, grid_size
 from .runner import (
     ConfigResult,
     evaluate_config,
+    evaluate_config_grid,
     evaluate_model,
     geometric_mean,
     speedups_over,
@@ -16,6 +17,7 @@ __all__ = [
     "grid_size",
     "ConfigResult",
     "evaluate_config",
+    "evaluate_config_grid",
     "evaluate_model",
     "geometric_mean",
     "speedups_over",

@@ -4,6 +4,12 @@ The paper's configured-layer experiments (Table 5) report *average
 speedups over Tutel*; the end-to-end experiments (Fig. 6-8) report
 speedups over DeepSpeed-MoE.  Averages over many configurations use the
 geometric mean (the standard choice for ratios).
+
+All evaluation flows through :mod:`repro.planner`: layer profiling is
+deduplicated in a :class:`~repro.planner.store.ProfileStore` (shareable
+across calls -- the benchmarks pass one store per session so repeated
+configurations profile once), and grids fan out concurrently via
+:func:`~repro.planner.batch.plan_many`.
 """
 
 from __future__ import annotations
@@ -16,9 +22,11 @@ from ..config import MoELayerSpec, ParallelSpec, standard_layout
 from ..core.perf_model import PerfModelSet
 from ..errors import ConfigError
 from ..models.configs import ModelPreset, layer_spec_for
-from ..models.transformer import profile_layer
 from ..moe.gates import GateKind
 from ..parallel.topology import ClusterSpec
+from ..planner.batch import plan_many
+from ..planner.compiler import PlanCompiler
+from ..planner.store import ProfileStore
 from ..systems.base import TrainingSystem
 
 #: layers used for a "configured layer" measurement.  At least two are
@@ -51,6 +59,18 @@ class ConfigResult:
         return self.times_ms[baseline] / self.times_ms[system]
 
 
+def _fit_spec_to_cluster(
+    spec: MoELayerSpec, parallel: ParallelSpec
+) -> MoELayerSpec:
+    """Override the expert count when it does not divide the EP width.
+
+    The paper always deploys E == nodes for configured layers.
+    """
+    if spec.num_experts % parallel.n_ep != 0:
+        return spec.with_(num_experts=parallel.n_ep)
+    return spec
+
+
 def evaluate_config(
     spec: MoELayerSpec,
     cluster: ClusterSpec,
@@ -59,23 +79,69 @@ def evaluate_config(
     *,
     num_layers: int = CONFIGURED_LAYER_COUNT,
     gate_kind: GateKind = GateKind.GSHARD,
+    store: ProfileStore | None = None,
 ) -> ConfigResult:
     """Simulate every system on ``num_layers`` copies of ``spec``.
 
-    The spec's expert count is overridden to the cluster's node count if
-    it does not divide the EP width (the paper always deploys E == nodes
-    for configured layers).
+    Args:
+        store: optional shared profile cache; pass one across calls so
+            a sweep profiles each distinct configuration only once.
     """
     parallel = standard_layout(cluster.total_gpus, cluster.gpus_per_node)
-    if spec.num_experts % parallel.n_ep != 0:
-        spec = spec.with_(num_experts=parallel.n_ep)
-    profile = profile_layer(spec, parallel, models, gate_kind=gate_kind)
-    profiles = [profile] * num_layers
+    spec = _fit_spec_to_cluster(spec, parallel)
+    compiler = PlanCompiler(cluster, parallel, store=store, models=models)
+    stack = [spec] * num_layers
     times = {
-        system.name: system.iteration_time_ms(profiles, models)
+        system.name: compiler.iteration_time_ms(
+            stack, system, gate_kind=gate_kind
+        )
         for system in systems
     }
     return ConfigResult(spec=spec, parallel=parallel, times_ms=times)
+
+
+def evaluate_config_grid(
+    specs: Sequence[MoELayerSpec],
+    cluster: ClusterSpec,
+    models: PerfModelSet,
+    systems: Sequence[TrainingSystem],
+    *,
+    num_layers: int = CONFIGURED_LAYER_COUNT,
+    gate_kind: GateKind = GateKind.GSHARD,
+    store: ProfileStore | None = None,
+    max_workers: int | None = None,
+) -> list[ConfigResult]:
+    """Evaluate a whole configuration grid through one batched sweep.
+
+    Semantically ``[evaluate_config(s, ...) for s in specs]``, but fanned
+    out with :func:`~repro.planner.batch.plan_many` and deduplicated
+    through one shared :class:`~repro.planner.store.ProfileStore`.
+
+    Returns:
+        One :class:`ConfigResult` per input spec, in input order.
+    """
+    parallel = standard_layout(cluster.total_gpus, cluster.gpus_per_node)
+    fitted = [_fit_spec_to_cluster(spec, parallel) for spec in specs]
+    sweep = plan_many(
+        fitted,
+        systems,
+        [cluster],
+        gate_kind=gate_kind,
+        num_layers=num_layers,
+        store=store,
+        models_by_cluster={cluster: models},
+        parallel_by_cluster={cluster: parallel},
+        max_workers=max_workers,
+    )
+    grouped = sweep.times_by_config()
+    return [
+        ConfigResult(
+            spec=spec,
+            parallel=parallel,
+            times_ms=dict(grouped[(cluster, (spec,) * num_layers)]),
+        )
+        for spec in fitted
+    ]
 
 
 def evaluate_model(
@@ -89,6 +155,7 @@ def evaluate_model(
     num_layers: int | None = None,
     gate_kind: GateKind = GateKind.GSHARD,
     routing_overhead_by_system: dict[str, float] | None = None,
+    store: ProfileStore | None = None,
 ) -> ConfigResult:
     """Simulate every system training a real-world model end to end.
 
@@ -99,6 +166,7 @@ def evaluate_model(
         routing_overhead_by_system: optional per-system multiplier on
             routing compute (used by the Table 6 experiment, where
             DeepSpeed-MoE runs its own unoptimized gate kernels).
+        store: optional shared profile cache.
     """
     parallel = standard_layout(cluster.total_gpus, cluster.gpus_per_node)
     spec = layer_spec_for(
@@ -108,18 +176,16 @@ def evaluate_model(
         num_experts=parallel.n_ep,
     )
     layers = num_layers if num_layers is not None else preset.num_layers
+    compiler = PlanCompiler(cluster, parallel, store=store, models=models)
+    stack = [spec] * layers
     times: dict[str, float] = {}
     for system in systems:
         overhead = 1.0
         if routing_overhead_by_system is not None:
             overhead = routing_overhead_by_system.get(system.name, 1.0)
-        profile = profile_layer(
-            spec, parallel, models,
-            gate_kind=gate_kind, routing_overhead=overhead,
-        )
-        times[system.name] = system.iteration_time_ms(
-            [profile] * layers, models
-        )
+        times[system.name] = compiler.simulate(
+            stack, system, gate_kind=gate_kind, routing_overhead=overhead
+        ).makespan_ms
     return ConfigResult(spec=spec, parallel=parallel, times_ms=times)
 
 

@@ -29,6 +29,7 @@ from .pipeline_degree import (
     oracle_integer_degree,
 )
 from .gradient_partition import (
+    GarPlacement,
     GeneralizedLayer,
     GradientPartitionPlan,
     plan_gradient_partition,
@@ -49,6 +50,7 @@ __all__ = [
     "DegreeSolution",
     "find_optimal_pipeline_degree",
     "oracle_integer_degree",
+    "GarPlacement",
     "GeneralizedLayer",
     "GradientPartitionPlan",
     "plan_gradient_partition",

@@ -69,8 +69,13 @@ class GeneralizedLayer:
 
 
 @dataclass(frozen=True)
-class GradientPartitionPlan:
+class GarPlacement:
     """Where every gradient byte is reduced (indices in forward order).
+
+    Plain numbers only -- this is the part of a partition plan the
+    task-graph builder consumes and the part
+    :class:`~repro.planner.plan.IterationPlan` serializes, so persisted
+    plans replay without re-running the partitioner.
 
     Attributes:
         moe_window_bytes: Step-1 bytes hidden in each layer's MoE bubbles.
@@ -81,8 +86,6 @@ class GradientPartitionPlan:
         t_gar_ms: AllReduce time injected into each layer's Algorithm-1
             call (covers window + extra bytes; the window part is absorbed
             for free by the case formulas).
-        solutions: per-layer Algorithm-1 results at the final ``t_gar``.
-        tail_ms: exposed tail AllReduce time.
     """
 
     moe_window_bytes: tuple[float, ...]
@@ -90,8 +93,18 @@ class GradientPartitionPlan:
     extra_bytes: tuple[float, ...]
     tail_bytes: float
     t_gar_ms: tuple[float, ...]
-    solutions: tuple[DegreeSolution, ...]
-    tail_ms: float
+
+    def __post_init__(self) -> None:
+        n = len(self.moe_window_bytes)
+        if not (
+            len(self.dense_window_bytes)
+            == len(self.extra_bytes)
+            == len(self.t_gar_ms)
+            == n
+        ):
+            raise SolverError(
+                "GarPlacement per-layer tuples must have equal length"
+            )
 
     @property
     def moe_ar_bytes(self) -> tuple[float, ...]:
@@ -100,6 +113,55 @@ class GradientPartitionPlan:
             window + extra
             for window, extra in zip(self.moe_window_bytes, self.extra_bytes)
         )
+
+
+@dataclass(frozen=True)
+class GradientPartitionPlan:
+    """A byte placement plus the solver state that produced it.
+
+    The placement fields are exposed as read-through properties, so the
+    plan reads exactly like its :class:`GarPlacement` with Algorithm-1
+    solutions attached.
+
+    Attributes:
+        placement: where every gradient byte is reduced.
+        solutions: per-layer Algorithm-1 results at the final ``t_gar``.
+        tail_ms: exposed tail AllReduce time.
+    """
+
+    placement: GarPlacement
+    solutions: tuple[DegreeSolution, ...]
+    tail_ms: float
+
+    @property
+    def moe_window_bytes(self) -> tuple[float, ...]:
+        """Step-1 bytes hidden in each layer's MoE bubbles."""
+        return self.placement.moe_window_bytes
+
+    @property
+    def dense_window_bytes(self) -> tuple[float, ...]:
+        """Step-1 bytes hidden in each layer's dense backward."""
+        return self.placement.dense_window_bytes
+
+    @property
+    def extra_bytes(self) -> tuple[float, ...]:
+        """Step-2 bytes assigned to each layer's ``t_gar`` slot."""
+        return self.placement.extra_bytes
+
+    @property
+    def tail_bytes(self) -> float:
+        """Residual reduced after the whole backward pass."""
+        return self.placement.tail_bytes
+
+    @property
+    def t_gar_ms(self) -> tuple[float, ...]:
+        """AllReduce time injected into each layer's Algorithm-1 call."""
+        return self.placement.t_gar_ms
+
+    @property
+    def moe_ar_bytes(self) -> tuple[float, ...]:
+        """Total AllReduce bytes placed inside each layer's MoE span."""
+        return self.placement.moe_ar_bytes
 
     def total_estimated_backward_ms(self) -> float:
         """Analytic backward time: stretched MoE spans + exposed tail.
@@ -294,11 +356,13 @@ def plan_gradient_partition(
         for i in range(n)
     )
     return GradientPartitionPlan(
-        moe_window_bytes=tuple(moe_window_bytes),
-        dense_window_bytes=tuple(dense_window_bytes),
-        extra_bytes=tuple(float(x) for x in extra),
-        tail_bytes=tail_bytes,
-        t_gar_ms=t_gar_ms,
+        placement=GarPlacement(
+            moe_window_bytes=tuple(moe_window_bytes),
+            dense_window_bytes=tuple(dense_window_bytes),
+            extra_bytes=tuple(float(x) for x in extra),
+            tail_bytes=tail_bytes,
+            t_gar_ms=t_gar_ms,
+        ),
         solutions=solutions,
         tail_ms=ar_model.time_ms(tail_bytes),
     )

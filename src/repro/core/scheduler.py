@@ -7,20 +7,26 @@ that never needs the sub-modules' implementations.  This module packages
 that workflow behind one object so downstream code -- and the examples --
 can go from a cluster description to a scheduled iteration in three
 calls.
+
+Since the introduction of :mod:`repro.planner`, this facade is a thin
+compatibility shim over :class:`~repro.planner.compiler.PlanCompiler`:
+all profiling flows through a (shareable) content-addressed
+:class:`~repro.planner.store.ProfileStore`, and iterations may stack
+*heterogeneous* layer specs.  New code should use the planner directly;
+this class keeps the seed-era three-call API working.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
-from ..config import MoELayerSpec, ParallelSpec, standard_layout
+from ..config import MoELayerSpec, ParallelSpec
 from ..errors import ConfigError
-from ..models.transformer import LayerProfile, profile_layer
+from ..models.transformer import LayerProfile
 from ..moe.gates import GateKind
-from ..parallel.collectives import A2AAlgorithm, CollectiveCostModel
+from ..parallel.collectives import A2AAlgorithm
 from ..parallel.topology import ClusterSpec
-from ..parallel.volumes import compute_layer_volumes
-from ..sim.engine import simulate
 from ..sim.timeline import Timeline
 from .cases import overlappable_time
 from .perf_model import PerfModelSet
@@ -29,8 +35,6 @@ from .pipeline_degree import (
     DegreeSolution,
     find_optimal_pipeline_degree,
 )
-from .profiler import ProfileResult, profile_cluster
-from .schedules import build_iteration_graph
 
 
 @dataclass(frozen=True)
@@ -73,6 +77,10 @@ class GenericScheduler:
         parallel: layout; defaults to the paper's standard deployment.
         noise: profiling measurement noise (0 = exact oracle readings).
         seed: profiling RNG seed.
+        r_max: cap on pipeline degrees.
+        store: optional shared :class:`~repro.planner.store.ProfileStore`;
+            pass one to share profiling work with other schedulers,
+            compilers, or ``plan_many`` sweeps.
     """
 
     def __init__(
@@ -83,27 +91,50 @@ class GenericScheduler:
         noise: float = 0.0,
         seed: int = 0,
         r_max: int = DEFAULT_MAX_DEGREE,
+        store=None,
     ) -> None:
-        if parallel is None:
-            parallel = standard_layout(
-                cluster.total_gpus, cluster.gpus_per_node
-            )
-        self.cluster = cluster
-        self.parallel = parallel
-        self.r_max = r_max
-        self._profile: ProfileResult = profile_cluster(
-            cluster, parallel, noise=noise, seed=seed
+        # Imported here, not at module top: the planner sits a layer above
+        # the scheduling core and importing it eagerly would be circular.
+        from ..planner.compiler import PlanCompiler
+
+        self._compiler = PlanCompiler(
+            cluster,
+            parallel,
+            store=store,
+            noise=noise,
+            seed=seed,
+            r_max=r_max,
         )
+
+    @property
+    def cluster(self) -> ClusterSpec:
+        """The profiled cluster."""
+        return self._compiler.cluster
+
+    @property
+    def parallel(self) -> ParallelSpec:
+        """The deployment layout."""
+        return self._compiler.parallel
+
+    @property
+    def r_max(self) -> int:
+        """Cap on pipeline degrees considered by Algorithm 1."""
+        return self._compiler.r_max
+
+    @property
+    def compiler(self):
+        """The underlying :class:`~repro.planner.compiler.PlanCompiler`."""
+        return self._compiler
 
     @property
     def models(self) -> PerfModelSet:
         """The fitted performance models (the back-end's only input)."""
-        return self._profile.models
+        return self._compiler.models
 
     @property
     def fit_quality(self) -> dict[str, float]:
         """r-squared of each fitted model."""
-        return dict(self._profile.r_squared)
+        return self._compiler.fit_quality
 
     def profile(
         self,
@@ -111,34 +142,21 @@ class GenericScheduler:
         *,
         gate_kind: GateKind = GateKind.GSHARD,
     ) -> LayerProfile:
-        """Front-end: profile one layer spec on this cluster."""
-        return profile_layer(
-            spec, self.parallel, self.models, gate_kind=gate_kind
-        )
+        """Front-end: profile one layer spec on this cluster (cached)."""
+        return self._compiler.layer_profile(spec, gate_kind=gate_kind)
 
     def best_a2a_algorithm(
         self, spec: MoELayerSpec
     ) -> tuple[A2AAlgorithm, dict[A2AAlgorithm, float]]:
         """Pick the cheapest AlltoAll algorithm for this layer's messages.
 
-        The paper pre-implements three dispatch algorithms (NCCL direct,
-        Hetu's 1DH, Tutel/DeepSpeed's 2DH) precisely so the system can
-        choose per deployment (§3.1).  This compares their predicted cost
-        at the layer's actual message size.
+        Delegates to :meth:`PlanCompiler.best_a2a_algorithm`, which caches
+        the cost table per (message size, EP width).
 
         Returns:
             The winning algorithm and the per-algorithm cost table (ms).
         """
-        volumes = compute_layer_volumes(spec, self.parallel)
-        oracle = CollectiveCostModel(self.cluster)
-        costs = {
-            algo: oracle.alltoall_ms(
-                volumes.a2a_bytes, self.parallel.n_ep, algo
-            )
-            for algo in A2AAlgorithm
-        }
-        best = min(costs, key=costs.get)
-        return best, costs
+        return self._compiler.best_a2a_algorithm(spec)
 
     def schedule_layer(
         self,
@@ -164,9 +182,9 @@ class GenericScheduler:
 
     def simulate_iteration(
         self,
-        spec: MoELayerSpec,
-        num_layers: int,
-        system,
+        spec: MoELayerSpec | Sequence[MoELayerSpec],
+        num_layers: int | None = None,
+        system=None,
         *,
         gate_kind: GateKind = GateKind.GSHARD,
         phase: str = "both",
@@ -174,21 +192,33 @@ class GenericScheduler:
         """Schedule and execute a full iteration under ``system``.
 
         Args:
-            spec: layer shape (replicated ``num_layers`` times).
-            num_layers: generalized layers in the model.
+            spec: one layer shape (replicated ``num_layers`` times) or an
+                explicit -- possibly heterogeneous -- stack of shapes
+                (then ``num_layers`` must be omitted or None).
+            num_layers: generalized layers in the model (single-spec
+                form only).
             system: a :class:`~repro.systems.base.TrainingSystem` instance.
             gate_kind: routing function for the timing profile.
             phase: ``"both"``, ``"forward"`` or ``"backward"``.
 
         Raises:
-            ConfigError: for a non-positive layer count.
+            ConfigError: for a non-positive layer count, a layer count
+                passed alongside an explicit stack, or a missing system.
         """
-        if num_layers <= 0:
-            raise ConfigError(
-                f"num_layers must be positive, got {num_layers}"
-            )
-        profile = self.profile(spec, gate_kind=gate_kind)
-        iteration = system.build_iteration_spec(
-            [profile] * num_layers, self.models
+        if system is None:
+            raise ConfigError("simulate_iteration requires a system")
+        if isinstance(spec, MoELayerSpec):
+            if num_layers is None or num_layers <= 0:
+                raise ConfigError(
+                    f"num_layers must be positive, got {num_layers}"
+                )
+            stack: Sequence[MoELayerSpec] = [spec] * num_layers
+        else:
+            if num_layers is not None:
+                raise ConfigError(
+                    "num_layers must be None when an explicit stack is given"
+                )
+            stack = spec
+        return self._compiler.simulate(
+            stack, system, gate_kind=gate_kind, phase=phase
         )
-        return simulate(build_iteration_graph(iteration, phase=phase))

@@ -32,7 +32,7 @@ from ..errors import ScheduleError
 from ..sim.events import TaskGraph, TaskKind
 from ..units import MB
 from .constraints import PipelineContext
-from .gradient_partition import GradientPartitionPlan
+from .gradient_partition import GarPlacement, GradientPartitionPlan
 from .perf_model import LinearPerfModel
 
 #: priority band for background (gap-filling) AllReduce work; anything in
@@ -109,7 +109,9 @@ class IterationSpec:
     """Everything needed to build one training iteration's task graph.
 
     Layers are indexed in forward order; ``forward[l]`` and ``backward[l]``
-    describe the same layer in the two phases.
+    describe the same layer in the two phases.  The per-layer schedules
+    may all differ: heterogeneous stacks (distinct hidden sizes, expert
+    counts, top-k per layer) are first-class.
 
     Attributes:
         name: system label (for task names and reports).
@@ -120,7 +122,9 @@ class IterationSpec:
         streams: stream mapping (contention model).
         gar_mode: Gradient-AllReduce placement strategy.
         gar_chunk_bytes: chunk size for ``FIXED_CHUNKS``.
-        plan: partition plan, required for ``ADAPTIVE``.
+        plan: gradient placement, required for ``ADAPTIVE``.  Either a
+            full :class:`GradientPartitionPlan` (fresh from the solver) or
+            a bare :class:`GarPlacement` (replayed from a persisted plan).
     """
 
     name: str
@@ -131,7 +135,7 @@ class IterationSpec:
     streams: StreamMap
     gar_mode: GarMode
     gar_chunk_bytes: float = LINA_CHUNK_BYTES
-    plan: GradientPartitionPlan | None = None
+    plan: GradientPartitionPlan | GarPlacement | None = None
 
     def __post_init__(self) -> None:
         n = len(self.forward)

@@ -1,0 +1,230 @@
+"""Batch planning: sweep many deployments through one shared cache.
+
+``plan_many`` is the planner's top layer.  It takes a grid -- layer
+stacks x training systems x clusters -- fans the points out over a
+thread pool, deduplicates all profiling through a shared
+:class:`~repro.planner.store.ProfileStore`, and returns a tidy result
+table.  A 12-point grid over 4 stacks, 3 systems and 1 cluster performs
+exactly one cluster profile and four layer profiles; re-planning the
+same grid against the same store performs zero.
+
+Threads (not processes) are the right fan-out here: the work is
+numpy/scipy-bound (which release the GIL in their kernels), every spec
+object is immutable, and the store's future-based memoization makes
+concurrent duplicate requests collapse onto one computation.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..config import MoELayerSpec, ParallelSpec
+from ..core.perf_model import PerfModelSet
+from ..errors import ConfigError
+from ..moe.gates import GateKind
+from ..parallel.topology import ClusterSpec
+from .compiler import PlanCompiler
+from .plan import IterationPlan
+from .store import ProfileStore
+
+
+@dataclass(frozen=True)
+class PlanPoint:
+    """One planned grid point: a stack under a system on a cluster.
+
+    Attributes:
+        cluster: the target cluster.
+        parallel: the layout the plan was compiled for.
+        stack: per-layer specs of the planned iteration.
+        system_name: the training system's display name.
+        gate_kind: routing function used for the timing profiles.
+        plan: the compiled, serializable iteration plan.
+        makespan_ms: simulated iteration time of the plan.
+    """
+
+    cluster: ClusterSpec
+    parallel: ParallelSpec
+    stack: tuple[MoELayerSpec, ...]
+    system_name: str
+    gate_kind: GateKind
+    plan: IterationPlan
+    makespan_ms: float
+
+    def row(self) -> dict[str, object]:
+        """Flat dict view for tables / pandas post-processing."""
+        first = self.stack[0]
+        return {
+            "cluster": self.cluster.name,
+            "system": self.system_name,
+            "num_layers": len(self.stack),
+            "heterogeneous": len(set(self.stack)) > 1,
+            "batch_size": first.batch_size,
+            "seq_len": first.seq_len,
+            "embed_dim": first.embed_dim,
+            "num_experts": first.num_experts,
+            "top_k": first.top_k,
+            "gate_kind": self.gate_kind.value,
+            "makespan_ms": self.makespan_ms,
+        }
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """All planned points of one ``plan_many`` call, in grid order.
+
+    Grid order is ``clusters`` (outer) x ``specs`` x ``systems``
+    (inner), independent of which worker finished first.
+    """
+
+    points: tuple[PlanPoint, ...]
+    store: ProfileStore
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def rows(self) -> list[dict[str, object]]:
+        """Tidy table: one flat dict per planned point."""
+        return [point.row() for point in self.points]
+
+    def times_by_config(
+        self,
+    ) -> dict[tuple[ClusterSpec, tuple[MoELayerSpec, ...]], dict[str, float]]:
+        """Group makespans as (cluster, stack) -> system -> ms.
+
+        Keys hold the :class:`ClusterSpec` itself (not its name): two
+        different clusters sharing a label stay distinct.
+        """
+        grouped: dict[
+            tuple[ClusterSpec, tuple[MoELayerSpec, ...]], dict[str, float]
+        ] = {}
+        for point in self.points:
+            key = (point.cluster, point.stack)
+            grouped.setdefault(key, {})[point.system_name] = (
+                point.makespan_ms
+            )
+        return grouped
+
+
+def _as_stack(entry) -> tuple[MoELayerSpec, ...]:
+    if isinstance(entry, MoELayerSpec):
+        return (entry,)
+    stack = tuple(entry)
+    if not stack:
+        raise ConfigError("plan_many received an empty layer stack")
+    for spec in stack:
+        if not isinstance(spec, MoELayerSpec):
+            raise ConfigError(
+                f"stack entries must be MoELayerSpec, got {type(spec).__name__}"
+            )
+    return stack
+
+
+def plan_many(
+    specs: Sequence,
+    systems: Sequence,
+    clusters: Sequence[ClusterSpec],
+    *,
+    gate_kind: GateKind = GateKind.GSHARD,
+    num_layers: int = 1,
+    store: ProfileStore | None = None,
+    models_by_cluster: Mapping[ClusterSpec, PerfModelSet] | None = None,
+    parallel_by_cluster: Mapping[ClusterSpec, ParallelSpec] | None = None,
+    noise: float = 0.0,
+    seed: int = 0,
+    max_workers: int | None = None,
+) -> SweepResult:
+    """Plan and simulate the full ``clusters x specs x systems`` grid.
+
+    Args:
+        specs: grid axis of layer stacks.  Each entry is either one
+            :class:`MoELayerSpec` (replicated ``num_layers`` times) or a
+            sequence of specs forming an explicit -- possibly
+            heterogeneous -- stack (used as given).
+        systems: grid axis of :class:`~repro.systems.base.TrainingSystem`
+            instances.
+        clusters: grid axis of target clusters (standard layout unless
+            overridden via ``parallel_by_cluster``).
+        gate_kind: routing function for all timing profiles.
+        num_layers: stack depth for single-spec entries.
+        store: shared profile cache; created fresh when omitted.  Pass
+            the same store across calls to re-plan without re-profiling.
+        models_by_cluster: pre-fitted models per cluster; those clusters
+            skip online profiling entirely.
+        parallel_by_cluster: explicit layouts per cluster.
+        noise / seed: online-profiler knobs for clusters without
+            pre-fitted models.
+        max_workers: thread-pool width; defaults to the CPU count
+            capped at the number of grid points.
+
+    Returns:
+        A :class:`SweepResult` whose points follow grid order.
+
+    Raises:
+        ConfigError: for an empty grid axis or malformed stack entry.
+    """
+    if num_layers < 1:
+        raise ConfigError(f"num_layers must be positive, got {num_layers}")
+    stacks = [_as_stack(entry) for entry in specs]
+    stacks = [
+        stack * num_layers if len(stack) == 1 and num_layers > 1 else stack
+        for stack in stacks
+    ]
+    systems = list(systems)
+    clusters = list(clusters)
+    if not stacks or not systems or not clusters:
+        raise ConfigError(
+            "plan_many needs at least one spec, one system and one cluster"
+        )
+
+    if store is None:
+        store = ProfileStore()
+    compilers: dict[ClusterSpec, PlanCompiler] = {}
+    for cluster in clusters:
+        models = None
+        if models_by_cluster is not None:
+            models = models_by_cluster.get(cluster)
+        parallel = None
+        if parallel_by_cluster is not None:
+            parallel = parallel_by_cluster.get(cluster)
+        compilers[cluster] = PlanCompiler(
+            cluster,
+            parallel,
+            store=store,
+            models=models,
+            noise=noise,
+            seed=seed,
+        )
+
+    grid = [
+        (cluster, stack, system)
+        for cluster in clusters
+        for stack in stacks
+        for system in systems
+    ]
+
+    def plan_point(point) -> PlanPoint:
+        cluster, stack, system = point
+        compiler = compilers[cluster]
+        plan = compiler.compile(stack, system, gate_kind=gate_kind)
+        return PlanPoint(
+            cluster=cluster,
+            parallel=compiler.parallel,
+            stack=stack,
+            system_name=system.name,
+            gate_kind=gate_kind,
+            plan=plan,
+            makespan_ms=plan.makespan_ms(),
+        )
+
+    if max_workers is None:
+        max_workers = min(len(grid), os.cpu_count() or 1)
+    max_workers = max(1, max_workers)
+    if max_workers == 1:
+        points = tuple(plan_point(point) for point in grid)
+    else:
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            points = tuple(pool.map(plan_point, grid))
+    return SweepResult(points=points, store=store)

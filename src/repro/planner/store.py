@@ -1,0 +1,212 @@
+"""Content-addressed profile cache: the planner's front-end memory.
+
+The paper's front-end profiles a deployment once and reuses the fitted
+models for every subsequent scheduling question (§3.2).  The seed
+implementation re-ran :func:`~repro.core.profiler.profile_cluster` and
+:func:`~repro.models.transformer.profile_layer` from scratch on every
+call; :class:`ProfileStore` memoizes both behind content-addressed keys
+so repeated planning -- a sweep grid, a re-planned deployment, a second
+system on the same stack -- never pays for profiling twice.
+
+Keys are the frozen spec dataclasses themselves (``ClusterSpec``,
+``ParallelSpec``, ``MoELayerSpec``, ...), plus every knob that changes
+the measurement (gate kind, noise, seed, ...): equal content means equal
+key, no serialization involved.
+
+The store is thread-safe and suitable for the concurrent fan-out of
+:func:`~repro.planner.batch.plan_many`: each key is computed exactly
+once even under races (losers block on the winner's
+:class:`~concurrent.futures.Future`), so the hit/miss counters are exact
+and "re-planning did zero new profiling" is directly assertable.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass
+
+from ..config import MoELayerSpec, ParallelSpec
+from ..core.perf_model import PerfModelSet
+from ..core.profiler import ProfileResult, profile_cluster
+from ..models.transformer import LayerProfile, profile_layer
+from ..moe.gates import GateKind
+from ..parallel.collectives import A2AAlgorithm
+from ..parallel.topology import ClusterSpec
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Snapshot of the store's hit/miss counters.
+
+    Attributes:
+        cluster_hits: cluster-profile requests served from cache.
+        cluster_misses: cluster profiles actually measured and fitted.
+        layer_hits: layer-profile requests served from cache.
+        layer_misses: layer profiles actually computed.
+    """
+
+    cluster_hits: int = 0
+    cluster_misses: int = 0
+    layer_hits: int = 0
+    layer_misses: int = 0
+
+    @property
+    def hits(self) -> int:
+        """All requests served from cache."""
+        return self.cluster_hits + self.layer_hits
+
+    @property
+    def misses(self) -> int:
+        """All requests that had to compute."""
+        return self.cluster_misses + self.layer_misses
+
+    def __sub__(self, other: "StoreStats") -> "StoreStats":
+        """Counter delta between two snapshots (``after - before``)."""
+        return StoreStats(
+            cluster_hits=self.cluster_hits - other.cluster_hits,
+            cluster_misses=self.cluster_misses - other.cluster_misses,
+            layer_hits=self.layer_hits - other.layer_hits,
+            layer_misses=self.layer_misses - other.layer_misses,
+        )
+
+
+class ProfileStore:
+    """Memoizes cluster and layer profiling behind content-addressed keys.
+
+    One store can back many :class:`~repro.planner.compiler.PlanCompiler`
+    instances (one per cluster in a sweep); sharing a store across a
+    sweep is what deduplicates the work.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: dict[tuple, Future] = {}
+        self._cluster_hits = 0
+        self._cluster_misses = 0
+        self._layer_hits = 0
+        self._layer_misses = 0
+
+    @property
+    def stats(self) -> StoreStats:
+        """Current counter snapshot (consistent under concurrency)."""
+        with self._lock:
+            return StoreStats(
+                cluster_hits=self._cluster_hits,
+                cluster_misses=self._cluster_misses,
+                layer_hits=self._layer_hits,
+                layer_misses=self._layer_misses,
+            )
+
+    def __len__(self) -> int:
+        """Number of cached entries (cluster + layer)."""
+        with self._lock:
+            return len(self._entries)
+
+    def _memoize(self, namespace: str, key: tuple, compute):
+        """Return the cached value for ``key``, computing it at most once.
+
+        The winner of a race computes outside the lock while losers block
+        on the shared future; a compute that raises is evicted so the next
+        request retries instead of caching the exception forever.
+        """
+        full_key = (namespace,) + key
+        with self._lock:
+            future = self._entries.get(full_key)
+            if future is None:
+                future = Future()
+                self._entries[full_key] = future
+                owner = True
+                if namespace == "cluster":
+                    self._cluster_misses += 1
+                else:
+                    self._layer_misses += 1
+            else:
+                owner = False
+                if namespace == "cluster":
+                    self._cluster_hits += 1
+                else:
+                    self._layer_hits += 1
+        if owner:
+            try:
+                future.set_result(compute())
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                with self._lock:
+                    del self._entries[full_key]
+                future.set_exception(exc)
+        return future.result()
+
+    # -- cluster profiles ----------------------------------------------------
+
+    def cluster_profile(
+        self,
+        cluster: ClusterSpec,
+        parallel: ParallelSpec,
+        *,
+        a2a_algorithm: A2AAlgorithm = A2AAlgorithm.NCCL,
+        noise: float = 0.0,
+        repeats: int = 5,
+        seed: int = 0,
+    ) -> ProfileResult:
+        """Profile ``cluster`` under ``parallel`` (cached).
+
+        Same signature and semantics as
+        :func:`~repro.core.profiler.profile_cluster`.
+        """
+        key = (cluster, parallel, a2a_algorithm, noise, repeats, seed)
+        return self._memoize(
+            "cluster",
+            key,
+            lambda: profile_cluster(
+                cluster,
+                parallel,
+                a2a_algorithm=a2a_algorithm,
+                noise=noise,
+                repeats=repeats,
+                seed=seed,
+            ),
+        )
+
+    def models(
+        self,
+        cluster: ClusterSpec,
+        parallel: ParallelSpec,
+        *,
+        noise: float = 0.0,
+        seed: int = 0,
+    ) -> PerfModelSet:
+        """Fitted performance models of a deployment (cached)."""
+        return self.cluster_profile(
+            cluster, parallel, noise=noise, seed=seed
+        ).models
+
+    # -- layer profiles ------------------------------------------------------
+
+    def layer_profile(
+        self,
+        spec: MoELayerSpec,
+        parallel: ParallelSpec,
+        models: PerfModelSet,
+        *,
+        gate_kind: GateKind = GateKind.GSHARD,
+        routing_overhead: float = 1.0,
+    ) -> LayerProfile:
+        """Profile one layer spec on one deployment (cached).
+
+        Same signature and semantics as
+        :func:`~repro.models.transformer.profile_layer`.  Repeated calls
+        return the *same object*, so downstream per-profile caches (the
+        systems' ``lru_cache`` of Algorithm-1 solutions) hit as well.
+        """
+        key = (spec, parallel, models, gate_kind, routing_overhead)
+        return self._memoize(
+            "layer",
+            key,
+            lambda: profile_layer(
+                spec,
+                parallel,
+                models,
+                gate_kind=gate_kind,
+                routing_overhead=routing_overhead,
+            ),
+        )

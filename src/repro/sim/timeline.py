@@ -134,6 +134,68 @@ class Timeline:
             for record in self.records
         ]
 
+    def to_json(self, *, indent: int | None = None) -> str:
+        """Lossless JSON serialization of the executed timeline.
+
+        Unlike :meth:`to_rows` (a flat convenience view) this keeps every
+        task field -- kind, deps, priority -- so
+        :meth:`from_json` reconstructs an equal :class:`Timeline`.
+        Persisted plans and their replayed timelines can therefore be
+        compared bit-for-bit across processes.
+        """
+        return json.dumps(
+            {
+                "version": 1,
+                "streams": list(self.streams),
+                "records": [
+                    {
+                        "task_id": record.task.task_id,
+                        "name": record.task.name,
+                        "kind": record.task.kind.value,
+                        "stream": record.task.stream,
+                        "duration_ms": record.task.duration_ms,
+                        "deps": list(record.task.deps),
+                        "priority": record.task.priority,
+                        "start_ms": record.start_ms,
+                        "end_ms": record.end_ms,
+                    }
+                    for record in self.records
+                ],
+            },
+            indent=indent,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "Timeline":
+        """Parse a timeline serialized with :meth:`to_json`.
+
+        Raises:
+            ValueError: for an unknown serialization version.
+        """
+        data = json.loads(text)
+        version = data.get("version")
+        if version != 1:
+            raise ValueError(
+                f"unsupported timeline serialization version {version!r}"
+            )
+        records = tuple(
+            TaskRecord(
+                task=Task(
+                    task_id=entry["task_id"],
+                    name=entry["name"],
+                    kind=TaskKind(entry["kind"]),
+                    stream=entry["stream"],
+                    duration_ms=entry["duration_ms"],
+                    deps=tuple(entry["deps"]),
+                    priority=entry["priority"],
+                ),
+                start_ms=entry["start_ms"],
+                end_ms=entry["end_ms"],
+            )
+            for entry in data["records"]
+        )
+        return cls(records=records, streams=tuple(data["streams"]))
+
     def to_chrome_trace(self) -> str:
         """Chrome ``about://tracing`` / Perfetto JSON for the timeline.
 

@@ -18,7 +18,12 @@ class TrainingSystem(abc.ABC):
 
     Concrete systems translate layer profiles into an
     :class:`~repro.core.schedules.IterationSpec`; everything else
-    (simulation, phase splitting for pipeline parallelism) is shared.
+    (simulation, phase splitting for pipeline parallelism, plan
+    compilation) is shared.
+
+    Stacks may be *heterogeneous*: ``profiles`` is one profile per
+    generalized layer and the entries are free to describe different
+    layer shapes (hidden size, expert count, top-k, routing function).
     """
 
     #: display name used in benchmark tables.
@@ -37,11 +42,33 @@ class TrainingSystem(abc.ABC):
         """Assemble the iteration description for this system.
 
         Args:
-            profiles: one profile per generalized layer, forward order.
+            profiles: one profile per generalized layer, forward order;
+                entries need not be identical (heterogeneous stacks).
             models: fitted performance models of the target cluster.
             include_gar: set False to exclude gradient synchronization
                 (used by the pipeline-parallel model to charge it once).
         """
+
+    def compile_plan(
+        self,
+        profiles: Sequence[LayerProfile],
+        models: PerfModelSet,
+        *,
+        include_gar: bool = True,
+    ):
+        """Compile a persistable :class:`~repro.planner.plan.IterationPlan`.
+
+        The plan serializes to JSON and replays bit-identically without
+        re-running profiling or the scheduling solvers; see
+        :mod:`repro.planner`.
+        """
+        # Imported here, not at module top: the planner sits a layer
+        # above the systems and importing it eagerly would be circular.
+        from ..planner.plan import IterationPlan
+
+        return IterationPlan.from_spec(
+            self.build_iteration_spec(profiles, models, include_gar)
+        )
 
     def iteration_time_ms(
         self,

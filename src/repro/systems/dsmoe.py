@@ -38,7 +38,11 @@ class DeepSpeedMoE(TrainingSystem):
         models: PerfModelSet,
         include_gar: bool = True,
     ) -> IterationSpec:
-        """All ops on one stream; gradient AllReduce at the very end."""
+        """All ops on one stream; gradient AllReduce at the very end.
+
+        ``profiles`` may be heterogeneous; with ``r = 1`` everywhere each
+        layer simply contributes its own unchunked op times.
+        """
         extra = (ROUTING_OVERHEAD - 1.0)
         forward = tuple(
             LayerPhaseSchedule(

@@ -98,7 +98,12 @@ class FSMoE(TrainingSystem):
         models: PerfModelSet,
         include_gar: bool = True,
     ) -> IterationSpec:
-        """Per-phase Algorithm-1 degrees + adaptive gradient partitioning."""
+        """Per-phase Algorithm-1 degrees + adaptive gradient partitioning.
+
+        ``profiles`` may be heterogeneous: every layer gets its own
+        Algorithm-1 degrees and its own slice of the gradient partition
+        (the paper's per-layer flexibility, Table 5).
+        """
         key = tuple(profiles)
         plan = (
             _partition_plan(key, models, self.r_max, self._merged_comm)

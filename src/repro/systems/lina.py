@@ -10,6 +10,7 @@ what FSMoE's adaptive partitioning fixes.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Sequence
 
 from ..core.perf_model import PerfModelSet
@@ -33,19 +34,14 @@ class PipeMoELina(Tutel):
         models: PerfModelSet,
         include_gar: bool = True,
     ) -> IterationSpec:
-        """PipeMoE schedule with background 30 MB AllReduce chunks."""
+        """PipeMoE schedule with background 30 MB AllReduce chunks.
+
+        ``profiles`` may be heterogeneous; the oracle sweep then picks
+        the single degree that minimizes the whole stack's makespan.
+        """
         key = tuple(profiles)
         degree = _oracle_degree(key, models, self.r_max, include_gar)
         spec = _pipemoe_spec(
             key, models, degree, GarMode.FIXED_CHUNKS, include_gar, self.name
         )
-        return IterationSpec(
-            name=spec.name,
-            forward=spec.forward,
-            backward=spec.backward,
-            grad_bytes=spec.grad_bytes,
-            ar_model=spec.ar_model,
-            streams=spec.streams,
-            gar_mode=spec.gar_mode,
-            gar_chunk_bytes=self.chunk_bytes,
-        )
+        return replace(spec, gar_chunk_bytes=self.chunk_bytes)

@@ -90,7 +90,12 @@ class Tutel(TrainingSystem):
         models: PerfModelSet,
         include_gar: bool = True,
     ) -> IterationSpec:
-        """Oracle-swept single degree, shared by forward and backward."""
+        """Oracle-swept single degree, shared by forward and backward.
+
+        ``profiles`` may be heterogeneous; Tutel still uses one global
+        degree (its real-world limitation), swept against the whole
+        stack's simulated makespan.
+        """
         key = tuple(profiles)
         degree = _oracle_degree(key, models, self.r_max, include_gar)
         return _pipemoe_spec(

@@ -1,0 +1,1 @@
+"""Test package marker: enables the relative imports of shared helpers."""

@@ -5,6 +5,7 @@ through the systems/bench tests; here we run the fast, self-contained
 ones end to end as subprocesses.
 """
 
+import os
 import pathlib
 import subprocess
 import sys
@@ -12,6 +13,7 @@ import sys
 import pytest
 
 EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+SRC = EXAMPLES.parent / "src"
 
 FAST_EXAMPLES = [
     "custom_gate_and_hooks.py",
@@ -22,11 +24,16 @@ FAST_EXAMPLES = [
 
 @pytest.mark.parametrize("script", FAST_EXAMPLES)
 def test_example_runs_clean(script):
+    # pytest's ``pythonpath`` option only patches this process; example
+    # subprocesses need the source tree on PYTHONPATH explicitly.
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
     result = subprocess.run(
         [sys.executable, str(EXAMPLES / script)],
         capture_output=True,
         text=True,
         timeout=300,
+        env=env,
     )
     assert result.returncode == 0, result.stderr[-2000:]
     assert result.stdout.strip()  # every example prints its findings

@@ -128,6 +128,84 @@ class TestEngine:
         with pytest.raises(ScheduleError):
             simulate(g)
 
+    def test_stall_diagnostic_reports_count_and_names(self):
+        # A 2-cycle blocking a downstream task: the diagnostic must count
+        # all three unfinished tasks and name the first few.
+        g = make_graph()
+        a = g.add("first-of-cycle", TaskKind.OTHERS, "s", 1.0)
+        b = g.add("second-of-cycle", TaskKind.OTHERS, "s", 1.0, deps=(a,))
+        g.add("downstream", TaskKind.OTHERS, "s", 1.0, deps=(b,))
+        g.tasks[a] = Task(
+            task_id=a,
+            name="first-of-cycle",
+            kind=TaskKind.OTHERS,
+            stream="s",
+            duration_ms=1.0,
+            deps=(b,),
+        )
+        with pytest.raises(ScheduleError) as excinfo:
+            simulate(g)
+        message = str(excinfo.value)
+        assert "3 unfinished" in message
+        assert "first-of-cycle" in message
+        assert "downstream" in message
+
+    def test_stall_diagnostic_counts_only_unfinished(self):
+        # A healthy prefix completes; only the corrupted tail is reported.
+        g = make_graph()
+        done = g.add("done", TaskKind.OTHERS, "s", 1.0)
+        a = g.add("stuck-a", TaskKind.OTHERS, "s", 1.0, deps=(done,))
+        b = g.add("stuck-b", TaskKind.OTHERS, "s", 1.0, deps=(a,))
+        g.tasks[a] = Task(
+            task_id=a,
+            name="stuck-a",
+            kind=TaskKind.OTHERS,
+            stream="s",
+            duration_ms=1.0,
+            deps=(done, b),
+        )
+        with pytest.raises(ScheduleError) as excinfo:
+            simulate(g)
+        message = str(excinfo.value)
+        assert "2 unfinished" in message
+        assert "done" not in message.split("first few:")[1]
+
+    def test_equal_priority_ties_break_on_task_id(self):
+        # Insertion order is the id order; ready tasks with equal priority
+        # must run in that order regardless of name or duration.
+        g = make_graph()
+        g.add("z-late-name", TaskKind.OTHERS, "s", 3.0, priority=5)
+        g.add("a-early-name", TaskKind.OTHERS, "s", 1.0, priority=5)
+        g.add("m-middle", TaskKind.OTHERS, "s", 2.0, priority=5)
+        tl = simulate(g)
+        started = [r.task.name for r in tl.records]
+        assert started == ["z-late-name", "a-early-name", "m-middle"]
+
+    def test_equal_priority_simulation_is_deterministic(self):
+        # Same graph, many equal-priority tasks over two streams: repeated
+        # runs must produce identical timelines (heap ties resolved by id).
+        def build():
+            g = make_graph()
+            roots = [
+                g.add(f"r{i}", TaskKind.OTHERS, f"s{i % 2}", 1.0, priority=0)
+                for i in range(6)
+            ]
+            for i, root in enumerate(roots):
+                g.add(
+                    f"c{i}",
+                    TaskKind.EXPERT,
+                    f"s{(i + 1) % 2}",
+                    0.5,
+                    deps=(root,),
+                    priority=0,
+                )
+            return g
+
+        first = simulate(build())
+        second = simulate(build())
+        assert first == second
+        assert first.to_json() == second.to_json()
+
     def test_background_priority_fills_gaps(self):
         # Foreground: a(x, 2) -> b(y, 2); background on y should run during
         # the wait, not after b.

@@ -55,3 +55,29 @@ class TestChromeTrace:
             if e.get("name") == "dispatch" and e["ph"] == "X"
         )
         assert dispatch["dur"] == 2000.0  # 2 ms -> 2000 us
+
+
+class TestJsonRoundTrip:
+    def test_reconstructs_equal_timeline(self):
+        original = build_timeline()
+        replayed = type(original).from_json(original.to_json())
+        assert replayed == original
+        assert replayed.makespan_ms == original.makespan_ms
+        assert replayed.streams == original.streams
+
+    def test_keeps_all_task_fields(self):
+        original = build_timeline()
+        replayed = type(original).from_json(original.to_json())
+        for before, after in zip(original.records, replayed.records):
+            assert after.task == before.task  # kind, deps, priority intact
+
+    def test_unknown_version_rejected(self):
+        import pytest
+
+        from repro.sim.timeline import Timeline
+
+        text = build_timeline().to_json()
+        data = json.loads(text)
+        data["version"] = 99
+        with pytest.raises(ValueError):
+            Timeline.from_json(json.dumps(data))
