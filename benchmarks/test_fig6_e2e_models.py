@@ -13,30 +13,17 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bench import evaluate_model, format_table
+from repro.api import ClusterRef, ExperimentSpec, StackSpec
+from repro.bench import format_table
 from repro.models import GPT2_XL, MIXTRAL_7B, MIXTRAL_22B
-from repro.systems import (
-    DeepSpeedMoE,
-    FSMoE,
-    FSMoENoIIO,
-    PipeMoELina,
-    Tutel,
-    TutelImproved,
-)
+from repro.systems import ALL_SYSTEM_KEYS
 
-from .conftest import full_run
+from .conftest import bench_solver, full_run
 
 SYSTEM_ORDER = (
     "DS-MoE", "Tutel", "Tutel-Improved", "PipeMoE+Lina", "FSMoE-No-IIO",
     "FSMoE",
 )
-
-
-def systems():
-    return [
-        DeepSpeedMoE(), Tutel(), TutelImproved(), PipeMoELina(),
-        FSMoENoIIO(), FSMoE(),
-    ]
 
 
 CASES = [
@@ -49,24 +36,27 @@ CASES = [
 
 
 @pytest.mark.parametrize("testbed,preset,seq_len", CASES)
-def test_fig6_e2e_speedups(testbed, preset, seq_len, cluster_a, cluster_b,
-                           models_a, models_b, profile_store, emit,
+def test_fig6_e2e_speedups(testbed, preset, seq_len, workspace, emit,
                            benchmark):
-    cluster = cluster_a if testbed == "A" else cluster_b
-    models = models_a if testbed == "A" else models_b
     # The subsampled run trims deep models to 8 layers (identical layers,
     # so speedup ratios are unchanged beyond ~4 layers).
     num_layers = preset.num_layers if full_run() else min(preset.num_layers, 8)
 
-    result = benchmark.pedantic(
-        evaluate_model,
-        args=(preset, cluster, models, systems()),
-        kwargs=dict(
-            seq_len=seq_len, num_layers=num_layers, store=profile_store
+    spec = ExperimentSpec(
+        name=f"fig6-{preset.name}-{testbed}",
+        clusters=(ClusterRef(testbed),),
+        systems=ALL_SYSTEM_KEYS,
+        stacks=(
+            StackSpec(
+                model=preset.name, seq_len=seq_len, num_layers=num_layers
+            ),
         ),
-        rounds=1,
-        iterations=1,
+        solver=bench_solver(),
     )
+    sweep = benchmark.pedantic(
+        workspace.sweep, args=(spec,), rounds=1, iterations=1
+    )
+    result = sweep.config_results()[0]
 
     rows = [
         [

@@ -4,53 +4,46 @@ On Testbed A, vary L in {512, 1024, 2048} at P=48 and P in {16, 32, 48}
 at L=1024, reporting speedups over DS-MoE (paper: FSMoE 2.17/2.72/3.14x
 over DS-MoE and 1.17/1.19/1.17x over Tutel across L; 2.25/2.27/2.72x over
 DS-MoE across P).
+
+Both sweeps are one declarative :class:`ExperimentSpec` each: the L
+sweep lists three stacks, the P sweep lists three scaled cluster refs --
+all planned through the session workspace's caches.
 """
 
 from __future__ import annotations
 
-import pytest
-
-from repro.bench import evaluate_model, format_table
+from repro.api import ClusterRef, ExperimentSpec, StackSpec
+from repro.bench import format_table
 from repro.models import MIXTRAL_7B
-from repro.systems import (
-    DeepSpeedMoE,
-    FSMoE,
-    FSMoENoIIO,
-    PipeMoELina,
-    Tutel,
-    TutelImproved,
-)
+from repro.systems import ALL_SYSTEM_KEYS
 
-from .conftest import full_run
+from .conftest import bench_solver, full_run
 
 
-def systems():
-    return [
-        DeepSpeedMoE(), Tutel(), TutelImproved(), PipeMoELina(),
-        FSMoENoIIO(), FSMoE(),
-    ]
-
-
-def run_case(cluster, models, seq_len, num_layers, store=None):
-    return evaluate_model(
-        MIXTRAL_7B, cluster, models, systems(),
-        seq_len=seq_len, num_layers=num_layers, store=store,
-    )
-
-
-def test_fig7_varied_seq_len(cluster_a, models_a, profile_store, emit,
-                             benchmark):
+def test_fig7_varied_seq_len(workspace, emit, benchmark):
     num_layers = 7 if full_run() else 4
+    spec = ExperimentSpec(
+        name="fig7-varied-L",
+        clusters=(ClusterRef("A"),),
+        systems=ALL_SYSTEM_KEYS,
+        stacks=tuple(
+            StackSpec(
+                model=MIXTRAL_7B.name, seq_len=seq_len, num_layers=num_layers
+            )
+            for seq_len in (512, 1024, 2048)
+        ),
+        solver=bench_solver(),
+    )
+    sweep = benchmark.pedantic(
+        workspace.sweep, args=(spec,), rounds=1, iterations=1
+    )
+    results = sweep.config_results()
+
     rows = []
-    results = {}
-    for seq_len in (512, 1024, 2048):
-        result = run_case(
-            cluster_a, models_a, seq_len, num_layers, profile_store
-        )
-        results[seq_len] = result
+    for result in results:
         rows.append(
             [
-                f"L={seq_len}",
+                f"L={result.spec.seq_len}",
                 f"{result.speedup('FSMoE', 'DS-MoE'):.2f}x",
                 f"{result.speedup('Tutel', 'DS-MoE'):.2f}x",
                 f"{result.speedup('FSMoE', 'Tutel'):.2f}x",
@@ -65,33 +58,32 @@ def test_fig7_varied_seq_len(cluster_a, models_a, profile_store, emit,
         ),
     )
     emit("fig7_varied_L", table)
-    benchmark.pedantic(
-        run_case, args=(cluster_a, models_a, 512, 2), rounds=1, iterations=1
-    )
-    for result in results.values():
+    for result in results:
         assert result.speedup("FSMoE", "Tutel") > 1.05
 
 
-def test_fig7_varied_world_size(cluster_a, profile_store, emit, benchmark):
-    from repro import standard_layout
-
+def test_fig7_varied_world_size(workspace, emit, benchmark):
     num_layers = 7 if full_run() else 4
+    spec = ExperimentSpec(
+        name="fig7-varied-P",
+        clusters=tuple(
+            ClusterRef("A", total_gpus=total) for total in (16, 32, 48)
+        ),
+        systems=ALL_SYSTEM_KEYS,
+        stacks=(
+            StackSpec(
+                model=MIXTRAL_7B.name, seq_len=1024, num_layers=num_layers
+            ),
+        ),
+        solver=bench_solver(),
+    )
+    sweep = benchmark.pedantic(
+        workspace.sweep, args=(spec,), rounds=1, iterations=1
+    )
+    results = sweep.config_results()
+
     rows = []
-    speedups = {}
-
-    def run_scaled(total_gpus, layers):
-        # The store keys on the scaled ClusterSpec, so each P profiles
-        # once across the warm-up and measured sweeps.
-        scaled = cluster_a.scaled_to(total_gpus)
-        parallel = standard_layout(scaled.total_gpus, scaled.gpus_per_node)
-        models = profile_store.models(scaled, parallel)
-        return run_case(scaled, models, 1024, layers, profile_store)
-
-    benchmark.pedantic(run_scaled, args=(16, 2), rounds=1, iterations=1)
-
-    for total_gpus in (16, 32, 48):
-        result = run_scaled(total_gpus, num_layers)
-        speedups[total_gpus] = result
+    for result, total_gpus in zip(results, (16, 32, 48)):
         rows.append(
             [
                 f"P={total_gpus}",
@@ -109,5 +101,5 @@ def test_fig7_varied_world_size(cluster_a, profile_store, emit, benchmark):
         ),
     )
     emit("fig7_varied_P", table)
-    for result in speedups.values():
+    for result in results:
         assert result.speedup("FSMoE", "Tutel") > 1.05

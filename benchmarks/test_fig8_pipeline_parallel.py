@@ -3,7 +3,9 @@
 Testbed A with N_PP = 2 (GPipe): the model's layers split into two
 contiguous stages of three nodes each; each stage runs the per-system
 schedule per micro-batch and gradient synchronization is charged once at
-the pipeline flush.
+the pipeline flush.  Stage plans are *heterogeneous*: an odd layer count
+gives the stages different depths (Mixtral-7B's 7 layers split 4 + 3),
+and :func:`gpipe_iteration_ms` consumes the per-stage times directly.
 
 Paper: FSMoE averages 2.46x over DS-MoE, 1.16x over Tutel, 1.10x over
 Tutel-Improved, 1.12x over PipeMoE+Lina and 1.05x over FSMoE-No-IIO.
@@ -13,9 +15,8 @@ from __future__ import annotations
 
 from repro import standard_layout
 from repro.bench.reporting import format_table
-from repro.core.profiler import profile_cluster
 from repro.models import MIXTRAL_7B, gpipe_iteration_ms, layer_spec_for, \
-    microbatch_spec, profile_layer
+    microbatch_spec, split_stages
 from repro.systems import (
     DeepSpeedMoE,
     FSMoE,
@@ -35,34 +36,42 @@ SYSTEM_ORDER = (
 )
 
 
-def pp_iteration_ms(system, preset, cluster, num_layers):
+def pp_iteration_ms(system, preset, cluster, num_layers, store):
     """One GPipe iteration for ``system`` on a 2-stage split of the model."""
     parallel = standard_layout(
         cluster.total_gpus, cluster.gpus_per_node, n_pp=N_PP
     )
-    models = profile_cluster(cluster, parallel).models
+    models = store.models(cluster, parallel)
     spec = layer_spec_for(
         preset, batch_size=1, seq_len=1024, num_experts=parallel.n_ep
     )
     micro = microbatch_spec(spec, N_MICRO)
-    profile = profile_layer(micro, parallel, models)
-    layers_per_stage = max(1, num_layers // N_PP)
-    profiles = [profile] * layers_per_stage
-    fw, bw_no_gar, bw_gar = system.phase_times_ms(profiles, models)
+    profile = store.layer_profile(micro, parallel, models)
+    fw, bw_no_gar, gar_exposed = [], [], []
+    for stage_layers in split_stages(num_layers, N_PP):
+        profiles = [profile] * stage_layers
+        stage_fw, stage_bw, stage_bw_gar = system.phase_times_ms(
+            profiles, models
+        )
+        fw.append(stage_fw)
+        bw_no_gar.append(stage_bw)
+        gar_exposed.append(stage_bw_gar - stage_bw)
     return gpipe_iteration_ms(
-        fw, bw_no_gar, bw_gar - bw_no_gar, num_stages=N_PP, num_micro=N_MICRO
+        fw, bw_no_gar, gar_exposed, num_stages=N_PP, num_micro=N_MICRO
     )
 
 
-def test_fig8_pp_enabled(cluster_a, emit, benchmark):
-    num_layers = MIXTRAL_7B.num_layers if full_run() else 4
+def test_fig8_pp_enabled(cluster_a, profile_store, emit, benchmark):
+    # An odd default layer count exercises the heterogeneous-stage path
+    # (stages of 3 and 2 layers) even in the subsampled run.
+    num_layers = MIXTRAL_7B.num_layers if full_run() else 5
     times = {}
     for system in (
         DeepSpeedMoE(), Tutel(), TutelImproved(), PipeMoELina(),
         FSMoENoIIO(), FSMoE(),
     ):
         times[system.name] = pp_iteration_ms(
-            system, MIXTRAL_7B, cluster_a, num_layers
+            system, MIXTRAL_7B, cluster_a, num_layers, profile_store
         )
 
     rows = [
@@ -86,7 +95,7 @@ def test_fig8_pp_enabled(cluster_a, emit, benchmark):
 
     benchmark.pedantic(
         pp_iteration_ms,
-        args=(FSMoE(), MIXTRAL_7B, cluster_a, 2),
+        args=(FSMoE(), MIXTRAL_7B, cluster_a, 2, profile_store),
         rounds=1,
         iterations=1,
     )

@@ -22,16 +22,17 @@ from __future__ import annotations
 
 import pytest
 
+from repro.api import ClusterRef, ExperimentSpec, StackSpec
 from repro.bench import (
+    CONFIGURED_LAYER_COUNT,
     configured_layer_grid,
     evaluate_config,
-    evaluate_config_grid,
     format_table,
     speedups_over,
 )
 from repro.systems import FSMoE, FSMoENoIIO, Tutel, TutelImproved
 
-from .conftest import full_run
+from .conftest import bench_solver, full_run
 
 #: paper Table 5 values for the report.
 PAPER_TABLE5 = {
@@ -47,20 +48,28 @@ DEFAULT_STRIDE = 27
 
 @pytest.mark.parametrize("testbed", ["A", "B"])
 def test_table5_configured_layers(testbed, cluster_a, cluster_b, models_a,
-                                  models_b, profile_store, emit, benchmark):
+                                  models_b, workspace, emit, benchmark):
     cluster = cluster_a if testbed == "A" else cluster_b
     models = models_a if testbed == "A" else models_b
     stride = 1 if full_run() else DEFAULT_STRIDE
     specs = configured_layer_grid(
         testbed, num_experts=cluster.num_nodes, stride=stride
     )
-    systems = [Tutel(), TutelImproved(), FSMoENoIIO(), FSMoE()]
 
-    # The whole grid goes through one plan_many sweep: concurrent
-    # planning, all profiling deduplicated in the session store.
-    results = evaluate_config_grid(
-        specs, cluster, models, systems, store=profile_store
+    # The whole grid is one declarative experiment: concurrent planning,
+    # profiling deduplicated in the workspace store, every plan cached on
+    # disk.  Full runs use the fast Step-2 solver (see bench_solver).
+    experiment = ExperimentSpec(
+        name=f"table5-{testbed}",
+        clusters=(ClusterRef(testbed),),
+        systems=("tutel", "tutel-improved", "fsmoe-no-iio", "fsmoe"),
+        stacks=tuple(
+            StackSpec.of(spec, num_layers=CONFIGURED_LAYER_COUNT)
+            for spec in specs
+        ),
+        solver=bench_solver(),
     )
+    results = workspace.sweep(experiment).config_results()
     table5 = speedups_over(results, "Tutel")
 
     rows = [
@@ -75,6 +84,8 @@ def test_table5_configured_layers(testbed, cluster_a, cluster_b, models_a,
     emit(f"table5_testbed_{testbed}", table)
 
     # benchmark one configuration evaluation (the unit of the sweep).
+    systems = [Tutel(), TutelImproved(), FSMoENoIIO(),
+               FSMoE(solver=experiment.solver)]
     benchmark(evaluate_config, specs[0], cluster, models, systems)
 
     # Shape assertions: the paper's ranking.

@@ -6,23 +6,25 @@ iteration time under every training system, the benefit of FSMoE's
 scheduling, and where the time goes (communication vs computation) --
 the kind of what-if analysis the simulated substrate makes free.
 
-Run:  python examples/mixtral_cluster_planning.py
+Run:  python examples/mixtral_cluster_planning.py [workspace-dir]
+
+Pass a directory to keep the workspace between runs: the second
+invocation answers every what-if from the persistent caches.
 """
 
-from repro import ProfileStore, standard_layout, testbed_a, testbed_b
+import sys
+import tempfile
+
+from repro import Workspace, standard_layout, testbed_a, testbed_b
 from repro.bench import evaluate_model, format_table
 from repro.models import MIXTRAL_7B, layer_op_breakdown, layer_spec_for
 from repro.models.memory import estimate_memory, max_layers_that_fit
 from repro.systems import DeepSpeedMoE, FSMoE, Tutel
 
-# One profile cache for both testbeds: re-running a what-if against an
-# already-profiled deployment costs nothing.
-STORE = ProfileStore()
-
-
-def plan(cluster, seq_len: int, num_layers: int) -> None:
+def plan(workspace, cluster, seq_len: int, num_layers: int) -> None:
+    store = workspace.store
     parallel = standard_layout(cluster.total_gpus, cluster.gpus_per_node)
-    models = STORE.models(cluster, parallel)
+    models = store.models(cluster, parallel)
 
     spec = layer_spec_for(
         MIXTRAL_7B, batch_size=1, seq_len=seq_len, num_experts=parallel.n_ep
@@ -36,7 +38,7 @@ def plan(cluster, seq_len: int, num_layers: int) -> None:
           f"{footprint.total_gib:.1f} GiB/GPU of {gpu_gib:.0f} GiB "
           f"({'fits' if footprint.fits(gpu_gib) else 'DOES NOT FIT'}; "
           f"max {limit} layers)")
-    profile = STORE.layer_profile(spec, parallel, models)
+    profile = store.layer_profile(spec, parallel, models)
     breakdown = layer_op_breakdown(profile, models, "backward")
     total = sum(breakdown.values())
     comm = (
@@ -47,7 +49,7 @@ def plan(cluster, seq_len: int, num_layers: int) -> None:
     result = evaluate_model(
         MIXTRAL_7B, cluster, models,
         [DeepSpeedMoE(), Tutel(), FSMoE()],
-        seq_len=seq_len, num_layers=num_layers, store=STORE,
+        seq_len=seq_len, num_layers=num_layers, store=store,
     )
     tokens = spec.batch_size * seq_len * parallel.n_dp
 
@@ -71,13 +73,24 @@ def plan(cluster, seq_len: int, num_layers: int) -> None:
     print()
 
 
-def main() -> None:
-    plan(testbed_a(), seq_len=1024, num_layers=7)
-    plan(testbed_b(), seq_len=256, num_layers=7)
+def main(workspace: Workspace) -> None:
+    # One workspace for both testbeds: re-running a what-if against an
+    # already-profiled deployment costs nothing -- and with an on-disk
+    # root, neither does re-running the whole script.
+    plan(workspace, testbed_a(), seq_len=1024, num_layers=7)
+    plan(workspace, testbed_b(), seq_len=256, num_layers=7)
+    workspace.save()
+    stats = workspace.stats
+    print(f"(workspace {workspace.root}: {stats.profiles.misses} profiles "
+          f"fitted this run, {stats.profiles.hits} served from cache)")
     print("Reading: FSMoE's gains grow with the communication share; the "
           "simulator lets you answer 'is this cluster worth it?' before "
           "renting it.")
 
 
 if __name__ == "__main__":
-    main()
+    if len(sys.argv) > 1:
+        main(Workspace(sys.argv[1]))
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-planning-") as tmp:
+            main(Workspace(tmp))

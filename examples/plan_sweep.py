@@ -11,6 +11,10 @@ cluster?" questions wholesale:
 4. any plan in the result serializes to JSON and replays bit-identically
    -- including heterogeneous stacks, where each layer has its own shape.
 
+This is the raw compatibility path; the Workspace / ExperimentSpec API
+(examples/experiment_sweep.py) layers disk persistence and a plan cache
+on top of exactly this machinery.
+
 Run:  python examples/plan_sweep.py
 """
 

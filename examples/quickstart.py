@@ -1,76 +1,90 @@
 #!/usr/bin/env python
 """Quickstart: schedule one MoE layer with FSMoE on a simulated cluster.
 
-Walks the full FSMoE pipeline from the paper in ~40 lines:
+Walks the full FSMoE pipeline from the paper in ~40 lines, through the
+library's front door (the Workspace session API):
 
-1. describe the cluster (paper Testbed B) and the standard parallel layout;
-2. build a PlanCompiler: the online profiler runs once behind a cache;
+1. open a Workspace and name the cluster through the registry;
+2. the online profiler runs once behind the workspace's persistent cache;
 3. describe an MoE transformer layer;
 4. let Algorithm 1 pick per-phase pipeline degrees;
-5. compile + simulate every training system and compare iteration times;
-6. persist the winning plan as JSON (it replays bit-identically).
+5. plan + simulate every training system and compare iteration times
+   (systems are registry names -- no imports);
+6. the winning plan is already persisted as JSON in the plan cache and
+   replays bit-identically.
 
 Run:  python examples/quickstart.py
 """
 
+import tempfile
+
 from repro import (
-    DeepSpeedMoE,
-    FSMoE,
     IterationPlan,
     MoELayerSpec,
-    PlanCompiler,
-    Tutel,
+    Workspace,
     find_optimal_pipeline_degree,
-    testbed_b,
+    get_cluster,
+    get_system,
 )
 
-# 1. the cluster: 8 nodes x 4 GPUs, 100 Gb/s InfiniBand (paper Table 3).
-cluster = testbed_b()
+with tempfile.TemporaryDirectory(prefix="repro-quickstart-") as root:
+    # 1. the cluster: 8 nodes x 4 GPUs, 100 Gb/s InfiniBand (paper Table 3),
+    # and a session rooted on disk.  Reopening the same root later would
+    # skip straight to the cached profiles and plans.
+    cluster = get_cluster("B")
+    workspace = Workspace(root)
 
-# 2. the plan compiler: profiles the deployment once (paper section 3.2:
-# microbenchmark + least squares), then serves everything from its store.
-compiler = PlanCompiler(cluster, noise=0.01, seed=0)
-parallel = compiler.parallel
-print(f"cluster: {cluster.name} ({cluster.total_gpus} GPUs), "
-      f"layout: MP=ESP={parallel.n_mp}, EP=DP={parallel.n_ep}")
-print("fitted models (r^2):",
-      {name: round(r2, 5) for name, r2 in compiler.fit_quality.items()})
+    # 2. the profiling front-end (paper section 3.2: microbenchmark + least
+    # squares) runs once, behind the workspace's store.
+    compiler = workspace.compiler(cluster, noise=0.01)
+    parallel = compiler.parallel
+    print(f"cluster: {cluster.name} ({cluster.total_gpus} GPUs), "
+          f"layout: MP=ESP={parallel.n_mp}, EP=DP={parallel.n_ep}")
+    print("fitted models (r^2):",
+          {name: round(r2, 5) for name, r2 in compiler.fit_quality.items()})
 
-# 3. one transformer-MoE layer (GShard routing, top-2, f=1.2).
-spec = MoELayerSpec(
-    batch_size=2,
-    seq_len=1024,
-    embed_dim=2048,
-    hidden_scale=4,
-    num_experts=parallel.n_ep,
-    top_k=2,
-    capacity_factor=1.2,
-    num_heads=16,
-)
-profile = compiler.layer_profile(spec)
+    # 3. one transformer-MoE layer (GShard routing, top-2, f=1.2).
+    spec = MoELayerSpec(
+        batch_size=2,
+        seq_len=1024,
+        embed_dim=2048,
+        hidden_scale=4,
+        num_experts=parallel.n_ep,
+        top_k=2,
+        capacity_factor=1.2,
+        num_heads=16,
+    )
+    profile = compiler.layer_profile(spec)
 
-# 4. Algorithm 1: optimal pipeline degree per phase.
-fw = find_optimal_pipeline_degree(profile.ctx_fw)
-bw = find_optimal_pipeline_degree(profile.ctx_bw)
-print(f"Algorithm 1: forward r={fw.degree} ({fw.case.name}, "
-      f"{fw.time_ms:.2f} ms), backward r={bw.degree} ({bw.case.name}, "
-      f"{bw.time_ms:.2f} ms)")
+    # 4. Algorithm 1: optimal pipeline degree per phase.
+    fw = find_optimal_pipeline_degree(profile.ctx_fw)
+    bw = find_optimal_pipeline_degree(profile.ctx_bw)
+    print(f"Algorithm 1: forward r={fw.degree} ({fw.case.name}, "
+          f"{fw.time_ms:.2f} ms), backward r={bw.degree} ({bw.case.name}, "
+          f"{bw.time_ms:.2f} ms)")
 
-# 5. full-iteration comparison (2 identical layers; heterogeneous stacks
-# -- a list of different specs -- work exactly the same way).
-stack = [spec, spec]
-times = {}
-for system in (DeepSpeedMoE(), Tutel(), FSMoE()):
-    times[system.name] = compiler.iteration_time_ms(stack, system)
-    print(f"{system.name:>8}: {times[system.name]:8.2f} ms / iteration")
+    # 5. full-iteration comparison (2 identical layers; heterogeneous
+    # stacks -- a list of different specs -- work exactly the same way).
+    # Systems come from the registry by name.
+    stack = [spec, spec]
+    times = {}
+    for name in ("dsmoe", "tutel", "fsmoe"):
+        system = get_system(name)
+        plan = workspace.plan(stack, system, cluster, noise=0.01)
+        times[system.name] = plan.makespan_ms()
+        print(f"{system.name:>8}: {times[system.name]:8.2f} ms / iteration")
 
-print(f"\nFSMoE speedup over Tutel: {times['Tutel'] / times['FSMoE']:.2f}x "
-      f"(paper Table 5 average: 1.22x on this testbed)")
+    print(f"\nFSMoE speedup over Tutel: "
+          f"{times['Tutel'] / times['FSMoE']:.2f}x "
+          f"(paper Table 5 average: 1.22x on this testbed)")
 
-# 6. plans are plain data: serialize, reload, replay -- no re-planning.
-plan = compiler.compile(stack, FSMoE())
-replayed = IterationPlan.from_json(plan.to_json())
-assert replayed.makespan_ms() == plan.makespan_ms()
-print(f"plan JSON round-trip OK ({len(plan.to_json())} bytes, "
-      f"degrees {plan.degrees})")
-print(f"profile store: {compiler.store.stats}")
+    # 6. plans are plain data on disk: reload, replay -- no re-planning.
+    plan = workspace.plan(stack, get_system("fsmoe"), cluster, noise=0.01)
+    replayed = IterationPlan.from_json(plan.to_json())
+    assert replayed.makespan_ms() == plan.makespan_ms()
+    stats = workspace.stats
+    print(f"plan JSON round-trip OK ({len(plan.to_json())} bytes, "
+          f"degrees {plan.degrees})")
+    print(f"session caches: {stats.profiles.misses} profiles fitted, "
+          f"{stats.plan_misses} plans compiled, "
+          f"{stats.plan_hits} plan cache hits")

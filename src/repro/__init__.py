@@ -37,11 +37,13 @@ from .config import (
 )
 from .errors import (
     ConfigError,
+    RegistryError,
     ReproError,
     ScheduleError,
     ShapeError,
     SolverError,
     TopologyError,
+    WorkspaceError,
 )
 from .parallel import (
     ClusterSpec,
@@ -51,6 +53,7 @@ from .parallel import (
     testbed_b,
 )
 from .core import (
+    STEP2_SOLVERS,
     GenericScheduler,
     LinearPerfModel,
     PerfModelSet,
@@ -65,8 +68,11 @@ from .models import (
     MIXTRAL_7B,
     MIXTRAL_22B,
     LayerProfile,
+    available_model_presets,
+    get_model_preset,
     layer_op_breakdown,
     profile_layer,
+    register_model_preset,
 )
 from .moe import (
     ExpertChoiceGate,
@@ -80,6 +86,7 @@ from .moe import (
     XMoEGate,
 )
 from .systems import (
+    ALL_SYSTEM_KEYS,
     ALL_SYSTEMS,
     DeepSpeedMoE,
     FSMoE,
@@ -87,6 +94,9 @@ from .systems import (
     PipeMoELina,
     Tutel,
     TutelImproved,
+    available_systems,
+    get_system,
+    register_system,
 )
 from .planner import (
     IterationPlan,
@@ -95,6 +105,17 @@ from .planner import (
     ProfileStore,
     SweepResult,
     plan_many,
+)
+from .api import (
+    ClusterRef,
+    ExperimentResult,
+    ExperimentSpec,
+    StackSpec,
+    Workspace,
+    WorkspaceStats,
+    available_clusters,
+    get_cluster,
+    register_cluster,
 )
 
 __version__ = "1.0.0"
@@ -112,6 +133,8 @@ __all__ = [
     "ScheduleError",
     "SolverError",
     "ShapeError",
+    "WorkspaceError",
+    "RegistryError",
     # cluster
     "ClusterSpec",
     "TESTBEDS",
@@ -159,4 +182,23 @@ __all__ = [
     "PlanPoint",
     "SweepResult",
     "plan_many",
+    # registries
+    "ALL_SYSTEM_KEYS",
+    "available_systems",
+    "get_system",
+    "register_system",
+    "available_model_presets",
+    "get_model_preset",
+    "register_model_preset",
+    "available_clusters",
+    "get_cluster",
+    "register_cluster",
+    "STEP2_SOLVERS",
+    # experiment API
+    "Workspace",
+    "WorkspaceStats",
+    "ExperimentSpec",
+    "ExperimentResult",
+    "StackSpec",
+    "ClusterRef",
 ]

@@ -1,0 +1,11 @@
+"""``python -m repro`` -- the command-line front door.
+
+See :mod:`repro.api.cli` for the subcommands.
+"""
+
+import sys
+
+from .api.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

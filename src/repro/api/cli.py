@@ -1,0 +1,390 @@
+"""``python -m repro``: plan, sweep, bench and cache from the shell.
+
+Four subcommands over the :class:`~repro.api.workspace.Workspace` API:
+
+* ``plan``  -- compile one iteration plan; ``--json`` prints the exact
+  :meth:`IterationPlan.to_json` document (replayable bit-identically).
+* ``sweep`` -- run a declarative :class:`~repro.api.spec.ExperimentSpec`
+  file (JSON or TOML); prints the result table and exact cache
+  counters.  ``--expect-warm`` turns "100% cache hits" into an exit
+  code, for CI.
+* ``bench`` -- evaluate a model preset across systems on a testbed and
+  print the speedup table (the Fig. 6 shape, from the shell).
+* ``cache`` -- inspect or clear a workspace's on-disk caches.
+
+Every subcommand takes ``--workspace PATH``; without it, ``plan`` and
+``bench`` run against a throwaway in-memory session.
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from ..bench.reporting import format_table
+from ..bench.runner import speedups_over
+from ..config import MoELayerSpec
+from ..core.gradient_partition import STEP2_SOLVERS
+from ..errors import ReproError
+from ..models.configs import available_model_presets
+from ..moe.gates import GateKind
+from ..systems.registry import available_systems
+from .registry import available_clusters
+from .spec import ClusterRef, ExperimentSpec, StackSpec
+from .workspace import Workspace, WorkspaceStats
+
+
+def _add_workspace_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workspace",
+        "-w",
+        metavar="PATH",
+        default=None,
+        help="workspace directory holding the persistent caches",
+    )
+
+
+def _add_knob_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--gate",
+        default=GateKind.GSHARD.value,
+        choices=[kind.value for kind in GateKind],
+        help="routing function for the timing profiles",
+    )
+    parser.add_argument(
+        "--solver",
+        default="de",
+        choices=list(STEP2_SOLVERS),
+        help="FSMoE Step-2 gradient-partition solver",
+    )
+    parser.add_argument(
+        "--r-max", type=int, default=None, help="pipeline-degree cap"
+    )
+    parser.add_argument(
+        "--noise", type=float, default=0.0, help="profiler jitter std-dev"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="profiler RNG seed"
+    )
+
+
+def _add_stack_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--model",
+        default=None,
+        help=f"model preset ({', '.join(available_model_presets())})",
+    )
+    parser.add_argument("--layers", type=int, default=None,
+                        help="stack depth (default: preset's, or 1)")
+    parser.add_argument("--batch-size", type=int, default=1)
+    parser.add_argument("--seq-len", type=int, default=1024)
+    parser.add_argument(
+        "--num-experts", type=int, default=None,
+        help="experts per layer (default: the deployment's EP width)",
+    )
+    parser.add_argument("--embed-dim", type=int, default=2048,
+                        help="(custom layers only)")
+    parser.add_argument("--hidden-scale", type=float, default=4.0,
+                        help="(custom layers only)")
+    parser.add_argument("--num-heads", type=int, default=16,
+                        help="(custom layers only)")
+    parser.add_argument("--top-k", type=int, default=2,
+                        help="(custom layers only)")
+    parser.add_argument(
+        "--capacity-factor", type=float, default=1.2,
+        help="(custom layers only; <= 0 means no token dropping)",
+    )
+    parser.add_argument("--ffn-type", default="simple",
+                        choices=("simple", "mixtral"),
+                        help="(custom layers only)")
+
+
+def _stack_from_args(args, cluster: ClusterRef) -> StackSpec:
+    """Build the stack entry a ``plan``/``bench`` invocation describes."""
+    if args.model is not None:
+        return StackSpec(
+            model=args.model,
+            batch_size=args.batch_size,
+            seq_len=args.seq_len,
+            num_experts=args.num_experts,
+            num_layers=args.layers,
+        )
+    if args.num_experts is not None:
+        num_experts = args.num_experts
+    else:
+        # same default the model-preset path uses: the deployment's EP
+        # width (paper §6.4: one expert per node)
+        resolved = cluster.resolve()
+        num_experts = resolved.num_nodes
+    capacity = args.capacity_factor
+    layer = MoELayerSpec(
+        batch_size=args.batch_size,
+        seq_len=args.seq_len,
+        embed_dim=args.embed_dim,
+        hidden_scale=args.hidden_scale,
+        num_experts=num_experts,
+        top_k=args.top_k,
+        capacity_factor=capacity if capacity > 0 else None,
+        num_heads=args.num_heads,
+        ffn_type=args.ffn_type,
+    )
+    return StackSpec(layers=(layer,), num_layers=args.layers or 1)
+
+
+def _spec_from_args(args, systems: list[str]) -> ExperimentSpec:
+    cluster = ClusterRef(name=args.cluster, total_gpus=args.gpus)
+    return ExperimentSpec(
+        name="cli",
+        clusters=(cluster,),
+        systems=tuple(systems),
+        stacks=(_stack_from_args(args, cluster),),
+        gate=args.gate,
+        solver=args.solver,
+        r_max=args.r_max,
+        noise=args.noise,
+        seed=args.seed,
+    )
+
+
+def _open_workspace(args, stack: "object") -> Workspace:
+    """The named workspace, or a throwaway one for session-only runs."""
+    if args.workspace is not None:
+        return Workspace(args.workspace)
+    tmp = tempfile.TemporaryDirectory(prefix="repro-ws-")
+    stack.callback(tmp.cleanup)  # type: ignore[attr-defined]
+    return Workspace(tmp.name, autosave=False)
+
+
+def _print_cache_summary(stats: WorkspaceStats, out) -> None:
+    profiles = stats.profiles
+    for label, hits, misses in (
+        ("profile cache", profiles.hits, profiles.misses),
+        ("plan cache", stats.plan_hits, stats.plan_misses),
+    ):
+        total = hits + misses
+        rate = 100.0 * hits / total if total else 100.0
+        print(
+            f"{label}: {hits} hits, {misses} misses ({rate:.0f}% hit rate)",
+            file=out,
+        )
+
+
+def _cmd_plan(args) -> int:
+    with contextlib.ExitStack() as resources:
+        workspace = _open_workspace(args, resources)
+        spec = _spec_from_args(args, [args.system])
+        result = workspace.sweep(spec, max_workers=1)
+        point = result.points[0]
+        plan = point.plan
+        # The JSON document goes to stdout *alone* so it can be piped
+        # straight into IterationPlan.from_json; counters go to stderr.
+        if args.json:
+            print(plan.to_json(indent=2))
+            _print_cache_summary(workspace.stats, sys.stderr)
+        else:
+            print(f"system:    {plan.name}")
+            print(f"cluster:   {point.cluster.name}")
+            print(f"layers:    {plan.num_layers}")
+            print(f"degrees:   {plan.degrees}")
+            print(f"makespan:  {point.makespan_ms:.3f} ms")
+            _print_cache_summary(workspace.stats, sys.stdout)
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    spec = ExperimentSpec.from_file(args.spec)
+    workspace = Workspace(args.workspace) if args.workspace else None
+    if workspace is None:
+        with tempfile.TemporaryDirectory(prefix="repro-ws-") as tmp:
+            workspace = Workspace(tmp, autosave=False)
+            return _run_sweep(args, spec, workspace)
+    return _run_sweep(args, spec, workspace)
+
+
+def _run_sweep(args, spec: ExperimentSpec, workspace: Workspace) -> int:
+    result = workspace.sweep(spec, max_workers=args.max_workers)
+    if args.json:
+        print(json.dumps(result.rows(), indent=2))
+    else:
+        rows = [
+            [
+                str(row["cluster"]),
+                str(row["system"]),
+                f"{row['num_layers']}",
+                f"B={row['batch_size']} L={row['seq_len']} "
+                f"M={row['embed_dim']} E={row['num_experts']}",
+                f"{row['makespan_ms']:.2f}",
+            ]
+            for row in result.rows()
+        ]
+        print(
+            format_table(
+                ["cluster", "system", "layers", "shape", "makespan (ms)"],
+                rows,
+                title=f"sweep '{spec.name}': {len(result)} points",
+            )
+        )
+    stats = workspace.stats
+    _print_cache_summary(stats, sys.stdout)
+    if args.expect_warm and not stats.warm:
+        print(
+            "error: --expect-warm but the run was not fully cached "
+            f"({stats.profiles.misses} profile misses, "
+            f"{stats.plan_misses} plan misses)",
+            file=sys.stderr,
+        )
+        return 3
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    systems = [name.strip() for name in args.systems.split(",") if name.strip()]
+    with contextlib.ExitStack() as resources:
+        workspace = _open_workspace(args, resources)
+        spec = _spec_from_args(args, systems)
+        result = workspace.sweep(spec, max_workers=args.max_workers)
+        case = result.config_results()[0]
+        speedups = speedups_over([case], args.baseline)
+        rows = [
+            [
+                name,
+                f"{case.times_ms[name]:.1f}",
+                f"{speedups[name]:.2f}x",
+            ]
+            for name in case.times_ms
+        ]
+        print(
+            format_table(
+                ["system", "iteration (ms)", f"speedup vs {args.baseline}"],
+                rows,
+                title=(
+                    f"bench: {args.model or 'custom layer'} on "
+                    f"{result.points[0].cluster.name}"
+                ),
+            )
+        )
+        _print_cache_summary(workspace.stats, sys.stdout)
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    if args.action == "clear":
+        # File-level discard: must work even on caches a plain open would
+        # refuse (schema-version mismatch) -- this IS the recovery path.
+        removed = Workspace.discard(args.workspace)
+        print(
+            f"cleared {removed['profiles']} profile file(s) and "
+            f"{removed['plans']} plan file(s) from {args.workspace}"
+        )
+        return 0
+    # info is read-only: a mistyped path must not silently materialize an
+    # empty workspace and report it as real
+    root = Path(args.workspace).expanduser()
+    if not root.is_dir():
+        print(f"error: no workspace at {root}", file=sys.stderr)
+        return 2
+    info = Workspace(root).cache_info()
+    for key, value in info.items():
+        print(f"{key}: {value}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser (exposed for docs/tests)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    plan = sub.add_parser(
+        "plan", help="compile one iteration plan (optionally as JSON)"
+    )
+    plan.add_argument(
+        "--cluster",
+        "-c",
+        required=True,
+        help=f"cluster name ({', '.join(available_clusters())}, ...)",
+    )
+    plan.add_argument("--gpus", type=int, default=None,
+                      help="scale the cluster to this many GPUs")
+    plan.add_argument(
+        "--system",
+        "-s",
+        required=True,
+        help=f"system name ({', '.join(available_systems())})",
+    )
+    _add_stack_args(plan)
+    _add_knob_args(plan)
+    _add_workspace_arg(plan)
+    plan.add_argument(
+        "--json",
+        action="store_true",
+        help="print the plan's JSON document on stdout (nothing else)",
+    )
+    plan.set_defaults(func=_cmd_plan)
+
+    sweep = sub.add_parser(
+        "sweep", help="run an ExperimentSpec file (JSON or TOML)"
+    )
+    sweep.add_argument("spec", help="path to the experiment spec document")
+    _add_workspace_arg(sweep)
+    sweep.add_argument("--max-workers", type=int, default=None)
+    sweep.add_argument(
+        "--json", action="store_true", help="print rows as JSON"
+    )
+    sweep.add_argument(
+        "--expect-warm",
+        action="store_true",
+        help="exit 3 unless every profile and plan came from cache",
+    )
+    sweep.set_defaults(func=_cmd_sweep)
+
+    bench = sub.add_parser(
+        "bench", help="compare systems on one workload (speedup table)"
+    )
+    bench.add_argument("--cluster", "-c", required=True)
+    bench.add_argument("--gpus", type=int, default=None)
+    bench.add_argument(
+        "--systems",
+        default="dsmoe,tutel,tutel-improved,pipemoe-lina,fsmoe-no-iio,fsmoe",
+        help="comma-separated system names",
+    )
+    bench.add_argument(
+        "--baseline", default="DS-MoE", help="display name to normalize by"
+    )
+    _add_stack_args(bench)
+    _add_knob_args(bench)
+    _add_workspace_arg(bench)
+    bench.add_argument("--max-workers", type=int, default=None)
+    bench.set_defaults(func=_cmd_bench)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear a workspace's caches"
+    )
+    cache.add_argument(
+        "action", nargs="?", default="info", choices=("info", "clear")
+    )
+    cache.add_argument("--workspace", "-w", metavar="PATH", required=True)
+    cache.set_defaults(func=_cmd_cache)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

@@ -1,0 +1,73 @@
+"""String-keyed registry of cluster presets.
+
+Completes the registry layer (systems in
+:mod:`repro.systems.registry`, model presets in
+:mod:`repro.models.configs`) so an
+:class:`~repro.api.spec.ExperimentSpec` can name its target clusters
+without importing topology factories.  The paper's testbeds are
+pre-registered under ``"A"``/``"B"`` (aliases ``"testbed-a"`` /
+``"testbed-b"``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from ..naming import Registry
+from ..parallel.topology import ClusterSpec, testbed_a, testbed_b
+
+_REGISTRY: Registry[ClusterSpec] = Registry("cluster")
+
+
+def register_cluster(
+    key: str,
+    factory: Callable[[], ClusterSpec] | ClusterSpec,
+    *,
+    aliases: Iterable[str] = (),
+    overwrite: bool = False,
+) -> None:
+    """Register a cluster under a string key.
+
+    Args:
+        key: lookup name (normalized case-insensitively).
+        factory: zero-argument callable returning a
+            :class:`~repro.parallel.topology.ClusterSpec`, or a spec
+            itself (frozen, so sharing one instance is safe).
+        aliases: additional lookup names.
+        overwrite: allow replacing an existing registration.
+
+    Raises:
+        RegistryError: when a name is already taken and ``overwrite`` is
+            False.
+    """
+    if isinstance(factory, ClusterSpec):
+        spec = factory
+        factory = lambda: spec  # noqa: E731 - tiny closure, frozen spec
+    _REGISTRY.register(key, factory, aliases=aliases, overwrite=overwrite)
+
+
+def available_clusters() -> tuple[str, ...]:
+    """Canonical keys of every registered cluster, sorted."""
+    return _REGISTRY.available()
+
+
+def get_cluster(name: str, *, total_gpus: int | None = None) -> ClusterSpec:
+    """Materialize a registered cluster by name.
+
+    Args:
+        name: registry key or alias.
+        total_gpus: optionally scale the cluster down to a whole-node
+            subset (Fig. 7's varied-P scenario), via
+            :meth:`~repro.parallel.topology.ClusterSpec.scaled_to`.
+
+    Raises:
+        RegistryError: for an unknown name.
+    """
+    cluster = _REGISTRY.lookup(name)()
+    if total_gpus is not None:
+        cluster = cluster.scaled_to(total_gpus)
+    return cluster
+
+
+register_cluster("a", testbed_a, aliases=("testbed-a",))
+register_cluster("b", testbed_b, aliases=("testbed-b",))

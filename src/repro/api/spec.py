@@ -1,0 +1,416 @@
+"""Declarative experiment descriptions: grids as data, not wiring code.
+
+An :class:`ExperimentSpec` captures the whole ``clusters x stacks x
+systems`` grid of an experiment -- the thing every example and benchmark
+used to assemble imperatively -- as one serializable object.  It
+round-trips through plain dicts, JSON and TOML, names systems, models
+and clusters through the string registries (so a spec file needs no
+imports), and compiles to the planner's grid inputs via
+:meth:`ExperimentSpec.resolve`.
+
+Schema (JSON shown; TOML is isomorphic)::
+
+    {
+      "name": "fig6-gpt2xl-A",
+      "clusters": ["A", {"name": "A", "total_gpus": 16}],
+      "systems": ["tutel", "fsmoe"],
+      "stacks": [
+        {"model": "GPT2-XL", "seq_len": 1024, "num_layers": 8},
+        {"layers": [{"embed_dim": 2048, "num_experts": 8}], "num_layers": 2}
+      ],
+      "gate": "gshard",        // optional, GateKind value
+      "solver": "de",          // optional, FSMoE Step-2 solver
+      "r_max": null,           // optional, pipeline-degree cap
+      "routing_overhead": 1.0, // optional
+      "noise": 0.0,            // optional, profiler jitter
+      "seed": 0                // optional, profiler RNG seed
+    }
+
+A stack entry names **either** a registered model preset (expert count
+defaults to the deployment's EP width, layer count to the preset's) or
+explicit per-layer :class:`~repro.config.MoELayerSpec` fields
+(heterogeneous stacks list several layer dicts).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..config import MoELayerSpec, ParallelSpec, standard_layout
+from ..core.gradient_partition import STEP2_SOLVERS
+from ..errors import ConfigError
+from ..models.configs import get_model_preset, layer_spec_for
+from ..moe.gates import GateKind
+from ..parallel.topology import ClusterSpec
+from ..systems.base import TrainingSystem
+from ..systems.registry import get_system
+from .registry import get_cluster
+
+
+@dataclass(frozen=True)
+class ClusterRef:
+    """A cluster named through the registry, optionally scaled.
+
+    Attributes:
+        name: registry key (``"A"``, ``"B"``, or a registered custom
+            cluster).
+        total_gpus: optional whole-node subset (Fig. 7 varied-P).
+    """
+
+    name: str
+    total_gpus: int | None = None
+
+    @classmethod
+    def from_data(cls, data) -> "ClusterRef":
+        """Parse a spec entry: a bare string or a ``{"name": ...}`` dict.
+
+        Raises:
+            ConfigError: for a malformed entry.
+        """
+        if isinstance(data, ClusterRef):
+            return data
+        if isinstance(data, str):
+            return cls(name=data)
+        if isinstance(data, dict):
+            unknown = set(data) - {"name", "total_gpus"}
+            if unknown or "name" not in data:
+                raise ConfigError(
+                    f"malformed cluster entry {data!r}; expected a name "
+                    f"string or {{'name': ..., 'total_gpus': ...}}"
+                )
+            return cls(name=data["name"], total_gpus=data.get("total_gpus"))
+        raise ConfigError(f"malformed cluster entry {data!r}")
+
+    def to_data(self):
+        """Inverse of :meth:`from_data` (compact form when unscaled)."""
+        if self.total_gpus is None:
+            return self.name
+        return {"name": self.name, "total_gpus": self.total_gpus}
+
+    def resolve(self) -> ClusterSpec:
+        """Materialize the cluster through the registry."""
+        return get_cluster(self.name, total_gpus=self.total_gpus)
+
+
+@dataclass(frozen=True)
+class StackSpec:
+    """One grid entry: a layer stack, by model preset or explicit layers.
+
+    Exactly one of ``model`` and ``layers`` must be given.
+
+    Attributes:
+        model: registered model-preset name.
+        layers: explicit per-layer specs (heterogeneous stacks list
+            different specs).
+        batch_size / seq_len: deployment inputs for model presets.
+        num_experts: expert count for model presets; ``None`` uses the
+            deployment's EP width (the paper's "E = number of nodes").
+        num_layers: stack depth; ``None`` uses the preset's layer count
+            (model stacks) or the explicit list as given.  A single
+            explicit layer replicates to this depth.
+    """
+
+    model: str | None = None
+    layers: tuple[MoELayerSpec, ...] | None = None
+    batch_size: int = 1
+    seq_len: int = 1024
+    num_experts: int | None = None
+    num_layers: int | None = None
+
+    def __post_init__(self) -> None:
+        if (self.model is None) == (self.layers is None):
+            raise ConfigError(
+                "a stack entry needs exactly one of 'model' and 'layers'"
+            )
+        if self.layers is not None:
+            try:
+                layers = tuple(
+                    layer
+                    if isinstance(layer, MoELayerSpec)
+                    else MoELayerSpec(**layer)
+                    for layer in self.layers
+                )
+            except TypeError as exc:
+                raise ConfigError(f"malformed layer fields: {exc}") from exc
+            object.__setattr__(self, "layers", layers)
+            if not self.layers:
+                raise ConfigError("'layers' must list at least one layer")
+            if (
+                self.num_layers is not None
+                and len(self.layers) > 1
+                and self.num_layers != len(self.layers)
+            ):
+                raise ConfigError(
+                    f"num_layers ({self.num_layers}) disagrees with the "
+                    f"{len(self.layers)} explicit layers"
+                )
+        if self.num_layers is not None and self.num_layers < 1:
+            raise ConfigError(
+                f"num_layers must be positive, got {self.num_layers}"
+            )
+
+    @classmethod
+    def of(
+        cls, spec: MoELayerSpec, *, num_layers: int = 1
+    ) -> "StackSpec":
+        """Wrap one in-memory layer spec (programmatic grid building)."""
+        return cls(layers=(spec,), num_layers=num_layers)
+
+    @classmethod
+    def from_data(cls, data) -> "StackSpec":
+        """Parse one stack entry of a spec document.
+
+        Raises:
+            ConfigError: for malformed entries or unknown keys.
+        """
+        if isinstance(data, StackSpec):
+            return data
+        if not isinstance(data, dict):
+            raise ConfigError(f"malformed stack entry {data!r}")
+        known = {
+            "model", "layers", "batch_size", "seq_len", "num_experts",
+            "num_layers",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown stack entry keys {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        layers = data.get("layers")
+        if layers is not None:
+            layers = tuple(layers)
+        kwargs = {k: v for k, v in data.items() if k != "layers"}
+        return cls(layers=layers, **kwargs)
+
+    def to_data(self) -> dict:
+        """Plain-data form (inverse of :meth:`from_data`)."""
+        out: dict = {}
+        if self.model is not None:
+            out["model"] = self.model
+            out["batch_size"] = self.batch_size
+            out["seq_len"] = self.seq_len
+            if self.num_experts is not None:
+                out["num_experts"] = self.num_experts
+        else:
+            out["layers"] = [
+                dataclasses.asdict(layer) for layer in self.layers
+            ]
+        if self.num_layers is not None:
+            out["num_layers"] = self.num_layers
+        return out
+
+    def resolve(self, parallel: ParallelSpec) -> tuple[MoELayerSpec, ...]:
+        """Materialize the stack for one deployment.
+
+        Raises:
+            ConfigError: propagated from spec validation (e.g. an expert
+                count that does not divide the EP width).
+        """
+        if self.model is not None:
+            preset = get_model_preset(self.model)
+            num_experts = (
+                self.num_experts
+                if self.num_experts is not None
+                else parallel.n_ep
+            )
+            spec = layer_spec_for(
+                preset,
+                batch_size=self.batch_size,
+                seq_len=self.seq_len,
+                num_experts=num_experts,
+            )
+            depth = (
+                self.num_layers
+                if self.num_layers is not None
+                else preset.num_layers
+            )
+            return (spec,) * depth
+        if self.num_layers is not None and len(self.layers) == 1:
+            return self.layers * self.num_layers
+        return self.layers
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A full ``clusters x stacks x systems`` experiment grid, as data."""
+
+    clusters: tuple[ClusterRef, ...]
+    systems: tuple[str, ...]
+    stacks: tuple[StackSpec, ...]
+    name: str = "experiment"
+    gate: str = GateKind.GSHARD.value
+    routing_overhead: float = 1.0
+    solver: str = "de"
+    r_max: int | None = None
+    noise: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        # a lone string is one entry, not a sequence of characters
+        clusters = (
+            (self.clusters,) if isinstance(self.clusters, str)
+            else self.clusters
+        )
+        systems = (
+            (self.systems,) if isinstance(self.systems, str)
+            else self.systems
+        )
+        stacks = (
+            (self.stacks,)
+            if isinstance(self.stacks, (StackSpec, dict))
+            else self.stacks
+        )
+        object.__setattr__(
+            self,
+            "clusters",
+            tuple(ClusterRef.from_data(c) for c in clusters),
+        )
+        object.__setattr__(self, "systems", tuple(systems))
+        object.__setattr__(
+            self,
+            "stacks",
+            tuple(StackSpec.from_data(s) for s in stacks),
+        )
+        if not self.clusters or not self.systems or not self.stacks:
+            raise ConfigError(
+                "an experiment needs at least one cluster, one system "
+                "and one stack"
+            )
+        try:
+            GateKind(self.gate)
+        except ValueError as exc:
+            raise ConfigError(
+                f"unknown gate {self.gate!r}; choose from "
+                f"{[kind.value for kind in GateKind]}"
+            ) from exc
+        if self.solver not in STEP2_SOLVERS:
+            raise ConfigError(
+                f"unknown solver {self.solver!r}; "
+                f"choose from {STEP2_SOLVERS}"
+            )
+
+    # -- serialization -------------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentSpec":
+        """Build a spec from its plain-data document form.
+
+        Raises:
+            ConfigError: for unknown keys or malformed entries.
+        """
+        if not isinstance(data, dict):
+            raise ConfigError(f"experiment spec must be a dict, got {data!r}")
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigError(
+                f"unknown experiment keys {sorted(unknown)}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        for required in ("clusters", "systems", "stacks"):
+            if required not in data:
+                raise ConfigError(f"experiment spec lacks {required!r}")
+        return cls(**data)
+
+    def to_dict(self) -> dict:
+        """Plain-data document form (inverse of :meth:`from_dict`)."""
+        out: dict = {
+            "name": self.name,
+            "clusters": [c.to_data() for c in self.clusters],
+            "systems": list(self.systems),
+            "stacks": [s.to_data() for s in self.stacks],
+        }
+        defaults = {
+            "gate": GateKind.GSHARD.value,
+            "routing_overhead": 1.0,
+            "solver": "de",
+            "r_max": None,
+            "noise": 0.0,
+            "seed": 0,
+        }
+        for key, default in defaults.items():
+            value = getattr(self, key)
+            if value != default:
+                out[key] = value
+        return out
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        """Parse a JSON spec document.
+
+        Raises:
+            ConfigError: for syntactically invalid JSON or a malformed
+                document.
+        """
+        try:
+            data = json.loads(text)
+        except ValueError as exc:
+            raise ConfigError(f"invalid JSON spec: {exc}") from exc
+        return cls.from_dict(data)
+
+    def to_json(self, *, indent: int | None = 2) -> str:
+        """Serialize to a JSON document."""
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_toml(cls, text: str) -> "ExperimentSpec":
+        """Parse a TOML spec document (needs Python 3.11+'s tomllib).
+
+        Raises:
+            ConfigError: when TOML support is unavailable.
+        """
+        try:
+            import tomllib
+        except ImportError as exc:  # Python < 3.11
+            raise ConfigError(
+                "TOML specs need Python 3.11+ (tomllib); "
+                "use JSON on this interpreter"
+            ) from exc
+        try:
+            data = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            raise ConfigError(f"invalid TOML spec: {exc}") from exc
+        return cls.from_dict(data)
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "ExperimentSpec":
+        """Load a spec from a ``.json`` or ``.toml`` file (by suffix)."""
+        path = Path(path)
+        text = path.read_text()
+        if path.suffix.lower() == ".toml":
+            return cls.from_toml(text)
+        return cls.from_json(text)
+
+    # -- resolution ----------------------------------------------------------
+
+    @property
+    def gate_kind(self) -> GateKind:
+        """The routing function as an enum."""
+        return GateKind(self.gate)
+
+    def resolve_systems(self) -> tuple[TrainingSystem, ...]:
+        """Instantiate every named system through the registry."""
+        return tuple(
+            get_system(name, r_max=self.r_max, solver=self.solver)
+            for name in self.systems
+        )
+
+    def resolve(
+        self,
+    ) -> tuple[
+        tuple[tuple[ClusterSpec, ParallelSpec], ...],
+        tuple[TrainingSystem, ...],
+    ]:
+        """Materialize clusters (with standard layouts) and systems."""
+        deployments = []
+        for ref in self.clusters:
+            cluster = ref.resolve()
+            parallel = standard_layout(
+                cluster.total_gpus, cluster.gpus_per_node
+            )
+            deployments.append((cluster, parallel))
+        return tuple(deployments), self.resolve_systems()

@@ -1,0 +1,523 @@
+"""Disk-rooted experiment sessions: profile + plan caches that survive.
+
+A :class:`Workspace` is the library's front door.  It owns
+
+* a **persistent** :class:`~repro.planner.store.ProfileStore` -- every
+  cluster and layer profile fitted through the workspace is written to
+  ``<root>/profiles.json`` (versioned, atomic writes, corruption
+  tolerated by quarantining the bad file) and preloaded on the next
+  open, so a second process re-fits nothing;
+* a **content-addressed plan cache** -- every compiled
+  :class:`~repro.planner.plan.IterationPlan` lands in
+  ``<root>/plans/<digest>.json``, keyed on the full plan identity
+  (cluster, layout, stack, gates, system fingerprint, profiler knobs),
+  so a warm re-run of any sweep compiles zero plans and replays each one
+  bit-identically.
+
+Both caches expose exact hit/miss counters (:attr:`Workspace.stats`):
+"this re-run fitted zero new profiles and compiled zero new plans" is an
+assertion, not a hope.
+
+On-disk layout::
+
+    <root>/
+      profiles.json          # schema_version + exported ProfileStore
+      plans/
+        <digest>.json        # schema_version + key + serialized plan
+
+Schema-version mismatches are *refused* (a newer library must not
+silently misread an older cache -- run ``python -m repro cache clear``);
+truncated or otherwise unparsable files are *recovered from* (renamed to
+``*.corrupt`` and treated as empty).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import warnings
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from ..bench.runner import ConfigResult
+from ..config import MoELayerSpec, ParallelSpec, standard_layout
+from ..core.pipeline_degree import DEFAULT_MAX_DEGREE
+from ..errors import ConfigError, WorkspaceError
+from ..moe.gates import GateKind
+from ..parallel.topology import ClusterSpec
+from ..planner.batch import PlanPoint
+from ..planner.compiler import PlanCompiler
+from ..planner.plan import IterationPlan
+from ..planner.store import ProfileStore, StoreStats
+from ..systems.base import TrainingSystem
+from .codec import canonical_json, decode, digest, encode
+from .spec import ExperimentSpec
+
+#: current on-disk format of profiles.json and plans/*.json.
+WORKSPACE_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class WorkspaceStats:
+    """Cache counters for one workspace session.
+
+    Attributes:
+        profiles: the profile store's hit/miss counters.
+        plan_hits: plan requests served from cache (disk or session).
+        plan_misses: plans actually compiled this session.
+    """
+
+    profiles: StoreStats
+    plan_hits: int = 0
+    plan_misses: int = 0
+
+    @property
+    def warm(self) -> bool:
+        """True when this session computed nothing new at all."""
+        return self.profiles.misses == 0 and self.plan_misses == 0
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """All planned points of one :meth:`Workspace.sweep`, in grid order.
+
+    Grid order is ``clusters`` (outer) x ``stacks`` x ``systems``
+    (inner), matching :func:`~repro.planner.batch.plan_many`.
+    """
+
+    spec: ExperimentSpec
+    points: tuple[PlanPoint, ...]
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def rows(self) -> list[dict[str, object]]:
+        """Tidy table: one flat dict per planned point."""
+        return [point.row() for point in self.points]
+
+    def config_results(self) -> list[ConfigResult]:
+        """One :class:`~repro.bench.runner.ConfigResult` per
+        (cluster, stack) case, in grid order.
+
+        Bridges declarative sweeps into the existing reporting helpers
+        (:func:`~repro.bench.runner.speedups_over`, ...).
+        """
+        cases: dict[tuple, ConfigResult] = {}
+        order: list[tuple] = []
+        for point in self.points:
+            key = (point.cluster, point.stack)
+            if key not in cases:
+                cases[key] = ConfigResult(
+                    spec=point.stack[0],
+                    parallel=point.parallel,
+                    times_ms={},
+                )
+                order.append(key)
+            cases[key].times_ms[point.system_name] = point.makespan_ms
+        return [cases[key] for key in order]
+
+
+def _atomic_write(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (same-directory temp file)."""
+    tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+def _quarantine(path: Path) -> None:
+    """Move an unreadable cache file aside instead of deleting evidence."""
+    target = path.with_name(path.name + ".corrupt")
+    try:
+        os.replace(path, target)
+    except OSError:  # pragma: no cover - racing cleaners
+        pass
+    warnings.warn(
+        f"workspace cache file {path} was unreadable; "
+        f"moved to {target.name} and starting fresh",
+        stacklevel=3,
+    )
+
+
+class Workspace:
+    """A disk-rooted session over the planner: open, plan, re-run warm.
+
+    Args:
+        root: directory holding the caches (created if missing).
+        autosave: persist new profiles after each cache-missing
+            :meth:`plan` call (sweeps batch the save regardless).
+
+    Raises:
+        WorkspaceError: when an existing cache was written by a
+            different schema version (refused, never misread).
+    """
+
+    def __init__(self, root: str | Path, *, autosave: bool = True) -> None:
+        self.root = Path(root).expanduser()
+        self.plans_dir = self.root / "plans"
+        self.plans_dir.mkdir(parents=True, exist_ok=True)
+        self._autosave = autosave
+        self._io_lock = threading.Lock()
+        self._counter_lock = threading.Lock()
+        self._plan_futures: dict[str, Future] = {}
+        self._plan_hits = 0
+        self._plan_misses = 0
+        self._defer_save = False
+        self.store = ProfileStore()
+        self._load_profiles()
+
+    # -- persistence ---------------------------------------------------------
+
+    @property
+    def profiles_path(self) -> Path:
+        """Location of the persisted profile store."""
+        return self.root / "profiles.json"
+
+    def _load_profiles(self) -> None:
+        path = self.profiles_path
+        if not path.exists():
+            return
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            _quarantine(path)
+            return
+        if not isinstance(data, dict) or "schema_version" not in data:
+            _quarantine(path)
+            return
+        version = data["schema_version"]
+        if version != WORKSPACE_SCHEMA_VERSION:
+            raise WorkspaceError(
+                f"workspace {self.root} was written with schema version "
+                f"{version!r}; this build reads version "
+                f"{WORKSPACE_SCHEMA_VERSION}.  Run `python -m repro cache "
+                f"clear --workspace {self.root}` to discard it."
+            )
+        entries: dict[tuple, object] = {}
+        for entry in data.get("entries", ()):
+            try:
+                key = decode(entry["k"])
+                value = decode(entry["v"])
+            except (WorkspaceError, KeyError, TypeError, ValueError):
+                # A single undecodable entry (e.g. written by a build with
+                # extra registered types) must not poison the rest.
+                continue
+            entries[key] = value
+        self.store.preload(entries)
+
+    def save(self) -> None:
+        """Persist every settled profile-store entry (atomic rewrite)."""
+        entries = []
+        for key, value in self.store.entries().items():
+            entries.append({"k": encode(key), "v": encode(value)})
+        payload = {
+            "schema_version": WORKSPACE_SCHEMA_VERSION,
+            "entries": entries,
+        }
+        with self._io_lock:
+            _atomic_write(self.profiles_path, json.dumps(payload))
+
+    # -- stats ---------------------------------------------------------------
+
+    @property
+    def stats(self) -> WorkspaceStats:
+        """Exact cache counters for this session."""
+        with self._counter_lock:
+            return WorkspaceStats(
+                profiles=self.store.stats,
+                plan_hits=self._plan_hits,
+                plan_misses=self._plan_misses,
+            )
+
+    def cache_info(self) -> dict[str, object]:
+        """Inspectable summary of the on-disk caches (for ``repro cache``)."""
+        plan_files = sorted(self.plans_dir.glob("*.json"))
+        return {
+            "root": str(self.root),
+            "profiles_path": str(self.profiles_path),
+            "profile_entries": len(self.store),
+            "plan_dir": str(self.plans_dir),
+            "plan_entries": len(plan_files),
+            "plan_bytes": sum(f.stat().st_size for f in plan_files),
+            "schema_version": WORKSPACE_SCHEMA_VERSION,
+        }
+
+    def clear(self) -> None:
+        """Discard both caches (disk and session state)."""
+        with self._io_lock:
+            self.discard(self.root)
+        with self._counter_lock:
+            self._plan_hits = 0
+            self._plan_misses = 0
+            self._plan_futures = {}
+        self.store = ProfileStore()
+
+    @staticmethod
+    def discard(root: str | Path) -> dict[str, int]:
+        """Delete a workspace's cache files without opening the workspace.
+
+        Unlike ``Workspace(root).clear()`` this never reads the caches, so
+        it also recovers workspaces a plain open would *refuse* (schema
+        written by another library version) -- it is what ``python -m
+        repro cache clear`` runs.  Quarantined ``*.corrupt`` files are
+        removed as well.
+
+        Returns:
+            Count of profile and plan files removed.
+        """
+        root = Path(root).expanduser()
+        removed = {"profiles": 0, "plans": 0}
+        for path in root.glob("profiles.json*"):
+            path.unlink(missing_ok=True)
+            removed["profiles"] += 1
+        plans_dir = root / "plans"
+        if plans_dir.is_dir():
+            for path in plans_dir.glob("*.json*"):
+                path.unlink(missing_ok=True)
+                removed["plans"] += 1
+        return removed
+
+    # -- planning ------------------------------------------------------------
+
+    def compiler(
+        self,
+        cluster: ClusterSpec,
+        parallel: ParallelSpec | None = None,
+        *,
+        noise: float = 0.0,
+        seed: int = 0,
+        r_max: int = DEFAULT_MAX_DEGREE,
+    ) -> PlanCompiler:
+        """A :class:`PlanCompiler` backed by this workspace's store.
+
+        The low-level escape hatch: profiling runs through the persistent
+        cache, but compiled plans bypass the plan cache.
+        """
+        return PlanCompiler(
+            cluster,
+            parallel,
+            store=self.store,
+            noise=noise,
+            seed=seed,
+            r_max=r_max,
+        )
+
+    def _plan_key(
+        self,
+        cluster: ClusterSpec,
+        parallel: ParallelSpec,
+        stack: tuple[MoELayerSpec, ...],
+        gates: tuple[GateKind, ...],
+        system: TrainingSystem,
+        routing_overhead: float,
+        include_gar: bool,
+        noise: float,
+        seed: int,
+    ) -> object:
+        return encode(
+            (
+                "plan",
+                cluster,
+                parallel,
+                stack,
+                gates,
+                tuple(system.fingerprint()),
+                float(routing_overhead),
+                bool(include_gar),
+                float(noise),
+                int(seed),
+            )
+        )
+
+    def _load_plan_file(self, path: Path, key_json: str) -> IterationPlan | None:
+        if not path.exists():
+            return None
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            _quarantine(path)
+            return None
+        if not isinstance(data, dict) or "schema_version" not in data:
+            _quarantine(path)
+            return None
+        if data["schema_version"] != WORKSPACE_SCHEMA_VERSION:
+            raise WorkspaceError(
+                f"plan cache file {path} was written with schema version "
+                f"{data['schema_version']!r}; this build reads version "
+                f"{WORKSPACE_SCHEMA_VERSION}.  Run `python -m repro cache "
+                f"clear --workspace {self.root}` to discard it."
+            )
+        if canonical_json(data.get("key")) != key_json:
+            return None  # digest collision or stale file: recompute
+        return IterationPlan.from_dict(data["plan"])
+
+    def plan(
+        self,
+        stack,
+        system: TrainingSystem,
+        cluster: ClusterSpec,
+        *,
+        parallel: ParallelSpec | None = None,
+        gate_kind: GateKind | Sequence[GateKind] = GateKind.GSHARD,
+        routing_overhead: float = 1.0,
+        include_gar: bool = True,
+        noise: float = 0.0,
+        seed: int = 0,
+    ) -> IterationPlan:
+        """Compile (or recall) the plan for one (stack, system, cluster).
+
+        Same semantics as :meth:`PlanCompiler.compile`, plus the two
+        persistent caches: profiling goes through the workspace store and
+        the finished plan is content-addressed on
+        ``(cluster, layout, stack, gates, system, knobs)``.  A request
+        whose plan is already on disk -- from this session or any earlier
+        process -- touches neither the profiler nor the solvers.
+
+        Raises:
+            ConfigError: for an empty stack or malformed gate sequence.
+            WorkspaceError: for a plan-cache schema-version mismatch.
+        """
+        if isinstance(stack, MoELayerSpec):
+            stack = (stack,)
+        stack = tuple(stack)
+        if not stack:
+            raise ConfigError("stack must contain at least one layer spec")
+        if parallel is None:
+            parallel = standard_layout(
+                cluster.total_gpus, cluster.gpus_per_node
+            )
+        if isinstance(gate_kind, GateKind):
+            gates = (gate_kind,) * len(stack)
+        else:
+            gates = tuple(gate_kind)
+            if len(gates) != len(stack):
+                raise ConfigError(
+                    f"gate_kind sequence has {len(gates)} entries for "
+                    f"{len(stack)} layers"
+                )
+
+        key = self._plan_key(
+            cluster, parallel, stack, gates, system,
+            routing_overhead, include_gar, noise, seed,
+        )
+        key_json = canonical_json(key)
+        dig = digest(key)
+
+        owner = False
+        with self._counter_lock:
+            future = self._plan_futures.get(dig)
+            if future is None:
+                future = Future()
+                self._plan_futures[dig] = future
+                owner = True
+            else:
+                self._plan_hits += 1
+        if not owner:
+            return future.result()
+
+        path = self.plans_dir / f"{dig}.json"
+        try:
+            plan = self._load_plan_file(path, key_json)
+            if plan is not None:
+                with self._counter_lock:
+                    self._plan_hits += 1
+            else:
+                compiler = self.compiler(
+                    cluster, parallel, noise=noise, seed=seed,
+                    r_max=system.r_max,
+                )
+                plan = compiler.compile(
+                    stack,
+                    system,
+                    gate_kind=gates,
+                    routing_overhead=routing_overhead,
+                    include_gar=include_gar,
+                )
+                with self._counter_lock:
+                    self._plan_misses += 1
+                payload = {
+                    "schema_version": WORKSPACE_SCHEMA_VERSION,
+                    "key": key,
+                    "plan": plan.to_dict(),
+                }
+                with self._io_lock:
+                    _atomic_write(path, json.dumps(payload))
+                if self._autosave and not self._defer_save:
+                    self.save()
+        except BaseException as exc:
+            with self._counter_lock:
+                del self._plan_futures[dig]
+            future.set_exception(exc)
+            raise
+        future.set_result(plan)
+        return plan
+
+    # -- sweeps --------------------------------------------------------------
+
+    def sweep(
+        self,
+        spec: ExperimentSpec,
+        *,
+        max_workers: int | None = None,
+    ) -> ExperimentResult:
+        """Plan and simulate a declarative experiment grid.
+
+        The grid fans out over a thread pool; all profiling deduplicates
+        through the persistent store and every plan lands in (or comes
+        from) the plan cache.  Re-running the same spec against the same
+        workspace is fully warm: zero profiles fitted, zero plans
+        compiled (assert via :attr:`stats`).
+
+        Args:
+            spec: the experiment description.
+            max_workers: thread-pool width; defaults to the CPU count
+                capped at the number of grid points.
+        """
+        deployments, systems = spec.resolve()
+        gate = spec.gate_kind
+        grid: list[tuple] = []
+        for cluster, parallel in deployments:
+            for stack_spec in spec.stacks:
+                stack = stack_spec.resolve(parallel)
+                for system in systems:
+                    grid.append((cluster, parallel, stack, system))
+
+        def run_point(point: tuple) -> PlanPoint:
+            cluster, parallel, stack, system = point
+            plan = self.plan(
+                stack,
+                system,
+                cluster,
+                parallel=parallel,
+                gate_kind=gate,
+                routing_overhead=spec.routing_overhead,
+                noise=spec.noise,
+                seed=spec.seed,
+            )
+            return PlanPoint(
+                cluster=cluster,
+                parallel=parallel,
+                stack=stack,
+                system_name=system.name,
+                gate_kind=gate,
+                plan=plan,
+                makespan_ms=plan.makespan_ms(),
+            )
+
+        if max_workers is None:
+            max_workers = min(len(grid), os.cpu_count() or 1)
+        max_workers = max(1, max_workers)
+        self._defer_save = True
+        try:
+            if max_workers == 1:
+                points = tuple(run_point(point) for point in grid)
+            else:
+                with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                    points = tuple(pool.map(run_point, grid))
+        finally:
+            self._defer_save = False
+        if self._autosave:
+            self.save()
+        return ExperimentResult(spec=spec, points=points)

@@ -2,6 +2,7 @@
 
 from .workloads import TABLE4_GRID, configured_layer_grid, grid_size
 from .runner import (
+    CONFIGURED_LAYER_COUNT,
     ConfigResult,
     evaluate_config,
     evaluate_config_grid,
@@ -15,6 +16,7 @@ __all__ = [
     "TABLE4_GRID",
     "configured_layer_grid",
     "grid_size",
+    "CONFIGURED_LAYER_COUNT",
     "ConfigResult",
     "evaluate_config",
     "evaluate_config_grid",

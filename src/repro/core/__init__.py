@@ -29,6 +29,7 @@ from .pipeline_degree import (
     oracle_integer_degree,
 )
 from .gradient_partition import (
+    STEP2_SOLVERS,
     GarPlacement,
     GeneralizedLayer,
     GradientPartitionPlan,
@@ -54,6 +55,7 @@ __all__ = [
     "GeneralizedLayer",
     "GradientPartitionPlan",
     "plan_gradient_partition",
+    "STEP2_SOLVERS",
     "GenericScheduler",
     "LayerScheduleReport",
 ]

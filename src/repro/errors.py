@@ -29,3 +29,16 @@ class SolverError(ReproError, RuntimeError):
 
 class ShapeError(ReproError, ValueError):
     """A tensor with an unexpected shape was passed to a functional module."""
+
+
+class WorkspaceError(ReproError, RuntimeError):
+    """A persistent workspace on disk cannot be used (version mismatch, ...)."""
+
+
+class RegistryError(ReproError, LookupError):
+    """A string-keyed registry lookup failed (unknown system, model, ...).
+
+    Derives from ``LookupError`` rather than ``KeyError``: the latter's
+    ``__str__`` reprs its argument, which would wrap every error message
+    in literal quotes.
+    """

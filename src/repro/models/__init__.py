@@ -13,14 +13,17 @@ from .configs import (
     MIXTRAL_7B,
     MIXTRAL_22B,
     MODEL_PRESETS,
+    available_model_presets,
+    get_model_preset,
     layer_spec_for,
+    register_model_preset,
 )
 from .transformer import (
     LayerProfile,
     profile_layer,
     layer_op_breakdown,
 )
-from .pipeline import gpipe_iteration_ms, microbatch_spec
+from .pipeline import gpipe_iteration_ms, microbatch_spec, split_stages
 from .memory import MemoryFootprint, estimate_memory, max_layers_that_fit
 
 __all__ = [
@@ -29,12 +32,16 @@ __all__ = [
     "MIXTRAL_7B",
     "MIXTRAL_22B",
     "MODEL_PRESETS",
+    "available_model_presets",
+    "get_model_preset",
+    "register_model_preset",
     "layer_spec_for",
     "LayerProfile",
     "profile_layer",
     "layer_op_breakdown",
     "gpipe_iteration_ms",
     "microbatch_spec",
+    "split_stages",
     "MemoryFootprint",
     "estimate_memory",
     "max_layers_that_fit",

@@ -13,7 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..config import MoELayerSpec
-from ..errors import ConfigError
+from ..errors import ConfigError, RegistryError
+from ..naming import canonical_name as _canon_model
 
 
 @dataclass(frozen=True)
@@ -78,6 +79,60 @@ MODEL_PRESETS = {
     MIXTRAL_7B.name: MIXTRAL_7B,
     MIXTRAL_22B.name: MIXTRAL_22B,
 }
+
+
+# The preset registry deliberately does NOT use repro.naming.Registry:
+# the public MODEL_PRESETS dict predates it and is the single source of
+# truth (callers iterate and even mutate it directly), so lookups scan it
+# live instead of maintaining a second store that could drift.
+
+
+def register_model_preset(
+    preset: ModelPreset, *, overwrite: bool = False
+) -> None:
+    """Add a preset to the registry under its display name.
+
+    Raises:
+        RegistryError: when a preset of that name exists and ``overwrite``
+            is False.
+    """
+    key = _canon_model(preset.name)
+    existing = {
+        _canon_model(existing_name) for existing_name in MODEL_PRESETS
+    }
+    if key in existing and not overwrite:
+        raise RegistryError(
+            f"model preset {preset.name!r} is already registered"
+        )
+    stale = [
+        existing_name
+        for existing_name in MODEL_PRESETS
+        if _canon_model(existing_name) == key
+    ]
+    for existing_name in stale:
+        del MODEL_PRESETS[existing_name]
+    MODEL_PRESETS[preset.name] = preset
+
+
+def get_model_preset(name: str) -> ModelPreset:
+    """Look a preset up by name (case- and punctuation-insensitive).
+
+    Raises:
+        RegistryError: for an unknown model name.
+    """
+    key = _canon_model(name)
+    for preset in MODEL_PRESETS.values():
+        if _canon_model(preset.name) == key:
+            return preset
+    raise RegistryError(
+        f"unknown model preset {name!r}; available: "
+        f"{', '.join(available_model_presets())}"
+    )
+
+
+def available_model_presets() -> tuple[str, ...]:
+    """Display names of every registered preset, sorted."""
+    return tuple(sorted(MODEL_PRESETS))
 
 
 def layer_spec_for(

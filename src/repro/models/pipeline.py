@@ -15,8 +15,52 @@ micro-batch's backward (``bw_with_gar - bw_no_gar``).
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from ..config import MoELayerSpec
 from ..errors import ConfigError
+
+
+def split_stages(num_layers: int, num_stages: int) -> tuple[int, ...]:
+    """Split ``num_layers`` into ``num_stages`` contiguous stage sizes.
+
+    Layers distribute as evenly as possible, earlier stages taking the
+    remainder (7 layers over 2 stages -> ``(4, 3)``) -- the conventional
+    contiguous GPipe partition.  Every stage gets at least one layer.
+
+    Raises:
+        ConfigError: when there are fewer layers than stages (or either
+            count is non-positive).
+    """
+    if num_stages <= 0 or num_layers <= 0:
+        raise ConfigError(
+            f"layers and stages must be positive, got "
+            f"{num_layers}/{num_stages}"
+        )
+    if num_layers < num_stages:
+        raise ConfigError(
+            f"cannot split {num_layers} layers into {num_stages} "
+            f"non-empty stages"
+        )
+    base, remainder = divmod(num_layers, num_stages)
+    return tuple(
+        base + (1 if stage < remainder else 0)
+        for stage in range(num_stages)
+    )
+
+
+def _per_stage(
+    value: float | Sequence[float], num_stages: int, name: str
+) -> tuple[float, ...]:
+    """Broadcast a scalar stage time or validate a per-stage sequence."""
+    if isinstance(value, (int, float)):
+        return (float(value),) * num_stages
+    times = tuple(float(v) for v in value)
+    if len(times) != num_stages:
+        raise ConfigError(
+            f"{name} has {len(times)} entries for {num_stages} stages"
+        )
+    return times
 
 
 def microbatch_spec(spec: MoELayerSpec, num_micro: int) -> MoELayerSpec:
@@ -42,31 +86,49 @@ def microbatch_spec(spec: MoELayerSpec, num_micro: int) -> MoELayerSpec:
 
 
 def gpipe_iteration_ms(
-    fw_stage_ms: float,
-    bw_stage_no_gar_ms: float,
-    gar_exposed_ms: float,
+    fw_stage_ms: float | Sequence[float],
+    bw_stage_no_gar_ms: float | Sequence[float],
+    gar_exposed_ms: float | Sequence[float],
     num_stages: int,
     num_micro: int,
 ) -> float:
-    """GPipe makespan for one iteration.
+    """GPipe makespan for one iteration, homogeneous or heterogeneous.
+
+    Each timing argument is either one scalar (all stages identical --
+    the classic ``(m + p - 1) * (t_fw + t_bw)`` schedule) or a
+    per-stage sequence of length ``num_stages``.  Heterogeneous stages
+    arise whenever the layer count does not divide the stage count
+    (:func:`split_stages`) or when the model's layers themselves differ;
+    a micro-batch then drains through every stage once
+    (``sum(t_fw) + sum(t_bw)``) while the remaining ``m - 1``
+    micro-batches queue behind the slowest stage, which paces the
+    pipeline in both directions (``(m - 1) * (max(t_fw) + max(t_bw))``).
 
     Args:
-        fw_stage_ms: forward time of one stage for one micro-batch.
-        bw_stage_no_gar_ms: backward time of one stage for one micro-batch
-            with gradient synchronization excluded.
-        gar_exposed_ms: extra time the system's gradient-synchronization
+        fw_stage_ms: forward time of each stage for one micro-batch.
+        bw_stage_no_gar_ms: backward time of each stage for one
+            micro-batch with gradient synchronization excluded.
+        gar_exposed_ms: extra time each stage's gradient-synchronization
             strategy adds on the flush (its backward-with-GAR minus
-            backward-without-GAR, for the full per-stage gradient volume).
+            backward-without-GAR, for the full per-stage gradient
+            volume).  Stages reduce disjoint parameters over disjoint DP
+            groups concurrently, so only the slowest stage's exposure
+            extends the iteration.
         num_stages: ``p`` (the paper's ``N_PP``).
         num_micro: ``m``.
 
     Raises:
-        ConfigError: for non-positive stage/micro counts.
+        ConfigError: for non-positive stage/micro counts or a per-stage
+            sequence whose length disagrees with ``num_stages``.
     """
     if num_stages <= 0 or num_micro <= 0:
         raise ConfigError(
             f"stages and micro-batches must be positive, got "
             f"{num_stages}/{num_micro}"
         )
-    bubbles = num_micro + num_stages - 1
-    return bubbles * (fw_stage_ms + bw_stage_no_gar_ms) + max(0.0, gar_exposed_ms)
+    fw = _per_stage(fw_stage_ms, num_stages, "fw_stage_ms")
+    bw = _per_stage(bw_stage_no_gar_ms, num_stages, "bw_stage_no_gar_ms")
+    gar = _per_stage(gar_exposed_ms, num_stages, "gar_exposed_ms")
+    drain = sum(fw) + sum(bw)
+    steady = (num_micro - 1) * (max(fw) + max(bw))
+    return drain + steady + max(0.0, max(gar))

@@ -1,0 +1,103 @@
+"""String-keyed registry plumbing shared by systems, clusters and models.
+
+All registries resolve user-supplied names the same way: case-
+insensitive, with spaces, underscores, ``+`` and ``/`` collapsed to
+single hyphens (``"PipeMoE+Lina"`` -> ``"pipemoe-lina"``,
+``"Mixtral_7B"`` -> ``"mixtral-7b"``).  :class:`Registry` packages the
+canonical-key store, alias table, overwrite handling and
+unknown-name error message so each domain registry is a thin wrapper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Iterable, TypeVar
+
+from .errors import RegistryError
+
+T = TypeVar("T")
+
+
+def canonical_name(name: str) -> str:
+    """Normalize a registry lookup name."""
+    out = name.strip().lower()
+    for ch in (" ", "_", "+", "/"):
+        out = out.replace(ch, "-")
+    while "--" in out:
+        out = out.replace("--", "-")
+    return out
+
+
+class Registry(Generic[T]):
+    """A name -> factory table with aliases and canonical lookup.
+
+    Args:
+        kind: what the registry holds (``"system"``, ``"cluster"``, ...);
+            used in error messages.
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._entries: dict[str, Callable[..., T]] = {}
+        self._aliases: dict[str, str] = {}
+
+    def register(
+        self,
+        key: str,
+        factory: Callable[..., T],
+        *,
+        aliases: Iterable[str] = (),
+        overwrite: bool = False,
+    ) -> None:
+        """Add a factory under a canonicalized key (and aliases).
+
+        Raises:
+            RegistryError: when a name is already taken and ``overwrite``
+                is False.
+        """
+        canonical = canonical_name(key)
+        names = [canonical] + [canonical_name(alias) for alias in aliases]
+        if not overwrite:
+            for name in names:
+                if name in self._entries or name in self._aliases:
+                    raise RegistryError(
+                        f"{self.kind} name {name!r} is already registered"
+                    )
+        # an overwrite must actually take effect: any stale alias that
+        # would shadow one of the new names is dropped first
+        for name in names:
+            self._aliases.pop(name, None)
+        self._entries[canonical] = factory
+        for alias in names[1:]:
+            self._aliases[alias] = canonical
+
+    def lookup(self, name: str) -> Callable[..., T]:
+        """The factory behind a (possibly aliased) name.
+
+        Raises:
+            RegistryError: for an unknown name, listing what exists.
+        """
+        canonical = canonical_name(name)
+        if canonical not in self._entries:  # direct entries beat aliases
+            canonical = self._aliases.get(canonical, canonical)
+        factory = self._entries.get(canonical)
+        if factory is None:
+            raise RegistryError(
+                f"unknown {self.kind} {name!r}; available: "
+                f"{', '.join(self.available())}"
+            )
+        return factory
+
+    def available(self) -> tuple[str, ...]:
+        """Canonical keys of every registration, sorted."""
+        return tuple(sorted(self._entries))
+
+    def discard(self, key: str) -> None:
+        """Remove a registration and its aliases (mainly for tests)."""
+        canonical = canonical_name(key)
+        canonical = self._aliases.get(canonical, canonical)
+        self._entries.pop(canonical, None)
+        self._aliases = {
+            alias: target
+            for alias, target in self._aliases.items()
+            if target != canonical
+        }

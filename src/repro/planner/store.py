@@ -103,6 +103,41 @@ class ProfileStore:
         with self._lock:
             return len(self._entries)
 
+    # -- persistence hooks ---------------------------------------------------
+
+    def entries(self) -> dict[tuple, object]:
+        """Snapshot of every *settled* cache entry, keyed by its full key.
+
+        Full keys start with the namespace (``"cluster"`` or ``"layer"``);
+        in-flight and failed computations are excluded.  This is the
+        export side of :meth:`preload` -- together they let a
+        :class:`~repro.api.workspace.Workspace` persist the store to disk
+        and warm-start a later process.
+        """
+        with self._lock:
+            futures = dict(self._entries)
+        return {
+            key: future.result()
+            for key, future in futures.items()
+            if future.done() and future.exception() is None
+        }
+
+    def preload(self, entries: dict[tuple, object]) -> None:
+        """Seed the cache with previously exported entries.
+
+        Preloaded entries do not touch the hit/miss counters: the counters
+        keep describing *this session's* requests, so "a warm run fitted
+        zero new profiles" stays directly assertable as ``misses == 0``.
+        Existing (possibly in-flight) entries are never overwritten.
+        """
+        with self._lock:
+            for key, value in entries.items():
+                if key in self._entries:
+                    continue
+                future: Future = Future()
+                future.set_result(value)
+                self._entries[key] = future
+
     def _memoize(self, namespace: str, key: tuple, compute):
         """Return the cached value for ``key``, computing it at most once.
 

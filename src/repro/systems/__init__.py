@@ -18,9 +18,20 @@ from .dsmoe import DeepSpeedMoE
 from .tutel import Tutel, TutelImproved
 from .lina import PipeMoELina
 from .fsmoe import FSMoE, FSMoENoIIO
+from .registry import available_systems, get_system, register_system
 
 #: every system, in the order the paper's figures list them.
 ALL_SYSTEMS = (DeepSpeedMoE, Tutel, TutelImproved, PipeMoELina, FSMoENoIIO, FSMoE)
+
+#: registry keys in the same paper order (for specs and the CLI).
+ALL_SYSTEM_KEYS = (
+    "dsmoe",
+    "tutel",
+    "tutel-improved",
+    "pipemoe-lina",
+    "fsmoe-no-iio",
+    "fsmoe",
+)
 
 __all__ = [
     "TrainingSystem",
@@ -31,4 +42,8 @@ __all__ = [
     "FSMoENoIIO",
     "FSMoE",
     "ALL_SYSTEMS",
+    "ALL_SYSTEM_KEYS",
+    "available_systems",
+    "get_system",
+    "register_system",
 ]

@@ -32,6 +32,16 @@ class TrainingSystem(abc.ABC):
     def __init__(self, r_max: int = DEFAULT_MAX_DEGREE) -> None:
         self.r_max = r_max
 
+    def fingerprint(self) -> tuple:
+        """Plain-data identity of this system *configuration*.
+
+        Two instances with equal fingerprints compile identical plans from
+        identical inputs, so the fingerprint is what content-addressed
+        plan caches (:class:`~repro.api.workspace.Workspace`) key on.
+        Subclasses with extra scheduling knobs must extend the tuple.
+        """
+        return (type(self).__name__, self.name, self.r_max)
+
     @abc.abstractmethod
     def build_iteration_spec(
         self,

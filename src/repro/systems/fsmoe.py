@@ -19,12 +19,13 @@ import functools
 from typing import Sequence
 
 from ..core.gradient_partition import (
+    STEP2_SOLVERS,
     GeneralizedLayer,
     GradientPartitionPlan,
     plan_gradient_partition,
 )
 from ..core.perf_model import PerfModelSet
-from ..core.pipeline_degree import find_optimal_pipeline_degree
+from ..core.pipeline_degree import DEFAULT_MAX_DEGREE, find_optimal_pipeline_degree
 from ..core.schedules import (
     GarMode,
     IterationSpec,
@@ -34,6 +35,7 @@ from ..core.schedules import (
     TWO_STREAM,
     build_iteration_graph,
 )
+from ..errors import SolverError
 from ..models.transformer import LayerProfile
 from ..sim.engine import simulate
 from .base import TrainingSystem
@@ -55,6 +57,7 @@ def _partition_plan(
     models: PerfModelSet,
     r_max: int,
     merged_comm: bool,
+    solver: str,
 ) -> GradientPartitionPlan:
     layers = [
         GeneralizedLayer(
@@ -65,16 +68,44 @@ def _partition_plan(
         for p in profiles
     ]
     return plan_gradient_partition(
-        layers, models.allreduce, r_max=r_max, merged_comm=merged_comm
+        layers,
+        models.allreduce,
+        r_max=r_max,
+        merged_comm=merged_comm,
+        solver=solver,
     )
 
 
 class FSMoE(TrainingSystem):
-    """The full FSMoE schedule (Fig. 3d)."""
+    """The full FSMoE schedule (Fig. 3d).
+
+    Args:
+        r_max: cap on the pipeline degrees Algorithm 1 considers.
+        solver: Step-2 gradient-partition solver -- ``"de"`` (the paper's
+            differential evolution), ``"slsqp"`` (a much cheaper local
+            solve with near-identical placements) or ``"none"`` (skip
+            Step 2).  See
+            :func:`~repro.core.gradient_partition.plan_gradient_partition`.
+    """
 
     name = "FSMoE"
     _streams: StreamMap = THREE_STREAM
     _merged_comm = False
+
+    def __init__(
+        self, r_max: int = DEFAULT_MAX_DEGREE, solver: str = "de"
+    ) -> None:
+        super().__init__(r_max)
+        if solver not in STEP2_SOLVERS:
+            raise SolverError(
+                f"unknown Step-2 solver {solver!r}; "
+                f"choose from {STEP2_SOLVERS}"
+            )
+        self.solver = solver
+
+    def fingerprint(self) -> tuple:
+        """Cache identity: the base fingerprint plus the Step-2 solver."""
+        return super().fingerprint() + ("solver", self.solver)
 
     def _phase_degrees(
         self,
@@ -106,7 +137,9 @@ class FSMoE(TrainingSystem):
         """
         key = tuple(profiles)
         plan = (
-            _partition_plan(key, models, self.r_max, self._merged_comm)
+            _partition_plan(
+                key, models, self.r_max, self._merged_comm, self.solver
+            )
             if include_gar
             else None
         )

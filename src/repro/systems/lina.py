@@ -28,6 +28,10 @@ class PipeMoELina(Tutel):
         super().__init__(r_max)
         self.chunk_bytes = chunk_bytes
 
+    def fingerprint(self) -> tuple:
+        """Cache identity: the base fingerprint plus the chunk size."""
+        return super().fingerprint() + ("chunk_bytes", self.chunk_bytes)
+
     def build_iteration_spec(
         self,
         profiles: Sequence[LayerProfile],

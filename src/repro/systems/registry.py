@@ -1,0 +1,92 @@
+"""String-keyed registry of training systems.
+
+Declarative front-ends (:class:`~repro.api.spec.ExperimentSpec`, the
+``python -m repro`` CLI) name systems by string instead of importing
+classes.  Lookup is canonicalized (case-insensitive; spaces,
+underscores, ``+`` and ``/`` collapse to ``-``) and accepts both the
+short keys (``"fsmoe"``, ``"tutel-improved"``) and the display names the
+paper's tables use (``"DS-MoE"``, ``"PipeMoE+Lina"``).
+
+Third parties register their own :class:`~repro.systems.base.TrainingSystem`
+subclasses with :func:`register_system`; construction keyword arguments
+that a system does not accept (e.g. ``solver`` on non-FSMoE systems) are
+silently dropped so one :class:`ExperimentSpec` can sweep heterogeneous
+system sets.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Callable, Iterable
+
+from ..naming import Registry
+from .base import TrainingSystem
+from .dsmoe import DeepSpeedMoE
+from .fsmoe import FSMoE, FSMoENoIIO
+from .lina import PipeMoELina
+from .tutel import Tutel, TutelImproved
+
+_REGISTRY: Registry[TrainingSystem] = Registry("system")
+
+
+def register_system(
+    key: str,
+    factory: Callable[..., TrainingSystem],
+    *,
+    aliases: Iterable[str] = (),
+    overwrite: bool = False,
+) -> None:
+    """Register a training-system factory under a string key.
+
+    Args:
+        key: canonical name (will be normalized, e.g. ``"My System"`` ->
+            ``"my-system"``).
+        factory: class or callable returning a
+            :class:`~repro.systems.base.TrainingSystem`.
+        aliases: additional lookup names mapping to the same factory.
+        overwrite: allow replacing an existing registration.
+
+    Raises:
+        RegistryError: when the key or an alias is already taken and
+            ``overwrite`` is False.
+    """
+    _REGISTRY.register(key, factory, aliases=aliases, overwrite=overwrite)
+
+
+def available_systems() -> tuple[str, ...]:
+    """Canonical keys of every registered system, sorted."""
+    return _REGISTRY.available()
+
+
+def get_system(name: str, **kwargs) -> TrainingSystem:
+    """Instantiate a registered system by name.
+
+    Keyword arguments are forwarded to the factory; arguments the factory
+    does not accept are dropped (so e.g. ``solver="slsqp"`` configures the
+    FSMoE variants and is a no-op for Tutel), as are ``None`` values
+    (meaning "use the system's default").
+
+    Raises:
+        RegistryError: for an unknown name.
+    """
+    factory = _REGISTRY.lookup(name)
+    accepted = inspect.signature(factory).parameters
+    takes_kwargs = any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in accepted.values()
+    )
+    passed = {
+        k: v
+        for k, v in kwargs.items()
+        if v is not None and (takes_kwargs or k in accepted)
+    }
+    return factory(**passed)
+
+
+register_system("dsmoe", DeepSpeedMoE, aliases=("ds-moe", "deepspeed-moe"))
+register_system("tutel", Tutel)
+register_system("tutel-improved", TutelImproved)
+register_system(
+    "pipemoe-lina", PipeMoELina, aliases=("lina", "pipemoe+lina")
+)
+register_system("fsmoe-no-iio", FSMoENoIIO, aliases=("fsmoe-noiio",))
+register_system("fsmoe", FSMoE)

@@ -1,0 +1,172 @@
+"""ExperimentSpec: parsing, validation, serialization, resolution."""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro import (
+    ClusterRef,
+    ConfigError,
+    ExperimentSpec,
+    FSMoE,
+    MoELayerSpec,
+    StackSpec,
+    standard_layout,
+)
+from repro.models import MIXTRAL_7B
+
+
+def layer(**overrides) -> MoELayerSpec:
+    fields = dict(embed_dim=512, num_experts=8, num_heads=8)
+    fields.update(overrides)
+    return MoELayerSpec(**fields)
+
+
+class TestClusterRef:
+    def test_from_string(self):
+        ref = ClusterRef.from_data("A")
+        assert ref.resolve().name == "Testbed-A"
+
+    def test_from_dict_with_scaling(self):
+        ref = ClusterRef.from_data({"name": "A", "total_gpus": 16})
+        cluster = ref.resolve()
+        assert cluster.total_gpus == 16
+
+    def test_rejects_unknown_keys(self):
+        with pytest.raises(ConfigError):
+            ClusterRef.from_data({"name": "A", "gpus": 16})
+
+    def test_to_data_compact(self):
+        assert ClusterRef("B").to_data() == "B"
+        assert ClusterRef("A", 16).to_data() == {
+            "name": "A", "total_gpus": 16,
+        }
+
+
+class TestStackSpec:
+    def test_needs_exactly_one_source(self):
+        with pytest.raises(ConfigError):
+            StackSpec()
+        with pytest.raises(ConfigError):
+            StackSpec(model="GPT2-XL", layers=(layer(),))
+
+    def test_model_stack_resolves_with_deployment_experts(self):
+        parallel = standard_layout(32, 4)
+        stack = StackSpec(model="Mixtral-7B", seq_len=256).resolve(parallel)
+        assert len(stack) == MIXTRAL_7B.num_layers
+        assert stack[0].num_experts == parallel.n_ep
+        assert stack[0].seq_len == 256
+
+    def test_model_stack_depth_override(self):
+        parallel = standard_layout(32, 4)
+        stack = StackSpec(model="gpt2-xl", num_layers=3).resolve(parallel)
+        assert len(stack) == 3
+
+    def test_single_layer_replicates(self):
+        parallel = standard_layout(32, 4)
+        stack = StackSpec(layers=(layer(),), num_layers=4).resolve(parallel)
+        assert len(stack) == 4 and len(set(stack)) == 1
+
+    def test_heterogeneous_layers_kept_verbatim(self):
+        parallel = standard_layout(32, 4)
+        layers = (layer(), layer(embed_dim=1024))
+        stack = StackSpec(layers=layers).resolve(parallel)
+        assert stack == layers
+
+    def test_depth_conflict_rejected(self):
+        with pytest.raises(ConfigError):
+            StackSpec(layers=(layer(), layer()), num_layers=3)
+
+    def test_dict_layers_validated_eagerly(self):
+        with pytest.raises(ConfigError):
+            StackSpec(layers=({"embed_dim": 512, "bogus_field": 1},))
+
+    def test_of_helper(self):
+        stack = StackSpec.of(layer(), num_layers=4)
+        assert stack.num_layers == 4 and stack.layers == (layer(),)
+
+
+class TestExperimentSpec:
+    def spec(self, **overrides) -> ExperimentSpec:
+        fields = dict(
+            name="t",
+            clusters=("B",),
+            systems=("tutel", "fsmoe"),
+            stacks=(StackSpec(layers=(layer(),)),),
+        )
+        fields.update(overrides)
+        return ExperimentSpec(**fields)
+
+    def test_json_round_trip(self):
+        spec = self.spec(solver="slsqp", noise=0.01, seed=3)
+        assert ExperimentSpec.from_json(spec.to_json()) == spec
+
+    def test_model_stack_round_trip(self):
+        spec = self.spec(
+            stacks=(StackSpec(model="GPT2-XL", num_layers=2),),
+        )
+        assert ExperimentSpec.from_json(spec.to_json()) == spec
+
+    def test_defaults_omitted_from_document(self):
+        doc = self.spec().to_dict()
+        assert "solver" not in doc and "noise" not in doc
+
+    def test_rejects_unknown_keys(self):
+        with pytest.raises(ConfigError, match="unknown experiment keys"):
+            ExperimentSpec.from_dict(
+                {"clusters": ["B"], "systems": ["fsmoe"],
+                 "stacks": [{"model": "GPT2-XL"}], "svolver": "de"}
+            )
+
+    def test_rejects_missing_axes(self):
+        with pytest.raises(ConfigError, match="lacks"):
+            ExperimentSpec.from_dict({"clusters": ["B"], "systems": ["x"]})
+        with pytest.raises(ConfigError):
+            self.spec(systems=())
+
+    def test_rejects_unknown_gate_and_solver(self):
+        with pytest.raises(ValueError):
+            self.spec(gate="bogus")
+        with pytest.raises(ConfigError, match="solver"):
+            self.spec(solver="bogus")
+
+    def test_resolve_systems_threads_solver(self):
+        systems = self.spec(solver="slsqp").resolve_systems()
+        fsmoe = [s for s in systems if isinstance(s, FSMoE)][0]
+        assert fsmoe.solver == "slsqp"
+        # non-FSMoE systems simply ignore the knob
+        assert systems[0].name == "Tutel"
+
+    def test_resolve_builds_standard_layouts(self):
+        deployments, systems = self.spec().resolve()
+        (cluster, parallel), = deployments
+        assert cluster.name == "Testbed-B"
+        assert parallel.n_mp == cluster.gpus_per_node
+
+    @pytest.mark.skipif(
+        sys.version_info < (3, 11), reason="tomllib is 3.11+"
+    )
+    def test_from_toml(self):
+        text = """
+name = "toml-exp"
+clusters = ["B"]
+systems = ["fsmoe"]
+solver = "slsqp"
+
+[[stacks]]
+model = "Mixtral-7B"
+num_layers = 2
+seq_len = 256
+"""
+        spec = ExperimentSpec.from_toml(text)
+        assert spec.name == "toml-exp"
+        assert spec.stacks[0].model == "Mixtral-7B"
+        assert spec.solver == "slsqp"
+
+    def test_from_file_json(self, tmp_path):
+        path = tmp_path / "exp.json"
+        spec = self.spec()
+        path.write_text(spec.to_json())
+        assert ExperimentSpec.from_file(path) == spec

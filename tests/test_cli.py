@@ -1,0 +1,207 @@
+"""The ``python -m repro`` command line: plan / sweep / bench / cache."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import FSMoE, IterationPlan, PlanCompiler
+from repro import testbed_b as make_testbed_b
+from repro.api.cli import main
+from repro.models import get_model_preset, layer_spec_for
+
+TINY_SPEC = {
+    "name": "cli-test",
+    "clusters": ["B"],
+    "systems": ["tutel", "fsmoe"],
+    "stacks": [
+        {
+            "layers": [
+                {
+                    "batch_size": 1,
+                    "seq_len": 256,
+                    "embed_dim": 512,
+                    "num_experts": 8,
+                    "num_heads": 8,
+                }
+            ],
+            "num_layers": 2,
+        }
+    ],
+}
+
+
+@pytest.fixture()
+def spec_file(tmp_path):
+    path = tmp_path / "exp.json"
+    path.write_text(json.dumps(TINY_SPEC))
+    return path
+
+
+class TestPlan:
+    def test_json_output_matches_python_api(self, capsys):
+        code = main(
+            [
+                "plan", "--cluster", "B", "--system", "fsmoe",
+                "--model", "GPT2-XL", "--layers", "2", "--json",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        plan = IterationPlan.from_json(out)
+
+        compiler = PlanCompiler(make_testbed_b())
+        preset = get_model_preset("GPT2-XL")
+        spec = layer_spec_for(
+            preset,
+            batch_size=1,
+            seq_len=1024,
+            num_experts=compiler.parallel.n_ep,
+        )
+        reference = compiler.compile([spec] * 2, FSMoE())
+        # the acceptance bar: CLI JSON replays to the *same timeline*
+        assert plan.simulate() == reference.simulate()
+
+    def test_custom_layer_plan(self, capsys):
+        code = main(
+            [
+                "plan", "--cluster", "B", "--system", "tutel",
+                "--embed-dim", "512", "--seq-len", "256", "--num-heads", "8",
+                "--layers", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out and "plan cache" in out
+
+    def test_plan_uses_workspace_cache(self, tmp_path, capsys):
+        argv = [
+            "plan", "--cluster", "B", "--system", "fsmoe",
+            "--embed-dim", "512", "--seq-len", "256", "--num-heads", "8",
+            "--workspace", str(tmp_path / "ws"),
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "plan cache: 1 hits, 0 misses" in out
+
+    def test_unknown_system_is_reported(self, capsys):
+        code = main(
+            ["plan", "--cluster", "B", "--system", "megatron"]
+        )
+        assert code == 2
+        assert "unknown system" in capsys.readouterr().err
+
+    def test_custom_layer_defaults_to_deployment_experts(self, capsys):
+        # Testbed A has 6 nodes; a hard-coded default of 8 experts would
+        # not divide its EP width.
+        code = main(
+            [
+                "plan", "--cluster", "A", "--system", "tutel",
+                "--seq-len", "256", "--embed-dim", "512", "--num-heads", "8",
+            ]
+        )
+        assert code == 0
+        assert "makespan" in capsys.readouterr().out
+
+
+class TestSweep:
+    def test_cold_then_warm(self, tmp_path, spec_file, capsys):
+        ws = str(tmp_path / "ws")
+        assert main(["sweep", str(spec_file), "--workspace", ws]) == 0
+        out = capsys.readouterr().out
+        assert "2 points" in out
+        assert "plan cache: 0 hits, 2 misses" in out
+
+        assert (
+            main(
+                ["sweep", str(spec_file), "--workspace", ws, "--expect-warm"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "plan cache: 2 hits, 0 misses (100% hit rate)" in out
+        assert "profile cache: 0 hits, 0 misses (100% hit rate)" in out
+
+    def test_expect_warm_fails_cold(self, tmp_path, spec_file, capsys):
+        code = main(
+            [
+                "sweep", str(spec_file),
+                "--workspace", str(tmp_path / "ws"), "--expect-warm",
+            ]
+        )
+        assert code == 3
+        assert "--expect-warm" in capsys.readouterr().err
+
+    def test_json_rows(self, tmp_path, spec_file, capsys):
+        assert main(["sweep", str(spec_file), "--json"]) == 0
+        out = capsys.readouterr().out
+        rows = json.loads(out[: out.rindex("]") + 1])
+        assert len(rows) == 2
+        assert {row["system"] for row in rows} == {"Tutel", "FSMoE"}
+
+    def test_missing_spec_file(self, capsys):
+        assert main(["sweep", "/nonexistent/spec.json"]) == 2
+
+    def test_invalid_json_spec_is_a_clean_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"clusters": ["B"],}')  # trailing comma
+        assert main(["sweep", str(bad)]) == 2
+        assert "invalid JSON spec" in capsys.readouterr().err
+
+    def test_unknown_gate_in_spec_is_a_clean_error(self, tmp_path, capsys):
+        doc = dict(TINY_SPEC)
+        doc["gate"] = "topk"
+        path = tmp_path / "gate.json"
+        path.write_text(json.dumps(doc))
+        assert main(["sweep", str(path)]) == 2
+        assert "unknown gate" in capsys.readouterr().err
+
+
+class TestBenchAndCache:
+    def test_bench_prints_speedups(self, capsys):
+        code = main(
+            [
+                "bench", "--cluster", "B", "--systems", "dsmoe,fsmoe",
+                "--embed-dim", "512", "--seq-len", "256", "--num-heads", "8",
+                "--layers", "2",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "speedup vs DS-MoE" in out
+        assert "FSMoE" in out
+
+    def test_cache_info_and_clear(self, tmp_path, spec_file, capsys):
+        ws = str(tmp_path / "ws")
+        main(["sweep", str(spec_file), "--workspace", ws])
+        capsys.readouterr()
+
+        assert main(["cache", "info", "--workspace", ws]) == 0
+        out = capsys.readouterr().out
+        assert "plan_entries: 2" in out
+
+        assert main(["cache", "clear", "--workspace", ws]) == 0
+        out = capsys.readouterr().out
+        assert "cleared" in out
+        assert main(["cache", "--workspace", ws]) == 0
+        assert "plan_entries: 0" in capsys.readouterr().out
+
+    def test_cache_clear_recovers_schema_mismatch(
+        self, tmp_path, spec_file, capsys
+    ):
+        """The recovery path the refusal error advertises must work."""
+        ws = str(tmp_path / "ws")
+        main(["sweep", str(spec_file), "--workspace", ws])
+        capsys.readouterr()
+        profiles = tmp_path / "ws" / "profiles.json"
+        payload = json.loads(profiles.read_text())
+        payload["schema_version"] = 999
+        profiles.write_text(json.dumps(payload))
+
+        assert main(["cache", "info", "--workspace", ws]) == 2  # refused
+        assert main(["cache", "clear", "--workspace", ws]) == 0  # recovers
+        capsys.readouterr()
+        assert main(["sweep", str(spec_file), "--workspace", ws]) == 0

@@ -165,3 +165,76 @@ class TestInterface:
         plan = plan_gradient_partition(layers, AR)
         assert plan.tail_bytes == 0.0
         assert plan.tail_ms == 0.0
+
+
+class TestStep2Solvers:
+    def test_rejects_unknown_solver(self):
+        with pytest.raises(SolverError, match="unknown Step-2 solver"):
+            plan_gradient_partition([make_layer()], AR, solver="adam")
+
+    def test_none_skips_step2(self):
+        layers = [make_layer() for _ in range(4)]
+        plan = plan_gradient_partition(layers, AR, solver="none")
+        assert all(x == 0.0 for x in plan.extra_bytes)
+
+    def test_legacy_flag_still_wins(self):
+        layers = [make_layer() for _ in range(3)]
+        plan = plan_gradient_partition(
+            layers, AR, solver="de", use_differential_evolution=False
+        )
+        assert all(x == 0.0 for x in plan.extra_bytes)
+
+    def test_slsqp_conserves_every_byte(self):
+        layers = [make_layer() for _ in range(4)]
+        plan = plan_gradient_partition(layers, AR, solver="slsqp")
+        placed = (
+            sum(plan.moe_window_bytes)
+            + sum(plan.dense_window_bytes)
+            + sum(plan.extra_bytes)
+            + plan.tail_bytes
+        )
+        total = sum(layer.grad_bytes for layer in layers)
+        assert placed == pytest.approx(total)
+
+    def test_slsqp_respects_availability(self):
+        """Cumulative Step-2 bytes from the back never exceed what is
+        pending when that layer's backward starts (paper Eq. 5)."""
+        layers = [make_layer(grad_mb=40.0) for _ in range(4)]
+        plan = plan_gradient_partition(layers, AR, solver="slsqp")
+        produced = 0.0
+        for i in reversed(range(4)):
+            hidden = (
+                plan.moe_window_bytes[i]
+                + plan.dense_window_bytes[i]
+                + plan.extra_bytes[i]
+            )
+            assert hidden <= produced + 1e-6
+            produced += layers[i].grad_bytes - hidden
+        assert produced == pytest.approx(plan.tail_bytes)
+
+    def test_slsqp_not_much_worse_than_de(self):
+        layers = [make_layer(grad_mb=60.0) for _ in range(4)]
+        de = plan_gradient_partition(layers, AR, solver="de", seed=0)
+        slsqp = plan_gradient_partition(layers, AR, solver="slsqp")
+        greedy = plan_gradient_partition(layers, AR, solver="none")
+        # the local solve must land within a few percent of DE and never
+        # behind skipping Step 2 entirely
+        assert (
+            slsqp.total_estimated_backward_ms()
+            <= de.total_estimated_backward_ms() * 1.05
+        )
+        assert (
+            slsqp.total_estimated_backward_ms()
+            <= greedy.total_estimated_backward_ms() + 1e-9
+        )
+
+    def test_fsmoe_system_accepts_solver(self):
+        from repro.systems import FSMoE, FSMoENoIIO
+
+        assert FSMoE(solver="slsqp").solver == "slsqp"
+        assert FSMoENoIIO(solver="slsqp").solver == "slsqp"
+        with pytest.raises(SolverError):
+            FSMoE(solver="bogus")
+        fp_de = FSMoE(solver="de").fingerprint()
+        fp_sl = FSMoE(solver="slsqp").fingerprint()
+        assert fp_de != fp_sl

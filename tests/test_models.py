@@ -14,6 +14,7 @@ from repro.models import (
     layer_spec_for,
     microbatch_spec,
     profile_layer,
+    split_stages,
 )
 from repro.models.transformer import BREAKDOWN_OPS
 from repro.moe.gates import GateKind
@@ -143,3 +144,47 @@ class TestPipelineParallel:
     def test_gpipe_rejects_bad_counts(self):
         with pytest.raises(ConfigError):
             gpipe_iteration_ms(1.0, 1.0, 0.0, num_stages=0, num_micro=2)
+
+    def test_gpipe_per_stage_sequences_generalize_scalars(self):
+        homogeneous = gpipe_iteration_ms(
+            2.0, 3.0, 1.0, num_stages=2, num_micro=4
+        )
+        as_sequences = gpipe_iteration_ms(
+            [2.0, 2.0], [3.0, 3.0], [1.0, 1.0], num_stages=2, num_micro=4
+        )
+        assert as_sequences == pytest.approx(homogeneous)
+
+    def test_gpipe_heterogeneous_stages(self):
+        # drain = (2+4) + (3+5) = 14; steady = 3 * (4 + 5) = 27; gar = 1.5
+        t = gpipe_iteration_ms(
+            [2.0, 4.0], [3.0, 5.0], [0.5, 1.5], num_stages=2, num_micro=4
+        )
+        assert t == pytest.approx(14.0 + 27.0 + 1.5)
+
+    def test_gpipe_slow_stage_paces_the_pipeline(self):
+        balanced = gpipe_iteration_ms(
+            [3.0, 3.0], [3.0, 3.0], 0.0, num_stages=2, num_micro=8
+        )
+        skewed = gpipe_iteration_ms(
+            [2.0, 4.0], [2.0, 4.0], 0.0, num_stages=2, num_micro=8
+        )
+        # same total work, but the slow stage dominates the steady state
+        assert skewed > balanced
+
+    def test_gpipe_rejects_wrong_sequence_length(self):
+        with pytest.raises(ConfigError, match="entries for"):
+            gpipe_iteration_ms(
+                [1.0, 2.0, 3.0], 1.0, 0.0, num_stages=2, num_micro=2
+            )
+
+    def test_split_stages_even_and_remainder(self):
+        assert split_stages(8, 2) == (4, 4)
+        assert split_stages(7, 2) == (4, 3)
+        assert split_stages(33, 4) == (9, 8, 8, 8)
+        assert split_stages(3, 3) == (1, 1, 1)
+
+    def test_split_stages_rejects_impossible(self):
+        with pytest.raises(ConfigError):
+            split_stages(2, 3)
+        with pytest.raises(ConfigError):
+            split_stages(0, 1)

@@ -1,0 +1,170 @@
+"""String-keyed registries: systems, model presets, clusters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    FSMoE,
+    RegistryError,
+    Tutel,
+    available_clusters,
+    available_model_presets,
+    available_systems,
+    get_cluster,
+    get_model_preset,
+    get_system,
+    register_cluster,
+    register_model_preset,
+    register_system,
+)
+from repro import testbed_b as make_testbed_b
+from repro.models import MIXTRAL_7B, ModelPreset
+from repro.systems import ALL_SYSTEM_KEYS, TrainingSystem
+
+
+class TestSystemRegistry:
+    def test_every_paper_system_is_registered(self):
+        for key in ALL_SYSTEM_KEYS:
+            assert isinstance(get_system(key), TrainingSystem)
+
+    def test_display_names_and_aliases(self):
+        assert isinstance(get_system("DS-MoE"), TrainingSystem)
+        assert isinstance(get_system("PipeMoE+Lina"), TrainingSystem)
+        assert isinstance(get_system("FSMoE"), FSMoE)
+        assert type(get_system("deepspeed-moe")).__name__ == "DeepSpeedMoE"
+
+    def test_lookup_is_case_and_punctuation_insensitive(self):
+        assert isinstance(get_system("Tutel Improved"), Tutel)
+        assert isinstance(get_system("tutel_improved"), Tutel)
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(RegistryError, match="available"):
+            get_system("megatron")
+
+    def test_kwargs_forwarded_and_pruned(self):
+        fsmoe = get_system("fsmoe", r_max=4, solver="slsqp")
+        assert fsmoe.r_max == 4 and fsmoe.solver == "slsqp"
+        tutel = get_system("tutel", r_max=4, solver="slsqp")  # solver dropped
+        assert tutel.r_max == 4
+        assert not hasattr(tutel, "solver")
+
+    def test_none_kwargs_mean_defaults(self):
+        assert get_system("fsmoe", r_max=None, solver=None).solver == "de"
+
+    def test_register_and_conflict(self):
+        class Custom(Tutel):
+            name = "Custom"
+
+        register_system("custom-test-system", Custom)
+        try:
+            assert isinstance(get_system("custom-test-system"), Custom)
+            with pytest.raises(RegistryError, match="already registered"):
+                register_system("custom-test-system", Custom)
+            register_system("custom-test-system", Tutel, overwrite=True)
+            assert isinstance(get_system("custom-test-system"), Tutel)
+        finally:
+            from repro.systems import registry
+
+            registry._REGISTRY.discard("custom-test-system")
+
+    def test_available_systems_sorted(self):
+        names = available_systems()
+        assert list(names) == sorted(names)
+        assert "fsmoe" in names
+
+    def test_overwrite_beats_stale_alias(self):
+        """Re-registering under a name that exists as an *alias* must
+        actually take effect (the alias previously shadowed the entry)."""
+        from repro.systems import registry
+
+        class Mine(Tutel):
+            name = "Mine"
+
+        register_system("ds-moe", Mine, overwrite=True)
+        try:
+            assert isinstance(get_system("ds-moe"), Mine)
+            # the canonical dsmoe registration is untouched
+            assert type(get_system("dsmoe")).__name__ == "DeepSpeedMoE"
+        finally:
+            registry._REGISTRY.discard("ds-moe")
+            registry._REGISTRY._aliases["ds-moe"] = "dsmoe"
+
+    def test_error_message_is_not_repr_quoted(self):
+        with pytest.raises(RegistryError) as err:
+            get_system("megatron")
+        assert not str(err.value).startswith('"')
+
+
+class TestModelPresetRegistry:
+    def test_lookup_flexible(self):
+        assert get_model_preset("Mixtral-7B") is MIXTRAL_7B
+        assert get_model_preset("mixtral_7b") is MIXTRAL_7B
+        assert get_model_preset("GPT2-XL").name == "GPT2-XL"
+
+    def test_unknown_model(self):
+        with pytest.raises(RegistryError, match="available"):
+            get_model_preset("llama")
+
+    def test_register_and_overwrite(self):
+        preset = ModelPreset(
+            name="Tiny-Test",
+            embed_dim=256,
+            hidden_scale=2.0,
+            num_heads=4,
+            ffn_type="simple",
+            num_layers=2,
+        )
+        from repro.models import MODEL_PRESETS
+
+        register_model_preset(preset)
+        try:
+            assert get_model_preset("tiny-test") is preset
+            with pytest.raises(RegistryError):
+                register_model_preset(preset)
+            bigger = ModelPreset(
+                name="Tiny-Test",
+                embed_dim=512,
+                hidden_scale=2.0,
+                num_heads=4,
+                ffn_type="simple",
+                num_layers=2,
+            )
+            register_model_preset(bigger, overwrite=True)
+            assert get_model_preset("tiny-test").embed_dim == 512
+        finally:
+            MODEL_PRESETS.pop("Tiny-Test", None)
+
+    def test_available_contains_paper_models(self):
+        names = available_model_presets()
+        assert {"GPT2-XL", "Mixtral-7B", "Mixtral-22B"} <= set(names)
+
+
+class TestClusterRegistry:
+    def test_testbeds_registered(self):
+        assert get_cluster("A").name == "Testbed-A"
+        assert get_cluster("b").name == "Testbed-B"
+        assert get_cluster("testbed-a").name == "Testbed-A"
+
+    def test_scaling(self):
+        assert get_cluster("A", total_gpus=16).total_gpus == 16
+
+    def test_unknown_cluster(self):
+        with pytest.raises(RegistryError, match="available"):
+            get_cluster("frontier")
+
+    def test_register_spec_instance(self):
+        from repro.api import registry
+
+        register_cluster("tiny-test-cluster", make_testbed_b())
+        try:
+            assert get_cluster("tiny-test-cluster").name == "Testbed-B"
+            with pytest.raises(RegistryError):
+                register_cluster("tiny-test-cluster", make_testbed_b())
+        finally:
+            registry._REGISTRY.discard("tiny-test-cluster")
+
+    def test_available_sorted(self):
+        names = available_clusters()
+        assert list(names) == sorted(names)
+        assert {"a", "b"} <= set(names)
