@@ -31,9 +31,13 @@ from repro.core.schedules import (
 )
 from repro.models import MIXTRAL_7B, layer_spec_for, profile_layer
 from repro.sim import simulate
-from repro.systems.fsmoe import _forward_degree
+from repro.core.pipeline_degree import find_optimal_pipeline_degree
 
 from .conftest import full_run
+
+
+def _forward_degree(profile, r_max):
+    return find_optimal_pipeline_degree(profile.ctx_fw, r_max=r_max).degree
 
 
 def build_variant(profiles, models, gar_mode, plan, r_max=16):

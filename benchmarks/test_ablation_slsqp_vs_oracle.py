@@ -34,7 +34,9 @@ def compare(cluster, models, stride):
         profile = profile_layer(spec, parallel, models)
         _find_optimal_cached.cache_clear()
         start = time.perf_counter()
-        slsqp = find_optimal_pipeline_degree(profile.ctx_bw)
+        # Explicitly pin the SLSQP path: the process default is the
+        # batched exact sweep, which IS the oracle.
+        slsqp = find_optimal_pipeline_degree(profile.ctx_bw, solver="slsqp")
         elapsed.append((time.perf_counter() - start) * 1000.0)
         oracle = oracle_integer_degree(profile.ctx_bw)
         gaps.append(slsqp.time_ms / oracle.time_ms)

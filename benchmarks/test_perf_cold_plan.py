@@ -1,0 +1,174 @@
+"""Cold-planning performance: the batched Algorithm-1 solver vs SLSQP.
+
+Plans the Fig. 7-shaped grid (varied sequence length L x varied world
+size P) twice from a fully cold state -- once with the default batched
+exact solver, once with the paper's SLSQP path pinned via
+:func:`~repro.core.pipeline_degree.set_default_degree_solver` -- plus a
+warm re-run against the populated caches, and records all three
+wall-times in ``benchmarks/results/BENCH_planner.json``.
+
+Assertions:
+
+* the batched path is >= 5x faster than the SLSQP path on the same
+  machine (in practice it is orders of magnitude faster);
+* both solvers plan iterations within 2% of each other (the batched
+  sweep is exact; SLSQP is the near-optimal relaxation);
+* with ``REPRO_PERF_SMOKE=1`` (the CI perf-smoke step), cold batched
+  planning must not regress more than 3x over the committed baseline in
+  ``BENCH_planner.json`` (with a 1 s absolute floor so machine-speed
+  differences at the millisecond scale cannot trip it).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+
+from repro import FSMoE, solver_stats
+from repro.api.registry import get_cluster
+from repro.core import clear_solver_cache, set_default_degree_solver
+from repro.core.pipeline_degree import _find_optimal_cached
+from repro.models import get_model_preset, layer_spec_for
+from repro.planner.batch import plan_many
+from repro.systems import fsmoe as fsmoe_module
+
+from .conftest import RESULTS_DIR, full_run
+
+RESULTS_PATH = RESULTS_DIR / "BENCH_planner.json"
+
+#: cold planning must beat the SLSQP path by at least this factor.
+MIN_SPEEDUP = 5.0
+
+#: CI regression guard: cold batched planning may grow at most this much
+#: over the recorded baseline (plus an absolute floor, below).
+MAX_REGRESSION = 3.0
+REGRESSION_FLOOR_S = 1.0
+
+
+def _fig7_grid():
+    """Varied L x varied P, Mixtral-7B on Testbed-A subsets."""
+    seq_lens = (512, 1024, 2048) if full_run() else (512, 1024)
+    world_sizes = (16, 32, 48) if full_run() else (16, 32)
+    clusters = [get_cluster("A", total_gpus=g) for g in world_sizes]
+    preset = get_model_preset("Mixtral-7B")
+    specs = [
+        layer_spec_for(preset, batch_size=1, seq_len=s, num_experts=4)
+        for s in seq_lens
+    ]
+    return specs, clusters
+
+
+def _reset_solver_state() -> None:
+    """Drop every per-process Algorithm-1 memo so the next run is cold.
+
+    Stats are zeroed too, so the counters read after a cold run describe
+    exactly that run (including the true largest batch).
+    """
+    clear_solver_cache(reset_stats=True)
+    _find_optimal_cached.cache_clear()
+    fsmoe_module._partition_plan.cache_clear()
+    fsmoe_module._merged_phase_degree.cache_clear()
+
+
+def _cold_plan(specs, clusters, solver: str):
+    """One fully cold ``plan_many`` sweep under the given degree solver."""
+    previous = set_default_degree_solver(solver)
+    _reset_solver_state()
+    try:
+        start = time.perf_counter()
+        result = plan_many(
+            specs,
+            [FSMoE(solver="slsqp")],
+            clusters,
+            num_layers=2,
+            max_workers=1,
+        )
+        elapsed = time.perf_counter() - start
+    finally:
+        set_default_degree_solver(previous)
+    return elapsed, result
+
+
+def test_cold_plan_batch_vs_slsqp(emit):
+    baseline = None
+    if RESULTS_PATH.exists():
+        baseline = json.loads(RESULTS_PATH.read_text())
+
+    specs, clusters = _fig7_grid()
+
+    cold_batch_s, batch_result = _cold_plan(specs, clusters, "batch")
+    batch_stats = solver_stats()  # window-exact: _cold_plan zeroed them
+
+    # Warm re-run against the populated profile store and solver memos.
+    start = time.perf_counter()
+    warm_result = plan_many(
+        specs,
+        [FSMoE(solver="slsqp")],
+        clusters,
+        num_layers=2,
+        store=batch_result.store,
+        max_workers=1,
+    )
+    warm_s = time.perf_counter() - start
+
+    cold_slsqp_s, slsqp_result = _cold_plan(specs, clusters, "slsqp")
+
+    # Cross-check: the exact sweep and the relaxation agree closely.
+    for batch_point, slsqp_point in zip(
+        batch_result.points, slsqp_result.points
+    ):
+        assert batch_point.makespan_ms == slsqp_point.makespan_ms or (
+            abs(batch_point.makespan_ms - slsqp_point.makespan_ms)
+            <= 0.02 * slsqp_point.makespan_ms
+        )
+    for batch_point, warm_point in zip(
+        batch_result.points, warm_result.points
+    ):
+        assert batch_point.makespan_ms == warm_point.makespan_ms
+
+    speedup = cold_slsqp_s / cold_batch_s
+    payload = {
+        "grid": {
+            "seq_lens": sorted({s.seq_len for s in specs}),
+            "world_sizes": sorted({c.total_gpus for c in clusters}),
+            "points": len(batch_result),
+            "num_layers": 2,
+        },
+        "cold_batch_s": round(cold_batch_s, 4),
+        "warm_batch_s": round(warm_s, 4),
+        "cold_slsqp_s": round(cold_slsqp_s, 4),
+        "speedup_vs_slsqp": round(speedup, 1),
+        "solver": {
+            "solves": batch_stats.solves,
+            "cache_hits": batch_stats.cache_hits,
+            "batch_calls": batch_stats.batch_calls,
+            "max_batch_size": batch_stats.max_batch_size,
+        },
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    emit(
+        "perf_cold_plan",
+        (
+            f"cold plan_many ({len(batch_result)} points): "
+            f"batch {cold_batch_s * 1e3:.1f} ms, "
+            f"slsqp {cold_slsqp_s * 1e3:.1f} ms "
+            f"({speedup:.0f}x), warm {warm_s * 1e3:.1f} ms"
+        ),
+    )
+
+    assert speedup >= MIN_SPEEDUP
+
+    if os.environ.get("REPRO_PERF_SMOKE") == "1" and baseline is not None:
+        limit = max(
+            MAX_REGRESSION * float(baseline["cold_batch_s"]),
+            REGRESSION_FLOOR_S,
+        )
+        assert cold_batch_s <= limit, (
+            f"cold planning regressed: {cold_batch_s:.3f} s vs recorded "
+            f"baseline {baseline['cold_batch_s']} s (limit {limit:.3f} s)"
+        )

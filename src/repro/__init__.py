@@ -53,14 +53,20 @@ from .parallel import (
     testbed_b,
 )
 from .core import (
+    DEGREE_SOLVERS,
     STEP2_SOLVERS,
     GenericScheduler,
     LinearPerfModel,
     PerfModelSet,
     PipelineContext,
     ProfileResult,
+    SolverStats,
+    clear_solver_cache,
     find_optimal_pipeline_degree,
     plan_gradient_partition,
+    set_default_degree_solver,
+    solve_degrees_batch,
+    solver_stats,
     profile_cluster,
 )
 from .models import (
@@ -149,6 +155,12 @@ __all__ = [
     "GenericScheduler",
     "profile_cluster",
     "find_optimal_pipeline_degree",
+    "solve_degrees_batch",
+    "SolverStats",
+    "solver_stats",
+    "clear_solver_cache",
+    "set_default_degree_solver",
+    "DEGREE_SOLVERS",
     "plan_gradient_partition",
     # models
     "GPT2_XL",

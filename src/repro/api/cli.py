@@ -10,7 +10,9 @@ Four subcommands over the :class:`~repro.api.workspace.Workspace` API:
   code, for CI.
 * ``bench`` -- evaluate a model preset across systems on a testbed and
   print the speedup table (the Fig. 6 shape, from the shell).
-* ``cache`` -- inspect or clear a workspace's on-disk caches.
+* ``cache`` -- inspect a workspace's on-disk caches (plus the process's
+  degree-solver counters), ``--gc DAYS`` away stale plan files, or
+  ``clear`` everything.
 
 Every subcommand takes ``--workspace PATH``; without it, ``plan`` and
 ``bench`` run against a throwaway in-memory session.
@@ -28,6 +30,7 @@ from pathlib import Path
 from ..bench.reporting import format_table
 from ..bench.runner import speedups_over
 from ..config import MoELayerSpec
+from ..core.fastsolve import solver_stats
 from ..core.gradient_partition import STEP2_SOLVERS
 from ..errors import ReproError
 from ..models.configs import available_model_presets
@@ -171,6 +174,13 @@ def _print_cache_summary(stats: WorkspaceStats, out) -> None:
             f"{label}: {hits} hits, {misses} misses ({rate:.0f}% hit rate)",
             file=out,
         )
+    solver = stats.solver
+    print(
+        f"degree solver: {solver.solves} solves, {solver.cache_hits} cache "
+        f"hits, {solver.batch_calls} batch calls "
+        f"(largest batch {solver.max_batch_size})",
+        file=out,
+    )
 
 
 def _cmd_plan(args) -> int:
@@ -272,6 +282,16 @@ def _cmd_bench(args) -> int:
 
 
 def _cmd_cache(args) -> int:
+    if args.action == "clear" and args.gc is not None:
+        # Refuse the ambiguous combination: `clear` wipes everything,
+        # `--gc` promises age-bounded eviction -- silently doing either
+        # would betray the other's contract.
+        print(
+            "error: --gc cannot be combined with 'clear' "
+            "(use `cache --gc DAYS` for age-bounded eviction)",
+            file=sys.stderr,
+        )
+        return 2
     if args.action == "clear":
         # File-level discard: must work even on caches a plain open would
         # refuse (schema-version mismatch) -- this IS the recovery path.
@@ -281,15 +301,30 @@ def _cmd_cache(args) -> int:
             f"{removed['plans']} plan file(s) from {args.workspace}"
         )
         return 0
-    # info is read-only: a mistyped path must not silently materialize an
-    # empty workspace and report it as real
     root = Path(args.workspace).expanduser()
     if not root.is_dir():
         print(f"error: no workspace at {root}", file=sys.stderr)
         return 2
+    if args.gc is not None:
+        # File-level like `clear`: trims workspaces a plain open would
+        # refuse, and never rewrites surviving plans' mtimes.
+        swept = Workspace.gc_plans(root, max_age_days=args.gc)
+        print(
+            f"gc: removed {swept['removed']} plan file(s) older than "
+            f"{args.gc:g} day(s), kept {swept['kept']}"
+        )
+        return 0
+    # info is read-only: a mistyped path must not silently materialize an
+    # empty workspace and report it as real
     info = Workspace(root).cache_info()
     for key, value in info.items():
         print(f"{key}: {value}")
+    solver = solver_stats()
+    print(
+        f"degree_solver: {solver.solves} solves, {solver.cache_hits} "
+        f"cache hits, {solver.batch_calls} batch calls "
+        f"(largest batch {solver.max_batch_size})"
+    )
     return 0
 
 
@@ -371,6 +406,13 @@ def build_parser() -> argparse.ArgumentParser:
         "action", nargs="?", default="info", choices=("info", "clear")
     )
     cache.add_argument("--workspace", "-w", metavar="PATH", required=True)
+    cache.add_argument(
+        "--gc",
+        type=float,
+        metavar="DAYS",
+        default=None,
+        help="evict plan files not touched in DAYS days",
+    )
     cache.set_defaults(func=_cmd_cache)
 
     return parser

@@ -16,7 +16,8 @@ Schema (JSON shown; TOML is isomorphic)::
       "systems": ["tutel", "fsmoe"],
       "stacks": [
         {"model": "GPT2-XL", "seq_len": 1024, "num_layers": 8},
-        {"layers": [{"embed_dim": 2048, "num_experts": 8}], "num_layers": 2}
+        {"layers": [{"embed_dim": 2048, "num_experts": 8}], "num_layers": 2,
+         "gates": ["xmoe", "gshard"]}   // optional per-layer overrides
       ],
       "gate": "gshard",        // optional, GateKind value
       "solver": "de",          // optional, FSMoE Step-2 solver
@@ -111,6 +112,10 @@ class StackSpec:
         num_layers: stack depth; ``None`` uses the preset's layer count
             (model stacks) or the explicit list as given.  A single
             explicit layer replicates to this depth.
+        gates: per-layer routing-function overrides (:class:`GateKind`
+            values).  ``None`` uses the experiment-level ``gate`` for
+            every layer; a single entry applies to the whole stack; a
+            longer tuple must match the resolved stack depth.
     """
 
     model: str | None = None
@@ -119,12 +124,29 @@ class StackSpec:
     seq_len: int = 1024
     num_experts: int | None = None
     num_layers: int | None = None
+    gates: tuple[str, ...] | None = None
 
     def __post_init__(self) -> None:
         if (self.model is None) == (self.layers is None):
             raise ConfigError(
                 "a stack entry needs exactly one of 'model' and 'layers'"
             )
+        if self.gates is not None:
+            gates = (
+                (self.gates,) if isinstance(self.gates, str)
+                else tuple(self.gates)
+            )
+            if not gates:
+                raise ConfigError("'gates' must list at least one gate")
+            for gate in gates:
+                try:
+                    GateKind(gate)
+                except ValueError as exc:
+                    raise ConfigError(
+                        f"unknown gate {gate!r}; choose from "
+                        f"{[kind.value for kind in GateKind]}"
+                    ) from exc
+            object.__setattr__(self, "gates", gates)
         if self.layers is not None:
             try:
                 layers = tuple(
@@ -172,7 +194,7 @@ class StackSpec:
             raise ConfigError(f"malformed stack entry {data!r}")
         known = {
             "model", "layers", "batch_size", "seq_len", "num_experts",
-            "num_layers",
+            "num_layers", "gates",
         }
         unknown = set(data) - known
         if unknown:
@@ -183,8 +205,13 @@ class StackSpec:
         layers = data.get("layers")
         if layers is not None:
             layers = tuple(layers)
-        kwargs = {k: v for k, v in data.items() if k != "layers"}
-        return cls(layers=layers, **kwargs)
+        gates = data.get("gates")
+        if gates is not None and not isinstance(gates, str):
+            gates = tuple(gates)
+        kwargs = {
+            k: v for k, v in data.items() if k not in ("layers", "gates")
+        }
+        return cls(layers=layers, gates=gates, **kwargs)
 
     def to_data(self) -> dict:
         """Plain-data form (inverse of :meth:`from_data`)."""
@@ -201,7 +228,29 @@ class StackSpec:
             ]
         if self.num_layers is not None:
             out["num_layers"] = self.num_layers
+        if self.gates is not None:
+            out["gates"] = list(self.gates)
         return out
+
+    def resolve_gates(
+        self, depth: int, default: GateKind
+    ) -> tuple[GateKind, ...]:
+        """Per-layer routing functions for a resolved stack of ``depth``.
+
+        Raises:
+            ConfigError: when an explicit ``gates`` tuple disagrees with
+                the stack depth.
+        """
+        if self.gates is None:
+            return (default,) * depth
+        if len(self.gates) == 1:
+            return (GateKind(self.gates[0]),) * depth
+        if len(self.gates) != depth:
+            raise ConfigError(
+                f"'gates' lists {len(self.gates)} entries for a stack of "
+                f"{depth} layers"
+            )
+        return tuple(GateKind(gate) for gate in self.gates)
 
     def resolve(self, parallel: ParallelSpec) -> tuple[MoELayerSpec, ...]:
         """Materialize the stack for one deployment.

@@ -36,6 +36,7 @@ from __future__ import annotations
 import json
 import os
 import threading
+import time
 import warnings
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
@@ -44,6 +45,7 @@ from typing import Sequence
 
 from ..bench.runner import ConfigResult
 from ..config import MoELayerSpec, ParallelSpec, standard_layout
+from ..core.fastsolve import SolverStats, solver_stats
 from ..core.pipeline_degree import DEFAULT_MAX_DEGREE
 from ..errors import ConfigError, WorkspaceError
 from ..moe.gates import GateKind
@@ -68,11 +70,16 @@ class WorkspaceStats:
         profiles: the profile store's hit/miss counters.
         plan_hits: plan requests served from cache (disk or session).
         plan_misses: plans actually compiled this session.
+        solver: the batched Algorithm-1 solver's counters (solves,
+            cache hits, batch calls/sizes).  Process-wide, not
+            per-workspace: the degree-solution memo is shared by every
+            session in the process.
     """
 
     profiles: StoreStats
     plan_hits: int = 0
     plan_misses: int = 0
+    solver: SolverStats = SolverStats()
 
     @property
     def warm(self) -> bool:
@@ -229,6 +236,7 @@ class Workspace:
                 profiles=self.store.stats,
                 plan_hits=self._plan_hits,
                 plan_misses=self._plan_misses,
+                solver=solver_stats(),
             )
 
     def cache_info(self) -> dict[str, object]:
@@ -278,6 +286,48 @@ class Workspace:
                 path.unlink(missing_ok=True)
                 removed["plans"] += 1
         return removed
+
+    @staticmethod
+    def gc_plans(
+        root: str | Path, *, max_age_days: float
+    ) -> dict[str, int]:
+        """Evict plan-cache files not touched in ``max_age_days`` days.
+
+        Like :meth:`discard` this works at the file level -- it never
+        reads the plans, so it also trims workspaces a plain open would
+        refuse.  A plan's mtime is refreshed only when it is (re)written,
+        so "touched" means "compiled or recompiled", not "read".
+        Quarantined ``*.corrupt`` files age out the same way.
+
+        Args:
+            root: the workspace directory.
+            max_age_days: eviction threshold; must be >= 0.
+
+        Returns:
+            ``{"removed": ..., "kept": ...}`` plan-file counts.
+
+        Raises:
+            ConfigError: for a negative age.
+        """
+        if max_age_days < 0:
+            raise ConfigError(
+                f"max_age_days must be >= 0, got {max_age_days}"
+            )
+        cutoff = time.time() - max_age_days * 86400.0
+        removed = kept = 0
+        plans_dir = Path(root).expanduser() / "plans"
+        if plans_dir.is_dir():
+            for path in sorted(plans_dir.glob("*.json*")):
+                try:
+                    stale = path.stat().st_mtime < cutoff
+                except OSError:  # pragma: no cover - racing cleaners
+                    continue
+                if stale:
+                    path.unlink(missing_ok=True)
+                    removed += 1
+                else:
+                    kept += 1
+        return {"removed": removed, "kept": kept}
 
     # -- planning ------------------------------------------------------------
 
@@ -476,22 +526,23 @@ class Workspace:
                 capped at the number of grid points.
         """
         deployments, systems = spec.resolve()
-        gate = spec.gate_kind
+        default_gate = spec.gate_kind
         grid: list[tuple] = []
         for cluster, parallel in deployments:
             for stack_spec in spec.stacks:
                 stack = stack_spec.resolve(parallel)
+                gates = stack_spec.resolve_gates(len(stack), default_gate)
                 for system in systems:
-                    grid.append((cluster, parallel, stack, system))
+                    grid.append((cluster, parallel, stack, gates, system))
 
         def run_point(point: tuple) -> PlanPoint:
-            cluster, parallel, stack, system = point
+            cluster, parallel, stack, gates, system = point
             plan = self.plan(
                 stack,
                 system,
                 cluster,
                 parallel=parallel,
-                gate_kind=gate,
+                gate_kind=gates,
                 routing_overhead=spec.routing_overhead,
                 noise=spec.noise,
                 seed=spec.seed,
@@ -501,9 +552,10 @@ class Workspace:
                 parallel=parallel,
                 stack=stack,
                 system_name=system.name,
-                gate_kind=gate,
+                gate_kind=gates[0],
                 plan=plan,
                 makespan_ms=plan.makespan_ms(),
+                gate_kinds=gates if len(set(gates)) > 1 else None,
             )
 
         if max_workers is None:

@@ -9,7 +9,11 @@
 * :mod:`~repro.core.cases` -- the four schedule cases, their closed-form
   time objectives and the overlappable-time formulas of §5.2;
 * :mod:`~repro.core.pipeline_degree` -- Algorithm 1
-  (``FindOptimalPipelineDegree``) solved with SLSQP;
+  (``FindOptimalPipelineDegree``): solver dispatch between the batched
+  exact sweep and the paper's SLSQP relaxation;
+* :mod:`~repro.core.fastsolve` -- the vectorized batched Algorithm-1
+  solver (every integer degree of every context in one array pass),
+  with a bounded process-wide memo and exact counters;
 * :mod:`~repro.core.gradient_partition` -- the two-step adaptive gradient
   partitioning of §5 (greedy fill + differential evolution);
 * :mod:`~repro.core.schedules` -- task-graph builders for every schedule in
@@ -21,12 +25,30 @@
 
 from .perf_model import LinearPerfModel, PerfModelSet, fit_linear_model
 from .profiler import ProfileResult, profile_cluster
-from .constraints import PipelineContext
-from .cases import Case, analytic_time, classify, overlappable_time
+from .constraints import ContextArrays, PipelineContext
+from .cases import (
+    Case,
+    analytic_time,
+    analytic_time_batch,
+    classify,
+    classify_batch,
+    overlappable_time,
+)
 from .pipeline_degree import (
+    DEGREE_SOLVERS,
     DegreeSolution,
     find_optimal_pipeline_degree,
+    get_default_degree_solver,
     oracle_integer_degree,
+    set_default_degree_solver,
+    solve_degrees,
+)
+from .fastsolve import (
+    SolverStats,
+    clear_solver_cache,
+    solve_degree,
+    solve_degrees_batch,
+    solver_stats,
 )
 from .gradient_partition import (
     STEP2_SOLVERS,
@@ -44,12 +66,24 @@ __all__ = [
     "ProfileResult",
     "profile_cluster",
     "PipelineContext",
+    "ContextArrays",
     "Case",
     "classify",
+    "classify_batch",
     "analytic_time",
+    "analytic_time_batch",
     "overlappable_time",
     "DegreeSolution",
+    "DEGREE_SOLVERS",
     "find_optimal_pipeline_degree",
+    "get_default_degree_solver",
+    "set_default_degree_solver",
+    "solve_degrees",
+    "solve_degree",
+    "solve_degrees_batch",
+    "SolverStats",
+    "solver_stats",
+    "clear_solver_cache",
     "oracle_integer_degree",
     "GarPlacement",
     "GeneralizedLayer",

@@ -21,8 +21,10 @@ from __future__ import annotations
 
 import enum
 
+import numpy as np
+
 from ..errors import SolverError
-from .constraints import PipelineContext
+from .constraints import ContextArrays, PipelineContext
 
 
 class Case(enum.Enum):
@@ -74,6 +76,81 @@ def case_time(ctx: PipelineContext, r: float, case: Case) -> float:
 def analytic_time(ctx: PipelineContext, r: float) -> float:
     """MoE-layer time at degree ``r`` using the applicable case formula."""
     return case_time(ctx, r, classify(ctx, r))
+
+
+def classify_batch(arrays: ContextArrays, r: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`classify`: case *values* for every (context, r).
+
+    Args:
+        arrays: column-packed contexts.
+        r: degrees, broadcast-compatible with the ``(n_ctx, 1)`` columns
+            (typically a ``(1, n_r)`` row).
+
+    Returns:
+        An integer array of :class:`Case` values (1-4) with the broadcast
+        shape ``(n_ctx, n_r)``.  Each element follows the same decision
+        tree as the scalar path, on bit-identical margins.
+    """
+    q1 = arrays.q1_margin(r) > 0
+    q2 = arrays.q2_margin(r) > 0
+    q3 = arrays.q3_margin(r) > 0
+    q4 = arrays.q4_margin(r) > 0
+    q5 = arrays.q5_margin(r) > 0
+    q6 = arrays.q6_margin(r) > 0
+    q7 = arrays.q7_margin(r) > 0
+    return np.where(
+        q1,
+        np.where(
+            q2,
+            np.where(q5, Case.CASE1.value, Case.CASE2.value),
+            np.where(q4, Case.CASE1.value, Case.CASE3.value),
+        ),
+        np.where(
+            q3,
+            np.where(q7, Case.CASE1.value, Case.CASE2.value),
+            np.where(q6, Case.CASE1.value, Case.CASE4.value),
+        ),
+    )
+
+
+def case_times_batch(
+    arrays: ContextArrays, r: np.ndarray
+) -> dict[Case, np.ndarray]:
+    """All four closed-form case times for every (context, r) pair.
+
+    The expressions mirror :func:`case_time` term-for-term, so each
+    element equals the scalar result bit-for-bit.
+    """
+    t_a2a = arrays.t_a2a(r)
+    t_ag = arrays.t_ag(r)
+    t_rs = arrays.t_rs(r)
+    t_exp = arrays.t_exp(r)
+    return {
+        Case.CASE1: 2.0 * r * t_a2a + arrays.t_gar,
+        Case.CASE2: 2.0 * t_a2a + t_ag + t_rs + r * t_exp,
+        Case.CASE3: 2.0 * r * t_a2a + t_ag + t_rs,
+        Case.CASE4: 2.0 * t_a2a + r * (t_ag + t_rs),
+    }
+
+
+def analytic_time_batch(
+    arrays: ContextArrays, r: np.ndarray, *, cases: np.ndarray | None = None
+) -> np.ndarray:
+    """Vectorized :func:`analytic_time` over every (context, degree) pair.
+
+    Args:
+        arrays: column-packed contexts.
+        r: degrees (broadcast-compatible, typically a ``(1, n_r)`` row).
+        cases: optional precomputed :func:`classify_batch` result, to
+            avoid classifying twice when the caller needs both.
+    """
+    if cases is None:
+        cases = classify_batch(arrays, r)
+    times = case_times_batch(arrays, r)
+    out = times[Case.CASE1]
+    for case in (Case.CASE2, Case.CASE3, Case.CASE4):
+        out = np.where(cases == case.value, times[case], out)
+    return out
 
 
 def overlappable_time(ctx: PipelineContext, r: float) -> float:

@@ -5,11 +5,22 @@ and decides which resource dominates the schedule.  They are exposed both
 as booleans (for case classification) and as signed margins (for use as
 smooth SLSQP inequality constraints: ``margin >= 0`` iff the predicate
 holds).
+
+:class:`ContextArrays` is the vectorized counterpart: a batch of
+contexts packed into ``(n_ctx, 1)`` coefficient columns whose op times
+and margins broadcast against a ``(1, n_r)`` row of degrees, giving the
+batched solver (:mod:`repro.core.fastsolve`) every ``(context, degree)``
+combination in one array pass.  The array formulas are written
+expression-for-expression like the scalar ones, so each element is the
+bit-identical IEEE result of the scalar path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Sequence
+
+import numpy as np
 
 from .perf_model import LinearPerfModel, PerfModelSet
 
@@ -134,6 +145,138 @@ class PipelineContext:
     def q7(self, r: float) -> bool:
         """Boolean Q7 at degree ``r``."""
         return self.q7_margin(r) > 0
+
+
+def _column(values: Sequence[float]) -> np.ndarray:
+    """Pack per-context scalars into an ``(n_ctx, 1)`` float column."""
+    return np.asarray(values, dtype=float).reshape(-1, 1)
+
+
+@dataclass(frozen=True)
+class ContextArrays:
+    """A batch of :class:`PipelineContext` packed for array evaluation.
+
+    Every field is an ``(n_ctx, 1)`` column; methods take degrees ``r``
+    as a ``(1, n_r)`` row (or any broadcast-compatible array) and return
+    ``(n_ctx, n_r)`` matrices.  Build one with :meth:`pack`.
+    """
+
+    a2a_alpha: np.ndarray
+    a2a_beta: np.ndarray
+    n_a2a: np.ndarray
+    ag_alpha: np.ndarray
+    ag_beta: np.ndarray
+    n_ag: np.ndarray
+    rs_alpha: np.ndarray
+    rs_beta: np.ndarray
+    n_rs: np.ndarray
+    exp_alpha: np.ndarray
+    exp_beta: np.ndarray
+    n_exp: np.ndarray
+    t_gar: np.ndarray
+
+    @classmethod
+    def pack(cls, ctxs: Sequence[PipelineContext]) -> "ContextArrays":
+        """Column-pack a sequence of contexts (one row per context)."""
+        return cls(
+            a2a_alpha=_column([c.a2a.alpha for c in ctxs]),
+            a2a_beta=_column([c.a2a.beta for c in ctxs]),
+            n_a2a=_column([c.n_a2a for c in ctxs]),
+            ag_alpha=_column([c.ag.alpha for c in ctxs]),
+            ag_beta=_column([c.ag.beta for c in ctxs]),
+            n_ag=_column([c.n_ag for c in ctxs]),
+            rs_alpha=_column([c.rs.alpha for c in ctxs]),
+            rs_beta=_column([c.rs.beta for c in ctxs]),
+            n_rs=_column([c.n_rs for c in ctxs]),
+            exp_alpha=_column([c.exp.alpha for c in ctxs]),
+            exp_beta=_column([c.exp.beta for c in ctxs]),
+            n_exp=_column([c.n_exp for c in ctxs]),
+            t_gar=_column([c.t_gar for c in ctxs]),
+        )
+
+    def __len__(self) -> int:
+        return self.n_a2a.shape[0]
+
+    # -- chunked op times (vectorized Eq. 1) ---------------------------------
+    # Zero-size operations cost nothing, exactly like
+    # LinearPerfModel.chunk_time_ms.
+
+    def t_a2a(self, r: np.ndarray) -> np.ndarray:
+        """Per-chunk AlltoAll times at degrees ``r``."""
+        return np.where(
+            self.n_a2a > 0,
+            self.a2a_alpha + (self.n_a2a / r) * self.a2a_beta,
+            0.0,
+        )
+
+    def t_ag(self, r: np.ndarray) -> np.ndarray:
+        """Per-chunk ESP-AllGather times at degrees ``r``."""
+        return np.where(
+            self.n_ag > 0,
+            self.ag_alpha + (self.n_ag / r) * self.ag_beta,
+            0.0,
+        )
+
+    def t_rs(self, r: np.ndarray) -> np.ndarray:
+        """Per-chunk ESP-ReduceScatter times at degrees ``r``."""
+        return np.where(
+            self.n_rs > 0,
+            self.rs_alpha + (self.n_rs / r) * self.rs_beta,
+            0.0,
+        )
+
+    def t_exp(self, r: np.ndarray) -> np.ndarray:
+        """Per-chunk expert-computation times at degrees ``r``."""
+        return np.where(
+            self.n_exp > 0,
+            self.exp_alpha + (self.n_exp / r) * self.exp_beta,
+            0.0,
+        )
+
+    # -- constraint margins ---------------------------------------------------
+    # Formula-for-formula copies of the scalar margins above.
+
+    def q1_margin(self, r: np.ndarray) -> np.ndarray:
+        """Q1: AlltoAll slower than AllGather on a chunk."""
+        return self.t_a2a(r) - self.t_ag(r)
+
+    def q2_margin(self, r: np.ndarray) -> np.ndarray:
+        """Q2: expert computation exceeds interior AlltoAll communication."""
+        return r * self.t_exp(r) - 2.0 * (r - 1.0) * self.t_a2a(r)
+
+    def q3_margin(self, r: np.ndarray) -> np.ndarray:
+        """Q3: expert computation exceeds interior intra-node communication."""
+        return r * self.t_exp(r) - (r - 1.0) * (self.t_ag(r) + self.t_rs(r))
+
+    def q4_margin(self, r: np.ndarray) -> np.ndarray:
+        """Q4: Gradient-AllReduce exceeds one AG + RS chunk pair."""
+        return self.t_gar - (self.t_ag(r) + self.t_rs(r))
+
+    def q5_margin(self, r: np.ndarray) -> np.ndarray:
+        """Q5: Gradient-AllReduce fills the expert-dominated bubble."""
+        return self.t_gar - (
+            r * self.t_exp(r)
+            - 2.0 * (r - 1.0) * self.t_a2a(r)
+            + self.t_ag(r)
+            + self.t_rs(r)
+        )
+
+    def q6_margin(self, r: np.ndarray) -> np.ndarray:
+        """Q6: Gradient-AllReduce fills the intra-dominated bubble."""
+        return self.t_gar - (
+            r * self.t_ag(r)
+            + r * self.t_rs(r)
+            - 2.0 * (r - 1.0) * self.t_a2a(r)
+        )
+
+    def q7_margin(self, r: np.ndarray) -> np.ndarray:
+        """Q7: Gradient-AllReduce fills the mixed bubble (not-Q1, Q3)."""
+        return self.t_gar - (
+            self.t_ag(r)
+            + self.t_rs(r)
+            + r * self.t_exp(r)
+            - 2.0 * (r - 1.0) * self.t_a2a(r)
+        )
 
 
 def context_from_volumes(

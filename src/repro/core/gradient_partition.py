@@ -27,6 +27,7 @@ construction.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 from scipy.optimize import differential_evolution, minimize
@@ -38,7 +39,7 @@ from .perf_model import LinearPerfModel
 from .pipeline_degree import (
     DEFAULT_MAX_DEGREE,
     DegreeSolution,
-    find_optimal_pipeline_degree,
+    solve_degrees,
 )
 
 #: Step-2 solver choices accepted by :func:`plan_gradient_partition`.
@@ -178,12 +179,22 @@ class GradientPartitionPlan:
         return sum(s.time_ms for s in self.solutions) + self.tail_ms
 
 
-def _moe_window_ms(ctx: PipelineContext, r_max: int, merged_comm: bool) -> float:
-    """Overlappable inter-node idle time of one layer at its t_gar=0 degree."""
-    solution = find_optimal_pipeline_degree(ctx.with_t_gar(0.0), r_max=r_max)
-    if merged_comm:
-        return overlappable_time_merged_comm(ctx, float(solution.degree))
-    return overlappable_time(ctx, float(solution.degree))
+def _moe_windows_ms(
+    layers: tuple[GeneralizedLayer, ...], r_max: int, merged_comm: bool
+) -> tuple[float, ...]:
+    """Overlappable inter-node idle time per layer at its t_gar=0 degree.
+
+    All layers' zero-GAR Algorithm-1 solves go through one batched call.
+    """
+    zero_ctxs = [layer.ctx.with_t_gar(0.0) for layer in layers]
+    solutions = solve_degrees(zero_ctxs, r_max)
+    window = (
+        overlappable_time_merged_comm if merged_comm else overlappable_time
+    )
+    return tuple(
+        window(layer.ctx, float(solution.degree))
+        for layer, solution in zip(layers, solutions)
+    )
 
 
 def _step1_fill(
@@ -224,7 +235,10 @@ class _MoETimeInterpolator:
     ``f_moe`` (Algorithm 1's optimal layer time as a function of injected
     AllReduce time) is continuous and non-decreasing; a 33-point grid per
     context keeps the differential-evolution objective cheap even for
-    33-layer models where every layer shares one context.
+    33-layer models where every layer shares one context.  All curves of
+    a solve are prebuilt with :meth:`prepare` -- every distinct layer
+    context x grid point lands in one batched Algorithm-1 call, so the
+    DE/SLSQP objective only ever interpolates.
     """
 
     GRID_POINTS = 33
@@ -232,27 +246,33 @@ class _MoETimeInterpolator:
     def __init__(self, r_max: int, t_gar_max: float) -> None:
         self._r_max = r_max
         self._t_max = max(t_gar_max, 1e-9)
-        self._curves: dict[PipelineContext, tuple[np.ndarray, np.ndarray]] = {}
+        self._grid = np.linspace(0.0, self._t_max, self.GRID_POINTS)
+        self._curves: dict[PipelineContext, np.ndarray] = {}
 
-    def _curve(self, ctx: PipelineContext) -> tuple[np.ndarray, np.ndarray]:
-        key = ctx
-        if key not in self._curves:
-            grid = np.linspace(0.0, self._t_max, self.GRID_POINTS)
-            times = np.array(
-                [
-                    find_optimal_pipeline_degree(
-                        ctx.with_t_gar(float(t)), r_max=self._r_max
-                    ).time_ms
-                    for t in grid
-                ]
-            )
-            self._curves[key] = (grid, times)
-        return self._curves[key]
+    def prepare(self, ctxs: Sequence[PipelineContext]) -> None:
+        """Build the curves of every distinct uncached context at once."""
+        pending = [
+            ctx for ctx in dict.fromkeys(ctxs) if ctx not in self._curves
+        ]
+        if not pending:
+            return
+        batched = [
+            ctx.with_t_gar(float(t)) for ctx in pending for t in self._grid
+        ]
+        solutions = solve_degrees(batched, self._r_max)
+        times = np.array([s.time_ms for s in solutions]).reshape(
+            len(pending), self.GRID_POINTS
+        )
+        for i, ctx in enumerate(pending):
+            self._curves[ctx] = times[i]
 
     def time_ms(self, ctx: PipelineContext, t_gar: float) -> float:
         """Interpolated optimal layer time at ``t_gar``."""
-        grid, times = self._curve(ctx)
-        return float(np.interp(t_gar, grid, times))
+        times = self._curves.get(ctx)
+        if times is None:
+            self.prepare((ctx,))
+            times = self._curves[ctx]
+        return float(np.interp(t_gar, self._grid, times))
 
 
 def _repair(
@@ -317,9 +337,7 @@ def plan_gradient_partition(
     layer_tuple = tuple(layers)
     n = len(layer_tuple)
 
-    moe_windows_ms = tuple(
-        _moe_window_ms(layer.ctx, r_max, merged_comm) for layer in layer_tuple
-    )
+    moe_windows_ms = _moe_windows_ms(layer_tuple, r_max, merged_comm)
     moe_window_bytes, dense_window_bytes, residual_before = _step1_fill(
         layer_tuple, ar_model, moe_windows_ms
     )
@@ -335,6 +353,7 @@ def plan_gradient_partition(
                 max(moe_window_bytes) + residual_cap
             )
             interp = _MoETimeInterpolator(r_max, t_gar_max)
+            interp.prepare([layer.ctx for layer in layer_tuple])
 
             def objective_bytes(proposal: np.ndarray) -> float:
                 assigned = float(np.sum(proposal))
@@ -400,11 +419,12 @@ def plan_gradient_partition(
         ar_model.time_ms(moe_window_bytes[i] + float(extra[i]))
         for i in range(n)
     )
-    solutions = tuple(
-        find_optimal_pipeline_degree(
-            layer_tuple[i].ctx.with_t_gar(t_gar_ms[i]), r_max=r_max
-        )
-        for i in range(n)
+    solutions = solve_degrees(
+        [
+            layer_tuple[i].ctx.with_t_gar(t_gar_ms[i])
+            for i in range(n)
+        ],
+        r_max,
     )
     return GradientPartitionPlan(
         placement=GarPlacement(

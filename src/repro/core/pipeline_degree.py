@@ -1,24 +1,34 @@
 """Algorithm 1: ``FindOptimalPipelineDegree`` (paper §4.3).
 
-Each of the four case objectives is minimized over the pipeline degree
-``r`` with SLSQP, subject to the case's region constraints.  A case region
-is a union of conjunctions of Q1-Q7 predicates; each conjunction becomes a
-separate smooth sub-problem (the margins of
-:class:`~repro.core.constraints.PipelineContext` are differentiable in
-``r``).  The best feasible candidate across all cases wins, and is then
-rounded to the best neighbouring integer degree under the exact
-decision-tree time :func:`~repro.core.cases.analytic_time`.
+Two interchangeable solvers produce the integer pipeline degree:
 
-The paper notes the whole procedure runs once before training (~193 ms per
-configuration with SLSQP); this implementation is comparably cheap.
+* ``"batch"`` (default) -- the vectorized exact sweep of
+  :mod:`repro.core.fastsolve`: every integer degree of every context is
+  evaluated with the closed-form decision-tree time in one array pass.
+  Exact (identical to :func:`oracle_integer_degree`) and ~4 orders of
+  magnitude cheaper per context than SLSQP.
+* ``"slsqp"`` -- the paper's continuous relaxation, kept for
+  cross-checking: each of the four case objectives is minimized over
+  ``r`` with SLSQP, subject to the case's region constraints (a case
+  region is a union of conjunctions of Q1-Q7 predicates; each
+  conjunction becomes a separate smooth sub-problem), and the best
+  feasible candidate is rounded to its best neighbouring integer degree
+  under the exact decision-tree time.
+
+The process-wide default is ``"batch"``; override per call with the
+``solver=`` argument, per process with :func:`set_default_degree_solver`
+or the ``REPRO_DEGREE_SOLVER`` environment variable (how the cold-plan
+benchmark measures the SLSQP path end-to-end).
 """
 
 from __future__ import annotations
 
 import functools
 import math
+import os
 import warnings
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 from scipy.optimize import minimize
@@ -32,7 +42,42 @@ from .constraints import PipelineContext
 #: startup costs.
 DEFAULT_MAX_DEGREE = 16
 
+#: accepted values of the ``solver=`` argument / process default.
+DEGREE_SOLVERS = ("batch", "slsqp")
+
 _CONSTRAINT_TOL = 1e-7
+
+_default_solver = os.environ.get("REPRO_DEGREE_SOLVER", "batch")
+
+
+def set_default_degree_solver(solver: str) -> str:
+    """Set the process-wide Algorithm-1 solver; returns the previous one.
+
+    Raises:
+        SolverError: for an unknown solver name.
+    """
+    global _default_solver
+    if solver not in DEGREE_SOLVERS:
+        raise SolverError(
+            f"unknown degree solver {solver!r}; choose from {DEGREE_SOLVERS}"
+        )
+    previous = _default_solver
+    _default_solver = solver
+    return previous
+
+
+def get_default_degree_solver() -> str:
+    """The process-wide Algorithm-1 solver currently in effect.
+
+    Raises:
+        SolverError: when ``REPRO_DEGREE_SOLVER`` named an unknown solver.
+    """
+    if _default_solver not in DEGREE_SOLVERS:
+        raise SolverError(
+            f"REPRO_DEGREE_SOLVER={_default_solver!r} is not a known "
+            f"degree solver; choose from {DEGREE_SOLVERS}"
+        )
+    return _default_solver
 
 
 @dataclass(frozen=True)
@@ -109,7 +154,10 @@ def _solve_branch(
 
 
 def find_optimal_pipeline_degree(
-    ctx: PipelineContext, r_max: int = DEFAULT_MAX_DEGREE
+    ctx: PipelineContext,
+    r_max: int = DEFAULT_MAX_DEGREE,
+    *,
+    solver: str | None = None,
 ) -> DegreeSolution:
     """Run Algorithm 1 and return the best integer pipeline degree.
 
@@ -121,13 +169,47 @@ def find_optimal_pipeline_degree(
         ctx: layer/phase performance context (``t_gar`` already set: zero
             in forward, partition-plan value in backward).
         r_max: inclusive upper bound on the degree (must be >= 1).
+        solver: ``"batch"`` (vectorized exact sweep) or ``"slsqp"`` (the
+            paper's continuous relaxation); None uses the process default.
 
     Raises:
-        SolverError: if ``r_max < 1``.
+        SolverError: if ``r_max < 1`` or the solver is unknown.
+    """
+    return solve_degrees((ctx,), r_max, solver=solver)[0]
+
+
+def solve_degrees(
+    ctxs: Sequence[PipelineContext],
+    r_max: int = DEFAULT_MAX_DEGREE,
+    *,
+    solver: str | None = None,
+) -> tuple[DegreeSolution, ...]:
+    """Algorithm-1 solutions for many contexts, batched when possible.
+
+    The ``"batch"`` solver evaluates the whole batch in one array pass
+    (:func:`~repro.core.fastsolve.solve_degrees_batch`); ``"slsqp"``
+    falls back to per-context solves through the memoized SLSQP path.
+    This is the single dispatch point every scheduling caller uses, so
+    flipping the process default really flips the whole pipeline.
+
+    Raises:
+        SolverError: if ``r_max < 1`` or the solver is unknown.
     """
     if r_max < 1:
         raise SolverError(f"r_max must be >= 1, got {r_max}")
-    return _find_optimal_cached(ctx, r_max)
+    if solver is None:
+        solver = get_default_degree_solver()
+    if solver == "batch":
+        # Imported lazily: fastsolve consumes DegreeSolution from this
+        # module, so a top-level import would be circular.
+        from .fastsolve import solve_degrees_batch
+
+        return solve_degrees_batch(ctxs, r_max)
+    if solver == "slsqp":
+        return tuple(_find_optimal_cached(ctx, r_max) for ctx in ctxs)
+    raise SolverError(
+        f"unknown degree solver {solver!r}; choose from {DEGREE_SOLVERS}"
+    )
 
 
 @functools.lru_cache(maxsize=65536)

@@ -33,7 +33,7 @@ from .perf_model import PerfModelSet
 from .pipeline_degree import (
     DEFAULT_MAX_DEGREE,
     DegreeSolution,
-    find_optimal_pipeline_degree,
+    solve_degrees,
 )
 
 
@@ -166,8 +166,9 @@ class GenericScheduler:
     ) -> LayerScheduleReport:
         """Back-end: run Algorithm 1 per phase and report the decisions."""
         profile = self.profile(spec, gate_kind=gate_kind)
-        fw = find_optimal_pipeline_degree(profile.ctx_fw, r_max=self.r_max)
-        bw = find_optimal_pipeline_degree(profile.ctx_bw, r_max=self.r_max)
+        fw, bw = solve_degrees(
+            (profile.ctx_fw, profile.ctx_bw), self.r_max
+        )
         return LayerScheduleReport(
             profile=profile,
             forward=fw,

@@ -40,9 +40,12 @@ class PlanPoint:
         parallel: the layout the plan was compiled for.
         stack: per-layer specs of the planned iteration.
         system_name: the training system's display name.
-        gate_kind: routing function used for the timing profiles.
+        gate_kind: routing function used for the timing profiles (the
+            first layer's, for stacks with per-layer overrides).
         plan: the compiled, serializable iteration plan.
         makespan_ms: simulated iteration time of the plan.
+        gate_kinds: per-layer routing functions, when they differ from a
+            uniform ``gate_kind`` (None for homogeneous gating).
     """
 
     cluster: ClusterSpec
@@ -52,10 +55,15 @@ class PlanPoint:
     gate_kind: GateKind
     plan: IterationPlan
     makespan_ms: float
+    gate_kinds: tuple[GateKind, ...] | None = None
 
     def row(self) -> dict[str, object]:
         """Flat dict view for tables / pandas post-processing."""
         first = self.stack[0]
+        if self.gate_kinds is not None:
+            gate = ",".join(kind.value for kind in self.gate_kinds)
+        else:
+            gate = self.gate_kind.value
         return {
             "cluster": self.cluster.name,
             "system": self.system_name,
@@ -66,7 +74,7 @@ class PlanPoint:
             "embed_dim": first.embed_dim,
             "num_experts": first.num_experts,
             "top_k": first.top_k,
-            "gate_kind": self.gate_kind.value,
+            "gate_kind": gate,
             "makespan_ms": self.makespan_ms,
         }
 

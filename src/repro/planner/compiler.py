@@ -26,7 +26,7 @@ from typing import Sequence
 
 from ..config import MoELayerSpec, ParallelSpec, standard_layout
 from ..core.perf_model import PerfModelSet
-from ..core.pipeline_degree import DEFAULT_MAX_DEGREE
+from ..core.pipeline_degree import DEFAULT_MAX_DEGREE, solve_degrees
 from ..core.profiler import ProfileResult
 from ..errors import ConfigError
 from ..models.transformer import LayerProfile
@@ -204,6 +204,14 @@ class PlanCompiler:
         profiles = self.resolve_stack(
             stack, gate_kind=gate_kind, routing_overhead=routing_overhead
         )
+        # Batch-solve every distinct layer context the system will ask
+        # Algorithm 1 about -- one vectorized pass instead of one solve
+        # per layer; the solver memo serves the per-layer lookups below.
+        contexts = getattr(system, "schedule_contexts", lambda _: ())(
+            profiles
+        )
+        if contexts:
+            solve_degrees(contexts, getattr(system, "r_max", self.r_max))
         spec = system.build_iteration_spec(profiles, self.models, include_gar)
         return IterationPlan.from_spec(spec)
 

@@ -32,6 +32,17 @@ class TrainingSystem(abc.ABC):
     def __init__(self, r_max: int = DEFAULT_MAX_DEGREE) -> None:
         self.r_max = r_max
 
+    def schedule_contexts(self, profiles: Sequence[LayerProfile]) -> tuple:
+        """Pipeline contexts this system will hand to Algorithm 1.
+
+        The plan compiler batch-solves these in one vectorized pass
+        before :meth:`build_iteration_spec` runs, so a heterogeneous
+        stack costs one array evaluation instead of one solve per layer.
+        Systems that never consult Algorithm 1 (the fixed-degree
+        baselines) return the default empty tuple.
+        """
+        return ()
+
     def fingerprint(self) -> tuple:
         """Plain-data identity of this system *configuration*.
 

@@ -1,8 +1,9 @@
 """FSMoE: the paper's full system, and its No-IIO ablation.
 
-* per-phase pipeline degrees from Algorithm 1 (SLSQP over the four case
-  objectives) -- forward with ``t_gar = 0``, backward with the AllReduce
-  time the partition plan injects;
+* per-phase pipeline degrees from Algorithm 1 (the batched exact sweep
+  of :mod:`repro.core.fastsolve`; SLSQP kept for cross-checking) --
+  forward with ``t_gar = 0``, backward with the AllReduce time the
+  partition plan injects;
 * adaptive gradient partitioning (§5): window fill + differential
   evolution over the residual;
 * three streams (compute / intra-node / inter-node) so ESP collectives
@@ -25,7 +26,7 @@ from ..core.gradient_partition import (
     plan_gradient_partition,
 )
 from ..core.perf_model import PerfModelSet
-from ..core.pipeline_degree import DEFAULT_MAX_DEGREE, find_optimal_pipeline_degree
+from ..core.pipeline_degree import DEFAULT_MAX_DEGREE, solve_degrees
 from ..core.schedules import (
     GarMode,
     IterationSpec,
@@ -39,16 +40,6 @@ from ..errors import SolverError
 from ..models.transformer import LayerProfile
 from ..sim.engine import simulate
 from .base import TrainingSystem
-
-
-@functools.lru_cache(maxsize=4096)
-def _forward_degree(profile: LayerProfile, r_max: int) -> int:
-    return find_optimal_pipeline_degree(profile.ctx_fw, r_max=r_max).degree
-
-
-@functools.lru_cache(maxsize=4096)
-def _backward_degree_no_gar(profile: LayerProfile, r_max: int) -> int:
-    return find_optimal_pipeline_degree(profile.ctx_bw, r_max=r_max).degree
 
 
 @functools.lru_cache(maxsize=1024)
@@ -107,20 +98,35 @@ class FSMoE(TrainingSystem):
         """Cache identity: the base fingerprint plus the Step-2 solver."""
         return super().fingerprint() + ("solver", self.solver)
 
+    def schedule_contexts(self, profiles: Sequence[LayerProfile]) -> tuple:
+        """Both phases of every layer feed Algorithm 1."""
+        return tuple(p.ctx_fw for p in profiles) + tuple(
+            p.ctx_bw for p in profiles
+        )
+
     def _phase_degrees(
         self,
         profiles: tuple[LayerProfile, ...],
         models: PerfModelSet,
         plan: GradientPartitionPlan | None,
     ) -> tuple[tuple[int, ...], tuple[int, ...]]:
-        """Per-layer (forward, backward) degrees from Algorithm 1."""
-        fw = tuple(_forward_degree(p, self.r_max) for p in profiles)
+        """Per-layer (forward, backward) degrees from Algorithm 1.
+
+        A heterogeneous stack is one batched solve: every layer's
+        contexts (forward, and backward when no partition plan supplies
+        them) go through a single :func:`solve_degrees` call; the
+        solver's memo deduplicates repeated layers.
+        """
+        contexts = [p.ctx_fw for p in profiles]
+        if plan is None:
+            contexts += [p.ctx_bw for p in profiles]
+        solutions = solve_degrees(contexts, self.r_max)
+        n = len(profiles)
+        fw = tuple(s.degree for s in solutions[:n])
         if plan is not None:
             bw = tuple(s.degree for s in plan.solutions)
         else:
-            bw = tuple(
-                _backward_degree_no_gar(p, self.r_max) for p in profiles
-            )
+            bw = tuple(s.degree for s in solutions[n:])
         return fw, bw
 
     def build_iteration_spec(

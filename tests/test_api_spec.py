@@ -87,6 +87,56 @@ class TestStackSpec:
         stack = StackSpec.of(layer(), num_layers=4)
         assert stack.num_layers == 4 and stack.layers == (layer(),)
 
+    def test_per_layer_gates_round_trip(self):
+        stack = StackSpec(
+            layers=(layer(), layer(embed_dim=1024)),
+            gates=("xmoe", "gshard"),
+        )
+        data = stack.to_data()
+        assert data["gates"] == ["xmoe", "gshard"]
+        assert StackSpec.from_data(data) == stack
+        spec = ExperimentSpec(
+            name="gates", clusters=("B",), systems=("fsmoe",), stacks=(stack,)
+        )
+        assert ExperimentSpec.from_json(spec.to_json()) == spec
+
+    def test_gates_resolve_per_layer(self):
+        from repro import GateKind
+
+        stack = StackSpec(
+            layers=(layer(), layer(embed_dim=1024)),
+            gates=("xmoe", "expert_choice"),
+        )
+        assert stack.resolve_gates(2, GateKind.GSHARD) == (
+            GateKind.XMOE,
+            GateKind.EXPERT_CHOICE,
+        )
+        # A single gate string covers the whole (replicated) stack.
+        single = StackSpec(layers=(layer(),), num_layers=3, gates="sigmoid")
+        assert single.gates == ("sigmoid",)
+        assert single.resolve_gates(3, GateKind.GSHARD) == (
+            GateKind.SIGMOID,
+        ) * 3
+        # No override falls back to the experiment-level default.
+        plain = StackSpec(layers=(layer(),), num_layers=2)
+        assert plain.resolve_gates(2, GateKind.GSHARD) == (
+            GateKind.GSHARD,
+        ) * 2
+
+    def test_gates_depth_mismatch_rejected(self):
+        from repro import GateKind
+
+        stack = StackSpec(
+            layers=(layer(), layer(embed_dim=1024)),
+            gates=("xmoe", "gshard"),
+        )
+        with pytest.raises(ConfigError, match="gates"):
+            stack.resolve_gates(3, GateKind.GSHARD)
+
+    def test_unknown_gate_override_rejected(self):
+        with pytest.raises(ConfigError, match="unknown gate"):
+            StackSpec(layers=(layer(),), gates=("topk",))
+
 
 class TestExperimentSpec:
     def spec(self, **overrides) -> ExperimentSpec:

@@ -189,6 +189,53 @@ class TestBenchAndCache:
         assert main(["cache", "--workspace", ws]) == 0
         assert "plan_entries: 0" in capsys.readouterr().out
 
+    def test_cache_gc_evicts_stale_plans(self, tmp_path, spec_file, capsys):
+        import os
+
+        ws = tmp_path / "ws"
+        main(["sweep", str(spec_file), "--workspace", str(ws)])
+        capsys.readouterr()
+        plans = sorted((ws / "plans").glob("*.json"))
+        stale = plans[0]
+        old = 10 * 86400
+        os.utime(stale, (stale.stat().st_atime - old,
+                         stale.stat().st_mtime - old))
+
+        assert main(["cache", "--workspace", str(ws), "--gc", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "removed 1 plan file(s)" in out and "kept 1" in out
+        assert not stale.exists()
+
+        assert main(["cache", "--workspace", str(ws)]) == 0
+        assert "plan_entries: 1" in capsys.readouterr().out
+
+    def test_cache_clear_refuses_gc_combination(
+        self, tmp_path, spec_file, capsys
+    ):
+        ws = tmp_path / "ws"
+        main(["sweep", str(spec_file), "--workspace", str(ws)])
+        capsys.readouterr()
+        code = main(
+            ["cache", "clear", "--workspace", str(ws), "--gc", "7"]
+        )
+        assert code == 2
+        assert "--gc cannot be combined" in capsys.readouterr().err
+        # Nothing was deleted by the refused command.
+        assert len(list((ws / "plans").glob("*.json"))) == 2
+
+    def test_cache_gc_missing_workspace_errors(self, tmp_path, capsys):
+        code = main(
+            ["cache", "--workspace", str(tmp_path / "nope"), "--gc", "7"]
+        )
+        assert code == 2
+
+    def test_cache_info_reports_solver_stats(self, tmp_path, spec_file, capsys):
+        ws = str(tmp_path / "ws")
+        main(["sweep", str(spec_file), "--workspace", ws])
+        capsys.readouterr()
+        assert main(["cache", "info", "--workspace", ws]) == 0
+        assert "degree_solver:" in capsys.readouterr().out
+
     def test_cache_clear_recovers_schema_mismatch(
         self, tmp_path, spec_file, capsys
     ):

@@ -145,6 +145,85 @@ class TestWorkspaceBasics:
         assert ws.stats.plan_misses == 2
 
 
+class TestSweepGateOverrides:
+    def test_per_layer_gates_change_the_plan(self, tmp_path):
+        ws = Workspace(tmp_path / "ws")
+        uniform = ws.sweep(tiny_spec(systems=("fsmoe",)))
+        overridden = ws.sweep(
+            tiny_spec(
+                systems=("fsmoe",),
+                stacks=(
+                    StackSpec(
+                        layers=(
+                            MoELayerSpec(
+                                batch_size=1,
+                                seq_len=256,
+                                embed_dim=512,
+                                num_experts=8,
+                                num_heads=8,
+                            ),
+                        ),
+                        num_layers=2,
+                        gates=("xmoe", "expert_choice"),
+                    ),
+                ),
+            )
+        )
+        # Distinct gating is a distinct plan identity (no false cache hit).
+        assert ws.stats.plan_misses == 2
+        row = overridden.points[0].row()
+        assert row["gate_kind"] == "xmoe,expert_choice"
+        assert uniform.points[0].row()["gate_kind"] == "gshard"
+
+    def test_stats_expose_solver_counters(self, tmp_path):
+        ws = Workspace(tmp_path / "ws")
+        ws.sweep(tiny_spec(systems=("fsmoe",)))
+        solver = ws.stats.solver
+        assert solver.solves > 0
+        assert solver.batch_calls > 0
+        assert solver.max_batch_size >= 1
+
+
+class TestPlanGC:
+    def test_gc_evicts_only_stale_plan_files(self, tmp_path):
+        root = tmp_path / "ws"
+        ws = Workspace(root)
+        ws.sweep(tiny_spec())
+        plans = sorted((root / "plans").glob("*.json"))
+        assert len(plans) == 2
+        stale = plans[0]
+        old = 10 * 86400
+        os.utime(stale, (stale.stat().st_atime - old,
+                         stale.stat().st_mtime - old))
+
+        swept = Workspace.gc_plans(root, max_age_days=7)
+        assert swept == {"removed": 1, "kept": 1}
+        assert not stale.exists() and plans[1].exists()
+
+        # Nothing left to evict on a second pass.
+        assert Workspace.gc_plans(root, max_age_days=7) == {
+            "removed": 0,
+            "kept": 1,
+        }
+
+    def test_gc_rejects_negative_age(self, tmp_path):
+        from repro import ConfigError
+
+        with pytest.raises(ConfigError):
+            Workspace.gc_plans(tmp_path, max_age_days=-1)
+
+    def test_gc_age_zero_evicts_everything(self, tmp_path):
+        root = tmp_path / "ws"
+        ws = Workspace(root)
+        ws.sweep(tiny_spec())
+        old = 60  # any mtime in the past is older than "0 days"
+        for path in (root / "plans").glob("*.json"):
+            os.utime(path, (path.stat().st_atime - old,
+                            path.stat().st_mtime - old))
+        swept = Workspace.gc_plans(root, max_age_days=0)
+        assert swept["removed"] == 2 and swept["kept"] == 0
+
+
 class TestWorkspacePersistenceEdges:
     def test_cross_process_warm_start(self, tmp_path):
         """A second *process* re-running the sweep computes nothing new."""
