@@ -13,7 +13,9 @@ Mixture-of-Experts models.  This library rebuilds it end to end in Python:
   multi-stream discrete-event executor standing in for the paper's
   physical testbeds (:mod:`repro.parallel`, :mod:`repro.sim`);
 * the compared training systems and the full benchmark harness
-  (:mod:`repro.systems`, :mod:`repro.models`, :mod:`repro.bench`).
+  (:mod:`repro.systems`, :mod:`repro.models`, :mod:`repro.bench`);
+* disk-rooted experiment sessions and the concurrent plan-serving
+  layer over them (:mod:`repro.api`, :mod:`repro.serve`).
 
 Quickstart::
 
@@ -37,14 +39,19 @@ from .config import (
 )
 from .errors import (
     ConfigError,
+    LockTimeout,
+    QueueFullError,
     RegistryError,
     ReproError,
     ScheduleError,
+    ServiceClosedError,
+    ServiceError,
     ShapeError,
     SolverError,
     TopologyError,
     WorkspaceError,
 )
+from .locking import FileLock
 from .parallel import (
     ClusterSpec,
     TESTBEDS,
@@ -123,6 +130,12 @@ from .api import (
     get_cluster,
     register_cluster,
 )
+from .serve import (
+    Client,
+    PlanRequest,
+    PlanService,
+    ServiceStats,
+)
 
 __version__ = "1.0.0"
 
@@ -141,6 +154,12 @@ __all__ = [
     "ShapeError",
     "WorkspaceError",
     "RegistryError",
+    "LockTimeout",
+    "ServiceError",
+    "QueueFullError",
+    "ServiceClosedError",
+    # locking
+    "FileLock",
     # cluster
     "ClusterSpec",
     "TESTBEDS",
@@ -213,4 +232,9 @@ __all__ = [
     "ExperimentResult",
     "StackSpec",
     "ClusterRef",
+    # serving
+    "PlanService",
+    "PlanRequest",
+    "Client",
+    "ServiceStats",
 ]

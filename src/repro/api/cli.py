@@ -1,6 +1,6 @@
-"""``python -m repro``: plan, sweep, bench and cache from the shell.
+"""``python -m repro``: plan, sweep, bench, serve and cache from the shell.
 
-Four subcommands over the :class:`~repro.api.workspace.Workspace` API:
+Five subcommands over the :class:`~repro.api.workspace.Workspace` API:
 
 * ``plan``  -- compile one iteration plan; ``--json`` prints the exact
   :meth:`IterationPlan.to_json` document (replayable bit-identically).
@@ -10,12 +10,17 @@ Four subcommands over the :class:`~repro.api.workspace.Workspace` API:
   code, for CI.
 * ``bench`` -- evaluate a model preset across systems on a testbed and
   print the speedup table (the Fig. 6 shape, from the shell).
+* ``serve`` -- run a coalescing :class:`~repro.serve.PlanService` over
+  the workspace: ``--requests FILE`` answers a JSON-lines request
+  stream (``-`` for stdin) and prints one JSON result per line;
+  ``--demo N`` runs the closed-loop load generator and reports
+  coalesced throughput against the serial ``plan()`` loop.
 * ``cache`` -- inspect a workspace's on-disk caches (plus the process's
   degree-solver counters), ``--gc DAYS`` away stale plan files, or
   ``clear`` everything.
 
-Every subcommand takes ``--workspace PATH``; without it, ``plan`` and
-``bench`` run against a throwaway in-memory session.
+Every subcommand takes ``--workspace PATH``; without it, ``plan``,
+``bench`` and ``serve`` run against a throwaway in-memory session.
 """
 
 from __future__ import annotations
@@ -29,13 +34,13 @@ from pathlib import Path
 
 from ..bench.reporting import format_table
 from ..bench.runner import speedups_over
-from ..config import MoELayerSpec
+from ..config import MoELayerSpec, standard_layout
 from ..core.fastsolve import solver_stats
 from ..core.gradient_partition import STEP2_SOLVERS
-from ..errors import ReproError
+from ..errors import ConfigError, ReproError
 from ..models.configs import available_model_presets
 from ..moe.gates import GateKind
-from ..systems.registry import available_systems
+from ..systems.registry import available_systems, get_system
 from .registry import available_clusters
 from .spec import ClusterRef, ExperimentSpec, StackSpec
 from .workspace import Workspace, WorkspaceStats
@@ -281,6 +286,161 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _parse_request_line(line: str, line_no: int):
+    """One JSON-lines serve request -> (stack, system, cluster, gates).
+
+    Raises:
+        ConfigError: for invalid JSON or a malformed request document.
+    """
+    try:
+        data = json.loads(line)
+    except ValueError as exc:
+        raise ConfigError(
+            f"request line {line_no}: invalid JSON: {exc}"
+        ) from exc
+    if not isinstance(data, dict):
+        raise ConfigError(f"request line {line_no}: expected an object")
+    known = {
+        "cluster", "system", "stack", "gate", "solver", "r_max",
+        "routing_overhead", "noise", "seed",
+    }
+    unknown = set(data) - known
+    if unknown:
+        raise ConfigError(
+            f"request line {line_no}: unknown keys {sorted(unknown)}; "
+            f"expected a subset of {sorted(known)}"
+        )
+    for required in ("cluster", "system", "stack"):
+        if required not in data:
+            raise ConfigError(f"request line {line_no}: lacks {required!r}")
+    cluster = ClusterRef.from_data(data["cluster"]).resolve()
+    stack_spec = StackSpec.from_data(data["stack"])
+    parallel = standard_layout(cluster.total_gpus, cluster.gpus_per_node)
+    stack = stack_spec.resolve(parallel)
+    gates = stack_spec.resolve_gates(
+        len(stack), GateKind(data.get("gate", GateKind.GSHARD.value))
+    )
+    system = get_system(
+        data["system"],
+        r_max=data.get("r_max"),
+        solver=data.get("solver", "de"),
+    )
+    knobs = {
+        "routing_overhead": float(data.get("routing_overhead", 1.0)),
+        "noise": float(data.get("noise", 0.0)),
+        "seed": int(data.get("seed", 0)),
+    }
+    return stack, system, cluster, gates, knobs
+
+
+def _print_service_stats(stats, out) -> None:
+    print(
+        f"service: {stats.requests} requests, {stats.resolved} resolved, "
+        f"{stats.dedup_hits} dedup hits ({100.0 * stats.dedup_rate:.0f}%), "
+        f"{stats.batches} batches (largest {stats.max_batch}, mean "
+        f"{stats.mean_batch:.1f}), latency p50 {stats.p50_latency_ms:.2f} ms "
+        f"/ p95 {stats.p95_latency_ms:.2f} ms",
+        file=out,
+    )
+
+
+def _cmd_serve(args) -> int:
+    from ..serve import (
+        PlanRequest,
+        PlanService,
+        duplicate_heavy_requests,
+        run_serial_session,
+        run_service,
+    )
+
+    if (args.requests is None) == (args.demo is None):
+        print(
+            "error: serve needs exactly one of --requests and --demo",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.demo is not None:
+        requests = duplicate_heavy_requests(
+            total=args.demo, distinct=args.distinct
+        )
+        with contextlib.ExitStack() as resources:
+            if args.workspace is not None:
+                base = Path(args.workspace).expanduser()
+            else:
+                tmp = tempfile.TemporaryDirectory(prefix="repro-serve-")
+                resources.callback(tmp.cleanup)
+                base = Path(tmp.name)
+            serial = run_serial_session(requests, base / "demo-serial")
+            served = run_service(
+                requests,
+                base / "demo-service",
+                flush_ms=args.flush_ms,
+                capacity=args.capacity,
+                workers=args.workers,
+            )
+        identical = all(
+            a.to_json() == b.to_json()
+            for a, b in zip(serial.plans, served.plans)
+        )
+        speedup = serial.wall_s / served.wall_s if served.wall_s else 0.0
+        print(
+            f"demo: {len(requests)} requests, {args.distinct} distinct\n"
+            f"serial plan() loop: {serial.wall_s * 1e3:.1f} ms "
+            f"({serial.throughput_rps:.0f} req/s)\n"
+            f"coalescing service: {served.wall_s * 1e3:.1f} ms "
+            f"({served.throughput_rps:.0f} req/s)\n"
+            f"speedup: {speedup:.1f}x, plans bit-identical: {identical}"
+        )
+        _print_service_stats(served.stats, sys.stdout)
+        return 0 if identical else 1
+
+    with contextlib.ExitStack() as resources:
+        workspace = _open_workspace(args, resources)
+        if args.requests == "-":
+            lines = sys.stdin.read().splitlines()
+        else:
+            lines = Path(args.requests).read_text().splitlines()
+        parsed = [
+            _parse_request_line(line, i + 1)
+            for i, line in enumerate(lines)
+            if line.strip()
+        ]
+        service = PlanService(
+            workspace,
+            flush_ms=args.flush_ms,
+            capacity=args.capacity,
+            workers=args.workers,
+        )
+        resources.callback(service.close)
+        futures = []
+        for stack, system, cluster, gates, knobs in parsed:
+            request = PlanRequest(
+                stack=stack,
+                system=system,
+                cluster=cluster,
+                gate_kind=gates,
+                **knobs,
+            )
+            futures.append((cluster, system, service.submit(request)))
+        for index, (cluster, system, future) in enumerate(futures):
+            plan = future.result()
+            print(
+                json.dumps(
+                    {
+                        "index": index,
+                        "system": plan.name,
+                        "cluster": cluster.name,
+                        "num_layers": plan.num_layers,
+                        "degrees": plan.degrees,
+                        "makespan_ms": plan.makespan_ms(),
+                    }
+                )
+            )
+        _print_service_stats(service.stats_snapshot(), sys.stderr)
+    return 0
+
+
 def _cmd_cache(args) -> int:
     if args.action == "clear" and args.gc is not None:
         # Refuse the ambiguous combination: `clear` wipes everything,
@@ -398,6 +558,44 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workspace_arg(bench)
     bench.add_argument("--max-workers", type=int, default=None)
     bench.set_defaults(func=_cmd_bench)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve concurrent plan requests (coalescing + dedup)",
+    )
+    serve.add_argument(
+        "--requests",
+        metavar="FILE",
+        default=None,
+        help="JSON-lines request stream ('-' reads stdin); one result "
+             "object is printed per request, in input order",
+    )
+    serve.add_argument(
+        "--demo",
+        type=int,
+        metavar="N",
+        default=None,
+        help="run the closed-loop load generator with N requests and "
+             "report coalesced throughput vs the serial plan() loop",
+    )
+    serve.add_argument(
+        "--distinct", type=int, default=4,
+        help="distinct requests in the --demo stream",
+    )
+    serve.add_argument(
+        "--flush-ms", type=float, default=2.0,
+        help="coalescer flush window in milliseconds",
+    )
+    serve.add_argument(
+        "--capacity", type=int, default=4096,
+        help="bound on the undrained request backlog",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=1,
+        help="threads resolving a batch's distinct requests",
+    )
+    _add_workspace_arg(serve)
+    serve.set_defaults(func=_cmd_serve)
 
     cache = sub.add_parser(
         "cache", help="inspect or clear a workspace's caches"

@@ -41,13 +41,14 @@ import warnings
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from ..bench.runner import ConfigResult
 from ..config import MoELayerSpec, ParallelSpec, standard_layout
 from ..core.fastsolve import SolverStats, solver_stats
 from ..core.pipeline_degree import DEFAULT_MAX_DEGREE
 from ..errors import ConfigError, WorkspaceError
+from ..locking import FileLock
 from ..moe.gates import GateKind
 from ..parallel.topology import ClusterSpec
 from ..planner.batch import PlanPoint
@@ -57,6 +58,9 @@ from ..planner.store import ProfileStore, StoreStats
 from ..systems.base import TrainingSystem
 from .codec import canonical_json, decode, digest, encode
 from .spec import ExperimentSpec
+
+if TYPE_CHECKING:  # imported lazily at runtime: serve sits above api
+    from ..serve.stats import ServiceStats
 
 #: current on-disk format of profiles.json and plans/*.json.
 WORKSPACE_SCHEMA_VERSION = 1
@@ -74,12 +78,16 @@ class WorkspaceStats:
             cache hits, batch calls/sizes).  Process-wide, not
             per-workspace: the degree-solution memo is shared by every
             session in the process.
+        service: counters of the :class:`~repro.serve.PlanService`
+            bound to this workspace (None when no service is serving
+            from it).
     """
 
     profiles: StoreStats
     plan_hits: int = 0
     plan_misses: int = 0
     solver: SolverStats = SolverStats()
+    service: "ServiceStats | None" = None
 
     @property
     def warm(self) -> bool:
@@ -155,23 +163,40 @@ class Workspace:
         root: directory holding the caches (created if missing).
         autosave: persist new profiles after each cache-missing
             :meth:`plan` call (sweeps batch the save regardless).
+        lock_timeout_s: bound on waiting for another *process*'s
+            advisory lock (profile saves, in-flight plan compiles).
+
+    Concurrent processes may share one root: profile saves merge with
+    the on-disk entries under an advisory file lock
+    (``<root>/.workspace.lock``) instead of overwriting each other, and
+    plan compiles single-flight across processes through per-digest
+    locks (``plans/<digest>.lock``) -- the second process blocks briefly
+    and then loads the first one's plan from disk.
 
     Raises:
         WorkspaceError: when an existing cache was written by a
             different schema version (refused, never misread).
     """
 
-    def __init__(self, root: str | Path, *, autosave: bool = True) -> None:
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        autosave: bool = True,
+        lock_timeout_s: float = 600.0,
+    ) -> None:
         self.root = Path(root).expanduser()
         self.plans_dir = self.root / "plans"
         self.plans_dir.mkdir(parents=True, exist_ok=True)
         self._autosave = autosave
+        self._lock_timeout_s = lock_timeout_s
         self._io_lock = threading.Lock()
         self._counter_lock = threading.Lock()
         self._plan_futures: dict[str, Future] = {}
         self._plan_hits = 0
         self._plan_misses = 0
         self._defer_save = False
+        self._service_stats: Callable[[], "ServiceStats"] | None = None
         self.store = ProfileStore()
         self._load_profiles()
 
@@ -182,27 +207,9 @@ class Workspace:
         """Location of the persisted profile store."""
         return self.root / "profiles.json"
 
-    def _load_profiles(self) -> None:
-        path = self.profiles_path
-        if not path.exists():
-            return
-        try:
-            data = json.loads(path.read_text())
-        except (OSError, ValueError):
-            _quarantine(path)
-            return
-        if not isinstance(data, dict) or "schema_version" not in data:
-            _quarantine(path)
-            return
-        version = data["schema_version"]
-        if version != WORKSPACE_SCHEMA_VERSION:
-            raise WorkspaceError(
-                f"workspace {self.root} was written with schema version "
-                f"{version!r}; this build reads version "
-                f"{WORKSPACE_SCHEMA_VERSION}.  Run `python -m repro cache "
-                f"clear --workspace {self.root}` to discard it."
-            )
-        entries: dict[tuple, object] = {}
+    @staticmethod
+    def _decode_entries(data: dict) -> dict[object, object]:
+        entries: dict[object, object] = {}
         for entry in data.get("entries", ()):
             try:
                 key = decode(entry["k"])
@@ -212,18 +219,67 @@ class Workspace:
                 # extra registered types) must not poison the rest.
                 continue
             entries[key] = value
-        self.store.preload(entries)
+        return entries
+
+    def _read_profiles_file(self) -> dict | None:
+        """Parse ``profiles.json``; quarantine unreadable files.
+
+        Raises:
+            WorkspaceError: for a schema-version mismatch.
+        """
+        path = self.profiles_path
+        if not path.exists():
+            return None
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError):
+            _quarantine(path)
+            return None
+        if not isinstance(data, dict) or "schema_version" not in data:
+            _quarantine(path)
+            return None
+        version = data["schema_version"]
+        if version != WORKSPACE_SCHEMA_VERSION:
+            raise WorkspaceError(
+                f"workspace {self.root} was written with schema version "
+                f"{version!r}; this build reads version "
+                f"{WORKSPACE_SCHEMA_VERSION}.  Run `python -m repro cache "
+                f"clear --workspace {self.root}` to discard it."
+            )
+        return data
+
+    def _load_profiles(self) -> None:
+        data = self._read_profiles_file()
+        if data is not None:
+            self.store.preload(self._decode_entries(data))
+
+    def _workspace_lock(self) -> FileLock:
+        return FileLock(
+            self.root / ".workspace.lock", timeout_s=self._lock_timeout_s
+        )
 
     def save(self) -> None:
-        """Persist every settled profile-store entry (atomic rewrite)."""
-        entries = []
-        for key, value in self.store.entries().items():
-            entries.append({"k": encode(key), "v": encode(value)})
-        payload = {
-            "schema_version": WORKSPACE_SCHEMA_VERSION,
-            "entries": entries,
-        }
-        with self._io_lock:
+        """Persist every settled profile-store entry (atomic rewrite).
+
+        Runs under the workspace's inter-process lock and *merges* with
+        whatever is on disk first, so concurrent processes sharing this
+        root union their profiles instead of losing each other's writes
+        (this session's entries win any key collision, though collisions
+        are value-identical by construction: profiling is deterministic
+        in its key).
+        """
+        with self._io_lock, self._workspace_lock():
+            data = self._read_profiles_file()
+            merged = self._decode_entries(data) if data is not None else {}
+            merged.update(self.store.entries())
+            entries = [
+                {"k": encode(key), "v": encode(value)}
+                for key, value in merged.items()
+            ]
+            payload = {
+                "schema_version": WORKSPACE_SCHEMA_VERSION,
+                "entries": entries,
+            }
             _atomic_write(self.profiles_path, json.dumps(payload))
 
     # -- stats ---------------------------------------------------------------
@@ -231,13 +287,26 @@ class Workspace:
     @property
     def stats(self) -> WorkspaceStats:
         """Exact cache counters for this session."""
+        service = self._service_stats
         with self._counter_lock:
             return WorkspaceStats(
                 profiles=self.store.stats,
                 plan_hits=self._plan_hits,
                 plan_misses=self._plan_misses,
                 solver=solver_stats(),
+                service=service() if service is not None else None,
             )
+
+    def bind_service(
+        self, stats_fn: Callable[[], "ServiceStats"] | None
+    ) -> None:
+        """Attach (or detach, with None) a serving layer's stats snapshot.
+
+        Called by :class:`~repro.serve.PlanService` on construction so
+        :attr:`stats` surfaces the service counters alongside the cache
+        counters.  The last bound service wins.
+        """
+        self._service_stats = stats_fn
 
     def cache_info(self) -> dict[str, object]:
         """Inspectable summary of the on-disk caches (for ``repro cache``)."""
@@ -280,11 +349,19 @@ class Workspace:
         for path in root.glob("profiles.json*"):
             path.unlink(missing_ok=True)
             removed["profiles"] += 1
+        # .workspace.lock is deliberately left in place: unlinking it
+        # while another process holds or awaits its flock would split the
+        # lock and reopen the lost-update race merge-save exists to close.
         plans_dir = root / "plans"
         if plans_dir.is_dir():
             for path in plans_dir.glob("*.json*"):
                 path.unlink(missing_ok=True)
                 removed["plans"] += 1
+            # Advisory per-digest lock files go too.  Racing a concurrent
+            # compiler here at worst duplicates one compile (writes stay
+            # atomic and content-identical); `clear` is destructive anyway.
+            for path in plans_dir.glob("*.lock"):
+                path.unlink(missing_ok=True)
         return removed
 
     @staticmethod
@@ -403,6 +480,73 @@ class Workspace:
             return None  # digest collision or stale file: recompute
         return IterationPlan.from_dict(data["plan"])
 
+    @staticmethod
+    def normalize_request(
+        stack,
+        cluster: ClusterSpec,
+        parallel: ParallelSpec | None,
+        gate_kind: GateKind | Sequence[GateKind],
+    ) -> tuple[
+        tuple[MoELayerSpec, ...], ParallelSpec, tuple[GateKind, ...]
+    ]:
+        """Canonicalize one plan request's (stack, layout, gates).
+
+        Shared by :meth:`plan` and the serving layer, so two requests
+        that differ only in spelling (single spec vs 1-tuple, one gate vs
+        a uniform gate tuple, implicit vs explicit standard layout) map
+        to the same plan identity.
+
+        Raises:
+            ConfigError: for an empty stack or malformed gate sequence.
+        """
+        if isinstance(stack, MoELayerSpec):
+            stack = (stack,)
+        stack = tuple(stack)
+        if not stack:
+            raise ConfigError("stack must contain at least one layer spec")
+        if parallel is None:
+            parallel = standard_layout(
+                cluster.total_gpus, cluster.gpus_per_node
+            )
+        if isinstance(gate_kind, GateKind):
+            gates = (gate_kind,) * len(stack)
+        else:
+            gates = tuple(gate_kind)
+            if len(gates) != len(stack):
+                raise ConfigError(
+                    f"gate_kind sequence has {len(gates)} entries for "
+                    f"{len(stack)} layers"
+                )
+        return stack, parallel, gates
+
+    def plan_digest(
+        self,
+        stack,
+        system: TrainingSystem,
+        cluster: ClusterSpec,
+        *,
+        parallel: ParallelSpec | None = None,
+        gate_kind: GateKind | Sequence[GateKind] = GateKind.GSHARD,
+        routing_overhead: float = 1.0,
+        include_gar: bool = True,
+        noise: float = 0.0,
+        seed: int = 0,
+    ) -> str:
+        """Content address of one plan request (no planning performed).
+
+        The digest names the plan-cache file a matching :meth:`plan`
+        call would read or write; the serving layer keys its
+        single-flight bookkeeping on it.
+        """
+        stack, parallel, gates = self.normalize_request(
+            stack, cluster, parallel, gate_kind
+        )
+        key = self._plan_key(
+            cluster, parallel, stack, gates, system,
+            routing_overhead, include_gar, noise, seed,
+        )
+        return digest(key)
+
     def plan(
         self,
         stack,
@@ -429,25 +573,9 @@ class Workspace:
             ConfigError: for an empty stack or malformed gate sequence.
             WorkspaceError: for a plan-cache schema-version mismatch.
         """
-        if isinstance(stack, MoELayerSpec):
-            stack = (stack,)
-        stack = tuple(stack)
-        if not stack:
-            raise ConfigError("stack must contain at least one layer spec")
-        if parallel is None:
-            parallel = standard_layout(
-                cluster.total_gpus, cluster.gpus_per_node
-            )
-        if isinstance(gate_kind, GateKind):
-            gates = (gate_kind,) * len(stack)
-        else:
-            gates = tuple(gate_kind)
-            if len(gates) != len(stack):
-                raise ConfigError(
-                    f"gate_kind sequence has {len(gates)} entries for "
-                    f"{len(stack)} layers"
-                )
-
+        stack, parallel, gates = self.normalize_request(
+            stack, cluster, parallel, gate_kind
+        )
         key = self._plan_key(
             cluster, parallel, stack, gates, system,
             routing_overhead, include_gar, noise, seed,
@@ -474,26 +602,41 @@ class Workspace:
                 with self._counter_lock:
                     self._plan_hits += 1
             else:
-                compiler = self.compiler(
-                    cluster, parallel, noise=noise, seed=seed,
-                    r_max=system.r_max,
+                # Cross-process single-flight: hold this digest's advisory
+                # lock across the compile so a second process sharing the
+                # root blocks briefly and then loads our plan instead of
+                # recomputing it.
+                plan_lock = FileLock(
+                    self.plans_dir / f"{dig}.lock",
+                    timeout_s=self._lock_timeout_s,
                 )
-                plan = compiler.compile(
-                    stack,
-                    system,
-                    gate_kind=gates,
-                    routing_overhead=routing_overhead,
-                    include_gar=include_gar,
-                )
-                with self._counter_lock:
-                    self._plan_misses += 1
-                payload = {
-                    "schema_version": WORKSPACE_SCHEMA_VERSION,
-                    "key": key,
-                    "plan": plan.to_dict(),
-                }
-                with self._io_lock:
-                    _atomic_write(path, json.dumps(payload))
+                with plan_lock:
+                    plan = self._load_plan_file(path, key_json)
+                    if plan is not None:
+                        # Another process compiled it while we waited.
+                        with self._counter_lock:
+                            self._plan_hits += 1
+                    else:
+                        compiler = self.compiler(
+                            cluster, parallel, noise=noise, seed=seed,
+                            r_max=system.r_max,
+                        )
+                        plan = compiler.compile(
+                            stack,
+                            system,
+                            gate_kind=gates,
+                            routing_overhead=routing_overhead,
+                            include_gar=include_gar,
+                        )
+                        with self._counter_lock:
+                            self._plan_misses += 1
+                        payload = {
+                            "schema_version": WORKSPACE_SCHEMA_VERSION,
+                            "key": key,
+                            "plan": plan.to_dict(),
+                        }
+                        with self._io_lock:
+                            _atomic_write(path, json.dumps(payload))
                 if self._autosave and not self._defer_save:
                     self.save()
         except BaseException as exc:

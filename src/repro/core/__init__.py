@@ -45,9 +45,13 @@ from .pipeline_degree import (
 )
 from .fastsolve import (
     SolverStats,
+    best_swept_degree,
     clear_solver_cache,
+    merged_iteration_times,
+    merged_phase_times,
     solve_degree,
     solve_degrees_batch,
+    solve_merged_phase_degree,
     solver_stats,
 )
 from .gradient_partition import (
@@ -81,6 +85,10 @@ __all__ = [
     "solve_degrees",
     "solve_degree",
     "solve_degrees_batch",
+    "merged_phase_times",
+    "merged_iteration_times",
+    "solve_merged_phase_degree",
+    "best_swept_degree",
     "SolverStats",
     "solver_stats",
     "clear_solver_cache",

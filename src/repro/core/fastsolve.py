@@ -234,3 +234,228 @@ def solve_degree(
 ) -> DegreeSolution:
     """Single-context convenience wrapper over :func:`solve_degrees_batch`."""
     return solve_degrees_batch((ctx,), r_max)[0]
+
+
+# -- merged-comm (No-IIO) sweep ----------------------------------------------
+#
+# Algorithm 1's closed forms assume a dedicated inter-node stream; the
+# FSMoE-No-IIO ablation serializes intra- with inter-node communication on
+# one stream, so its per-phase degree comes from sweeping its *own*
+# schedule's makespan.  The sweep used to build and event-simulate one
+# task graph per candidate degree; the functions below replace that with
+# a closed recurrence over the merged comm stream, evaluated for every
+# degree at once, bit-identical to the discrete-event engine.
+#
+# Why a recurrence is exact: on the merged stream the engine's priorities
+# enforce a fixed structure per MoE block.  All r dispatches run first
+# (priority base..base+r-1 beats everything), then the stream alternates
+# AllGathers with fused ReduceScatter+Combine pairs -- a combine always
+# follows its reduce-scatter back-to-back because C(i) outranks every
+# remaining AG/RS the moment RS(i) completes.  The only dynamic choice
+# left is "next AllGather or next fused pair", and the engine resolves it
+# by readiness (is E(f) finished when the stream frees?) plus one
+# event-order tie: when E(f) ends exactly as the stream frees, RS(f) is
+# already in the ready heap *unless* the op that freed the stream is
+# AG(f) itself (inserted before E(f), so its completion pops first).
+# Layer blocks never overlap (each dense op depends on every combine of
+# the previous block), so a phase is the sequential composition of
+# per-block recurrences -- with absolute times carried through so every
+# float add and max happens in the engine's order.
+
+
+def merged_phase_times(
+    ctxs: Sequence[PipelineContext],
+    dense_ms: Sequence[float],
+    r_max: int = DEFAULT_MAX_DEGREE,
+    *,
+    dense_first: bool = True,
+    start: np.ndarray | None = None,
+) -> np.ndarray:
+    """Makespans of one merged-comm phase at every degree ``1..r_max``.
+
+    Evaluates the 2-stream (merged comm) schedule of a whole stack --
+    ``ctxs``/``dense_ms`` in *execution* order -- for all integer pipeline
+    degrees in one vectorized recurrence.  Entry ``j`` of the result is
+    bit-identical to ``simulate(build_iteration_graph(spec, phase)).
+    makespan_ms`` at degree ``j + 1``.
+
+    Args:
+        ctxs: per-layer pipeline contexts, execution order (reverse the
+            stack for a backward phase).
+        dense_ms: per-layer non-MoE durations, same order.
+        r_max: inclusive upper bound on the degree (must be >= 1).
+        dense_first: True for a forward phase (dense precedes each MoE
+            block), False for backward (dense follows it).
+        start: per-degree entry times, for composing phases into a full
+            iteration (None = the phase starts at 0).
+
+    Returns:
+        ``(r_max,)`` array of phase makespans in ms.
+
+    Raises:
+        SolverError: if ``r_max < 1`` or the lengths disagree.
+    """
+    if r_max < 1:
+        raise SolverError(f"r_max must be >= 1, got {r_max}")
+    ctxs = list(ctxs)
+    dense_ms = list(dense_ms)
+    if len(ctxs) != len(dense_ms):
+        raise SolverError(
+            f"{len(ctxs)} contexts but {len(dense_ms)} dense durations"
+        )
+    degrees = np.arange(1, r_max + 1, dtype=float)
+    r_col = np.arange(1, r_max + 1)
+    rows = np.arange(r_max)
+    prev = np.zeros(r_max) if start is None else np.asarray(start, float)
+    for ctx, dense in zip(ctxs, dense_ms):
+        # Per-chunk op times at every degree (LinearPerfModel.chunk_time_ms,
+        # expression-for-expression).
+        t_d = np.where(
+            ctx.n_a2a > 0,
+            ctx.a2a.alpha + (ctx.n_a2a / degrees) * ctx.a2a.beta,
+            0.0,
+        )
+        t_g = np.where(
+            ctx.n_ag > 0,
+            ctx.ag.alpha + (ctx.n_ag / degrees) * ctx.ag.beta,
+            0.0,
+        )
+        t_s = np.where(
+            ctx.n_rs > 0,
+            ctx.rs.alpha + (ctx.n_rs / degrees) * ctx.rs.beta,
+            0.0,
+        )
+        t_e = np.where(
+            ctx.n_exp > 0,
+            ctx.exp.alpha + (ctx.n_exp / degrees) * ctx.exp.beta,
+            0.0,
+        )
+        entry = prev + dense if dense_first else prev
+        compute_free = entry
+        # Dispatch prologue: D(0..r-1) back to back on the comm stream.
+        t = entry.copy()
+        for i in range(r_max):
+            t = np.where(i < r_col, t + t_d, t)
+        # AG / fused RS+C slots.  TE[j, i] = end of E(i) at degree j + 1.
+        TE = np.zeros((r_max, r_max))
+        a = np.zeros(r_max, dtype=int)  # next AllGather index
+        f = np.zeros(r_max, dtype=int)  # next fused RS+C index
+        last_was_ag = np.zeros(r_max, dtype=bool)
+        for _ in range(2 * r_max):
+            active = f < r_col
+            if not active.any():
+                break
+            te_f = TE[rows, np.minimum(f, r_max - 1)]
+            # Exact-tie event order: E(f)'s completion pops before the
+            # op that freed the stream unless that op is AG(f) itself.
+            ag_f_tie = last_was_ag & (a == f + 1)
+            can_f = active & (f < a) & (
+                (te_f < t) | ((te_f == t) & ~ag_f_tie)
+            )
+            must_f = active & (a >= r_col)
+            run_f = can_f | must_f
+            run_ag = active & ~run_f
+            # AllGather slot: also settles E(a)'s completion time.
+            end_ag = t + t_g
+            te_prev = np.where(
+                a > 0, TE[rows, np.maximum(a - 1, 0)], compute_free
+            )
+            te_new = np.maximum(end_ag, te_prev) + t_e
+            a_idx = np.minimum(a, r_max - 1)
+            TE[rows[run_ag], a_idx[run_ag]] = te_new[run_ag]
+            t = np.where(run_ag, end_ag, t)
+            a = a + run_ag
+            # Fused slot: RS(f) then C(f) back to back.
+            end_f = (np.maximum(t, te_f) + t_s) + t_d
+            t = np.where(run_f, end_f, t)
+            f = f + run_f
+            last_was_ag = run_ag | (last_was_ag & ~run_f)
+        prev = t if dense_first else t + dense
+    return prev
+
+
+def merged_iteration_times(
+    ctxs_fw: Sequence[PipelineContext],
+    dense_fw_ms: Sequence[float],
+    ctxs_bw: Sequence[PipelineContext],
+    dense_bw_ms: Sequence[float],
+    gar_tail_ms: Sequence[float] = (),
+    r_max: int = DEFAULT_MAX_DEGREE,
+) -> np.ndarray:
+    """Full-iteration merged-comm makespans at every degree ``1..r_max``.
+
+    A whole training iteration on the 2-stream schedule with end-exposed
+    gradient synchronization (the Tutel/PipeMoE shape, ``GarMode.END``):
+    the forward phase, the backward phase entered at the forward's
+    finish, then the serial Gradient-AllReduce tail.  The tail is
+    degree-independent -- each AllReduce depends on its predecessor and
+    starts at the last dense op's finish -- so it composes as plain
+    sequential adds, in layer order, exactly like the task graph's.
+
+    Args (all in *forward* stack order; the backward reversal happens
+    here):
+        ctxs_fw / dense_fw_ms: forward contexts and dense durations.
+        ctxs_bw / dense_bw_ms: backward contexts and dense durations.
+        gar_tail_ms: per-layer end-of-iteration AllReduce durations
+            (entries <= 0 are skipped, like the graph builder does).
+        r_max: inclusive upper bound on the degree.
+
+    Returns:
+        ``(r_max,)`` array of iteration makespans, bit-identical to the
+        event-simulated ``phase="both"`` graph at each degree.
+    """
+    forward_end = merged_phase_times(
+        ctxs_fw, dense_fw_ms, r_max, dense_first=True
+    )
+    times = merged_phase_times(
+        list(reversed(list(ctxs_bw))),
+        list(reversed(list(dense_bw_ms))),
+        r_max,
+        dense_first=False,
+        start=forward_end,
+    )
+    for tail in gar_tail_ms:
+        if tail > 0:
+            times = times + tail
+    return times
+
+
+def best_swept_degree(times: Sequence[float]) -> tuple[int, float]:
+    """The oracle's ascending tie-break over per-degree times.
+
+    ``times[j]`` is the objective at degree ``j + 1``; a later degree
+    only displaces the incumbent by beating it by more than the shared
+    tolerance -- the single definition every swept-degree caller (the
+    merged-comm pickers here, Tutel's oracle) reduces with.
+
+    Returns:
+        ``(degree, time)`` of the winner.
+    """
+    best_r, best_t = 1, float("inf")
+    for j, t in enumerate(times):
+        if t < best_t - _TIE_TOL:
+            best_t = float(t)
+            best_r = j + 1
+    return best_r, best_t
+
+
+def solve_merged_phase_degree(
+    ctxs: Sequence[PipelineContext],
+    dense_ms: Sequence[float],
+    r_max: int = DEFAULT_MAX_DEGREE,
+    *,
+    dense_first: bool = True,
+) -> tuple[int, float]:
+    """Best shared degree for one merged-comm phase of a whole stack.
+
+    Sweeps :func:`merged_phase_times` and reduces with
+    :func:`best_swept_degree`, so the result matches the
+    simulate-per-degree sweep exactly.
+
+    Returns:
+        ``(degree, phase_makespan_ms)`` at the chosen degree.
+    """
+    times = merged_phase_times(
+        ctxs, dense_ms, r_max, dense_first=dense_first
+    )
+    return best_swept_degree(times)

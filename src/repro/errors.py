@@ -35,6 +35,22 @@ class WorkspaceError(ReproError, RuntimeError):
     """A persistent workspace on disk cannot be used (version mismatch, ...)."""
 
 
+class LockTimeout(ReproError, TimeoutError):
+    """An inter-process file lock could not be acquired in time."""
+
+
+class ServiceError(ReproError, RuntimeError):
+    """A plan-serving request could not be accepted or completed."""
+
+
+class QueueFullError(ServiceError):
+    """The service's bounded request queue rejected a submission."""
+
+
+class ServiceClosedError(ServiceError):
+    """The service is shut down (or shutting down) and takes no requests."""
+
+
 class RegistryError(ReproError, LookupError):
     """A string-keyed registry lookup failed (unknown system, model, ...).
 

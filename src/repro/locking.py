@@ -1,0 +1,146 @@
+"""Advisory inter-process file locks for shared workspace roots.
+
+A :class:`FileLock` serializes critical sections *across processes*
+sharing one directory -- the missing piece once several ``repro serve``
+processes (or plain CLI invocations) point at the same workspace root.
+In-process concurrency is already handled by ordinary thread locks; this
+module only guards the disk.
+
+Implementation: ``flock(2)`` on a dedicated lock file (the lock file is
+*not* the data file -- data files are replaced atomically, which would
+drop any lock held on the old inode).  Lock files are created on demand
+and intentionally never deleted: unlinking a lock file while another
+process still holds or awaits its ``flock`` silently splits the lock in
+two (the classic unlink race), and an empty inode per digest is cheaper
+than that bug.  On platforms without ``fcntl`` the lock degrades to an
+``O_EXCL`` spin lock with a staleness timeout.
+
+Acquisition polls with :data:`DEFAULT_POLL_S` sleeps rather than
+blocking in ``flock`` so a ``timeout_s`` can be honoured exactly and a
+wedged peer turns into a diagnosable :class:`~repro.errors.LockTimeout`
+instead of a hung process.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+from .errors import LockTimeout
+
+try:  # POSIX (the supported platform); msvcrt fallback is best-effort
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX
+    fcntl = None
+
+#: default bound on one acquisition attempt, seconds.
+DEFAULT_TIMEOUT_S = 60.0
+
+#: sleep between non-blocking acquisition attempts, seconds.
+DEFAULT_POLL_S = 0.005
+
+
+class FileLock:
+    """An advisory, exclusive, inter-process lock on ``path``.
+
+    Not reentrant and not thread-local: one instance guards one critical
+    section at a time (re-acquiring a held instance raises).  Distinct
+    instances -- in the same process or in different processes --
+    targeting the same path exclude each other.
+
+    Args:
+        path: lock-file location (created on demand, never deleted).
+        timeout_s: bound on one acquisition attempt.
+        poll_s: sleep between non-blocking attempts.
+
+    Raises:
+        LockTimeout: when acquisition exceeds ``timeout_s``.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        *,
+        timeout_s: float = DEFAULT_TIMEOUT_S,
+        poll_s: float = DEFAULT_POLL_S,
+    ) -> None:
+        self.path = Path(path)
+        self.timeout_s = timeout_s
+        self.poll_s = poll_s
+        self._fd: int | None = None
+
+    @property
+    def held(self) -> bool:
+        """True while this instance holds the lock."""
+        return self._fd is not None
+
+    def acquire(self) -> None:
+        """Take the lock, polling until ``timeout_s`` elapses.
+
+        Raises:
+            LockTimeout: when the deadline passes without acquisition.
+            RuntimeError: when this instance already holds the lock.
+        """
+        if self._fd is not None:
+            raise RuntimeError(f"lock {self.path} is already held")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        deadline = time.monotonic() + self.timeout_s
+        if fcntl is not None:
+            fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+            while True:
+                try:
+                    fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                    self._fd = fd
+                    return
+                except OSError:
+                    if time.monotonic() >= deadline:
+                        os.close(fd)
+                        raise LockTimeout(
+                            f"could not acquire {self.path} within "
+                            f"{self.timeout_s:g} s (held by another "
+                            f"process?)"
+                        ) from None
+                    time.sleep(self.poll_s)
+        # Degraded O_EXCL spin lock: stale files (a crashed holder) are
+        # broken after the timeout window.
+        while True:  # pragma: no cover - non-POSIX fallback
+            try:
+                fd = os.open(
+                    self.path, os.O_RDWR | os.O_CREAT | os.O_EXCL, 0o644
+                )
+                self._fd = fd
+                return
+            except FileExistsError:
+                try:
+                    age = time.time() - self.path.stat().st_mtime
+                    if age > self.timeout_s:
+                        self.path.unlink(missing_ok=True)
+                        continue
+                except OSError:
+                    continue
+                if time.monotonic() >= deadline:
+                    raise LockTimeout(
+                        f"could not acquire {self.path} within "
+                        f"{self.timeout_s:g} s"
+                    ) from None
+                time.sleep(self.poll_s)
+
+    def release(self) -> None:
+        """Drop the lock (idempotent)."""
+        fd, self._fd = self._fd, None
+        if fd is None:
+            return
+        if fcntl is not None:
+            fcntl.flock(fd, fcntl.LOCK_UN)
+            os.close(fd)
+        else:  # pragma: no cover - non-POSIX fallback
+            os.close(fd)
+            self.path.unlink(missing_ok=True)
+
+    def __enter__(self) -> "FileLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.release()

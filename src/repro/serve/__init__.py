@@ -1,0 +1,56 @@
+"""repro.serve: concurrent plan serving over a Workspace.
+
+The serving layer between the planner and "heavy traffic": a
+:class:`PlanService` coalesces concurrent plan requests into micro
+batches, deduplicates identical requests onto single-flight
+resolutions (in session, across batches, and -- through the workspace's
+advisory file locks -- across processes), and answers each caller's
+:class:`~concurrent.futures.Future` with the same content-addressed
+plans ``Workspace.plan`` would return one at a time.
+
+Quickstart::
+
+    from repro import Workspace
+    from repro.serve import Client, PlanService
+
+    service = PlanService(Workspace("~/.repro-ws"), flush_ms=2.0)
+    client = Client(service)
+    future = client.submit(stack, system, cluster)   # non-blocking
+    plan = future.result()
+    print(service.stats)                              # exact counters
+    service.close()
+
+``python -m repro serve`` exposes the same service from the shell
+(JSON-lines requests in, JSON results out) and ``repro serve --demo``
+runs the closed-loop load generator against it.
+"""
+
+from .client import Client
+from .loadgen import (
+    LoadResult,
+    duplicate_heavy_requests,
+    run_serial_per_request,
+    run_serial_session,
+    run_service,
+)
+from .service import (
+    DEFAULT_CAPACITY,
+    DEFAULT_FLUSH_MS,
+    PlanRequest,
+    PlanService,
+)
+from .stats import ServiceStats
+
+__all__ = [
+    "Client",
+    "DEFAULT_CAPACITY",
+    "DEFAULT_FLUSH_MS",
+    "LoadResult",
+    "PlanRequest",
+    "PlanService",
+    "ServiceStats",
+    "duplicate_heavy_requests",
+    "run_serial_per_request",
+    "run_serial_session",
+    "run_service",
+]

@@ -1,0 +1,175 @@
+"""Closed-loop load generation for the plan-serving layer.
+
+One deterministic duplicate-heavy workload, three ways to run it:
+
+* :func:`run_serial_session` -- the best a caller can do *without* the
+  serving layer in one long-lived process: a single
+  :class:`~repro.api.workspace.Workspace` and one ``plan()`` call per
+  request, in order.
+* :func:`run_serial_per_request` -- what independent one-shot callers
+  (CLI invocations, stateless handlers) sharing a root actually do: a
+  fresh ``Workspace(root)`` per request.
+* :func:`run_service` -- the same stream through a
+  :class:`~repro.serve.service.PlanService`: every request submitted
+  up front (a closed loop of concurrent callers), then gathered.
+
+All three return the resolved plans in request order so callers can
+assert bit-identical results; the benchmark
+(``benchmarks/test_perf_serve.py``) and ``repro serve --demo`` both
+drive these helpers.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+
+from ..api.registry import get_cluster
+from ..api.workspace import Workspace
+from ..config import MoELayerSpec
+from ..errors import ConfigError
+from ..planner.plan import IterationPlan
+from ..systems.registry import get_system
+from .service import PlanRequest, PlanService
+from .stats import ServiceStats
+
+
+def duplicate_heavy_requests(
+    total: int,
+    distinct: int,
+    *,
+    seed: int = 0,
+    depth: int = 12,
+    cluster: str = "A",
+    total_gpus: int = 16,
+) -> list[PlanRequest]:
+    """A deterministic duplicate-heavy request stream.
+
+    ``distinct`` unique requests -- alternating systems over layer specs
+    of varied sequence length -- repeated and shuffled to ``total``
+    entries with a seeded RNG.  Every distinct request appears at least
+    once.
+
+    Raises:
+        ConfigError: when ``total < distinct`` or either is < 1.
+    """
+    if distinct < 1 or total < distinct:
+        raise ConfigError(
+            f"need total >= distinct >= 1, got total={total} "
+            f"distinct={distinct}"
+        )
+    spec_cluster = get_cluster(cluster, total_gpus=total_gpus)
+    systems = ("tutel", "dsmoe", "fsmoe-no-iio", "fsmoe")
+    base: list[PlanRequest] = []
+    for i in range(distinct):
+        layer = MoELayerSpec(
+            batch_size=1,
+            seq_len=256 + 64 * (i // len(systems)),
+            embed_dim=1024,
+            num_experts=spec_cluster.num_nodes,
+            num_heads=8,
+        )
+        system = get_system(systems[i % len(systems)], solver="slsqp")
+        base.append(
+            PlanRequest(
+                stack=(layer,) * depth,
+                system=system,
+                cluster=spec_cluster,
+            )
+        )
+    rng = random.Random(seed)
+    stream = base + [
+        base[rng.randrange(distinct)] for _ in range(total - distinct)
+    ]
+    rng.shuffle(stream)
+    return stream
+
+
+@dataclass(frozen=True)
+class LoadResult:
+    """One driver run over a request stream.
+
+    Attributes:
+        wall_s: end-to-end wall time for the whole stream.
+        plans: resolved plans, request order.
+        requests: stream length.
+        stats: serving counters (service runs only).
+    """
+
+    wall_s: float
+    plans: tuple[IterationPlan, ...]
+    requests: int
+    stats: ServiceStats | None = None
+
+    @property
+    def throughput_rps(self) -> float:
+        """Requests resolved per second of wall time."""
+        if self.wall_s <= 0:
+            return float("inf")
+        return self.requests / self.wall_s
+
+
+def run_serial_session(
+    requests: list[PlanRequest], root, **workspace_kw
+) -> LoadResult:
+    """One long-lived workspace, one blocking ``plan()`` per request."""
+    workspace = Workspace(root, **workspace_kw)
+    start = time.perf_counter()
+    plans = tuple(
+        workspace.plan(
+            req.stack, req.system, req.cluster,
+            parallel=req.parallel, gate_kind=req.gate_kind,
+            routing_overhead=req.routing_overhead,
+            include_gar=req.include_gar, noise=req.noise, seed=req.seed,
+        )
+        for req in requests
+    )
+    wall = time.perf_counter() - start
+    return LoadResult(wall_s=wall, plans=plans, requests=len(requests))
+
+
+def run_serial_per_request(
+    requests: list[PlanRequest], root, **workspace_kw
+) -> LoadResult:
+    """A fresh ``Workspace(root)`` per request (one-shot callers)."""
+    start = time.perf_counter()
+    plans = tuple(
+        Workspace(root, **workspace_kw).plan(
+            req.stack, req.system, req.cluster,
+            parallel=req.parallel, gate_kind=req.gate_kind,
+            routing_overhead=req.routing_overhead,
+            include_gar=req.include_gar, noise=req.noise, seed=req.seed,
+        )
+        for req in requests
+    )
+    wall = time.perf_counter() - start
+    return LoadResult(wall_s=wall, plans=plans, requests=len(requests))
+
+
+def run_service(
+    requests: list[PlanRequest],
+    root,
+    *,
+    workspace_kw: dict | None = None,
+    **service_kw,
+) -> LoadResult:
+    """The whole stream through one PlanService, closed-loop.
+
+    Every request is submitted before the first result is awaited (the
+    concurrent-clients shape), then the plans are gathered in order and
+    the service is drained and closed.  Unless the caller sets one, the
+    queue capacity is sized to the stream so submitting everything up
+    front cannot trip the backlog bound.
+    """
+    workspace = Workspace(root, **(workspace_kw or {}))
+    service_kw.setdefault("capacity", max(len(requests), 1))
+    start = time.perf_counter()
+    with PlanService(workspace, **service_kw) as service:
+        futures = [service.submit(req) for req in requests]
+        plans = tuple(future.result() for future in futures)
+        stats = service.stats_snapshot()
+    wall = time.perf_counter() - start
+    return LoadResult(
+        wall_s=wall, plans=plans, requests=len(requests), stats=stats
+    )

@@ -1,0 +1,467 @@
+"""The plan-serving core: a coalescing, single-flight PlanService.
+
+``Workspace.plan`` is a one-caller-at-a-time library call; this module
+turns it into a *service*.  A :class:`PlanService` owns one background
+coalescer thread and a bounded request queue:
+
+* **micro-batching** -- submissions buffer for one flush window
+  (``flush_ms``) and drain as a batch, so a burst of requests is
+  processed together instead of interleaving N independent call stacks;
+* **request dedup** -- each batch groups requests by plan identity (the
+  same normalized fields the workspace's content address hashes), so M
+  copies of one request cost one resolution and M future completions;
+* **single-flight across batches** -- a group joins an in-flight
+  resolution of the same digest instead of starting a second one, and
+  the workspace layer extends the same guarantee across *processes* via
+  per-digest file locks;
+* **batched solver funnel** -- before resolving a batch's distinct
+  groups, their layer contexts are profiled through the shared store and
+  pushed through one :func:`~repro.core.pipeline_degree.solve_degrees`
+  call, so a cold batch hits the vectorized Algorithm-1 solver once
+  instead of once per request.
+
+Every behavior is counted exactly (:class:`~repro.serve.stats.ServiceStats`,
+also surfaced through :attr:`Workspace.stats`): tests assert dedup and
+coalescing, not hope for them.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..config import MoELayerSpec, ParallelSpec
+from ..core.pipeline_degree import solve_degrees
+from ..errors import (
+    ConfigError,
+    QueueFullError,
+    ServiceClosedError,
+)
+from ..moe.gates import GateKind
+from ..parallel.topology import ClusterSpec
+from ..planner.plan import IterationPlan
+from ..systems.base import TrainingSystem
+from ..api.workspace import Workspace
+from .stats import ServiceStats, StatsAccumulator
+
+#: default flush window: long enough to coalesce a burst arriving over a
+#: few scheduler quanta, short enough to stay invisible next to a compile.
+DEFAULT_FLUSH_MS = 2.0
+
+#: default bound on the undrained request backlog.
+DEFAULT_CAPACITY = 4096
+
+
+@dataclass(frozen=True)
+class PlanRequest:
+    """One plan request, exactly the :meth:`Workspace.plan` surface.
+
+    Attributes mirror the workspace call; ``system`` is identified by
+    its :meth:`~repro.systems.base.TrainingSystem.fingerprint` for
+    deduplication, so two equal-configured instances coalesce.
+    """
+
+    stack: MoELayerSpec | Sequence[MoELayerSpec]
+    system: TrainingSystem
+    cluster: ClusterSpec
+    parallel: ParallelSpec | None = None
+    gate_kind: GateKind | Sequence[GateKind] = GateKind.GSHARD
+    routing_overhead: float = 1.0
+    include_gar: bool = True
+    noise: float = 0.0
+    seed: int = 0
+
+
+@dataclass
+class _Entry:
+    """One accepted submission awaiting resolution."""
+
+    request: PlanRequest
+    key: tuple
+    future: Future
+    submitted: float  # time.monotonic()
+
+
+@dataclass
+class _Group:
+    """All entries sharing one plan identity, resolved once."""
+
+    key: tuple
+    leader: PlanRequest
+    members: list[_Entry] = field(default_factory=list)
+    done: bool = False
+    digest: str | None = None
+
+
+class PlanService:
+    """Serve concurrent plan requests from one workspace at batch speed.
+
+    Args:
+        workspace: the session whose caches and plan cache back every
+            resolution.  The service binds its stats into
+            ``workspace.stats.service``.
+        flush_ms: coalescer flush window -- how long the first request
+            of a batch waits for company before the batch drains.
+        capacity: bound on the undrained backlog; submissions beyond it
+            raise :class:`~repro.errors.QueueFullError`.
+        max_batch: largest batch one flush drains (None = no limit
+            below ``capacity``).
+        workers: thread-pool width for resolving a batch's distinct
+            groups (1 = resolve serially on the coalescer thread).
+        prewarm: push a cold batch's layer contexts through one batched
+            Algorithm-1 solve before resolving its groups.
+
+    Raises:
+        ConfigError: for a non-positive window, capacity or batch size.
+    """
+
+    def __init__(
+        self,
+        workspace: Workspace,
+        *,
+        flush_ms: float = DEFAULT_FLUSH_MS,
+        capacity: int = DEFAULT_CAPACITY,
+        max_batch: int | None = None,
+        workers: int = 1,
+        prewarm: bool = True,
+    ) -> None:
+        if flush_ms < 0:
+            raise ConfigError(f"flush_ms must be >= 0, got {flush_ms}")
+        if capacity < 1:
+            raise ConfigError(f"capacity must be >= 1, got {capacity}")
+        if max_batch is not None and max_batch < 1:
+            raise ConfigError(f"max_batch must be >= 1, got {max_batch}")
+        if workers < 1:
+            raise ConfigError(f"workers must be >= 1, got {workers}")
+        self.workspace = workspace
+        self._flush_s = flush_ms / 1000.0
+        self._capacity = capacity
+        self._max_batch = max_batch if max_batch is not None else capacity
+        self._prewarm_enabled = prewarm
+        self._cv = threading.Condition()
+        self._pending: list[_Entry] = []
+        self._inflight: dict[tuple, _Group] = {}
+        self._outstanding = 0  # accepted, future not yet settled
+        self._closed = False
+        self._stats = StatsAccumulator()
+        self._pool = (
+            ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="repro-serve-worker"
+            )
+            if workers > 1
+            else None
+        )
+        workspace.bind_service(self.stats_snapshot)
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve-coalescer", daemon=True
+        )
+        self._thread.start()
+
+    # -- client surface ------------------------------------------------------
+
+    def submit(self, request: PlanRequest) -> Future:
+        """Enqueue one request; the returned future resolves to its plan.
+
+        Validation (stack/gate shape) happens here, in the caller's
+        thread, so malformed requests fail fast instead of poisoning a
+        batch.
+
+        Raises:
+            ConfigError: for a malformed request.
+            ServiceClosedError: after :meth:`close`.
+            QueueFullError: when the backlog is at capacity.
+        """
+        stack, parallel, gates = Workspace.normalize_request(
+            request.stack, request.cluster, request.parallel,
+            request.gate_kind,
+        )
+        normalized = PlanRequest(
+            stack=stack,
+            system=request.system,
+            cluster=request.cluster,
+            parallel=parallel,
+            gate_kind=gates,
+            routing_overhead=float(request.routing_overhead),
+            include_gar=bool(request.include_gar),
+            noise=float(request.noise),
+            seed=int(request.seed),
+        )
+        key = (
+            stack,
+            request.cluster,
+            parallel,
+            gates,
+            tuple(request.system.fingerprint()),
+            normalized.routing_overhead,
+            normalized.include_gar,
+            normalized.noise,
+            normalized.seed,
+        )
+        entry = _Entry(
+            request=normalized,
+            key=key,
+            future=Future(),
+            submitted=time.monotonic(),
+        )
+        with self._cv:
+            if self._closed:
+                self._stats.reject()
+                raise ServiceClosedError(
+                    "PlanService is closed and takes no new requests"
+                )
+            if len(self._pending) >= self._capacity:
+                self._stats.reject()
+                raise QueueFullError(
+                    f"request backlog is at capacity "
+                    f"({self._capacity}); retry after the next flush"
+                )
+            self._pending.append(entry)
+            self._outstanding += 1
+            self._stats.request()
+            self._cv.notify()
+        return entry.future
+
+    def plan(self, request: PlanRequest) -> IterationPlan:
+        """Submit and block for the answer (convenience wrapper)."""
+        return self.submit(request).result()
+
+    def stats_snapshot(self) -> ServiceStats:
+        """Exact serving counters at this instant."""
+        return self._stats.snapshot()
+
+    #: property alias mirroring ``Workspace.stats``.
+    stats = property(stats_snapshot)
+
+    def join(self, timeout_s: float | None = None) -> bool:
+        """Block until every accepted request's future has been settled.
+
+        Quiescence is an exact counter (accepted minus settled), not a
+        queue inspection, so there is no window where the backlog looks
+        empty while a drained batch is still resolving.
+
+        Returns:
+            True on quiescence, False if ``timeout_s`` expired first.
+        """
+        deadline = (
+            time.monotonic() + timeout_s if timeout_s is not None else None
+        )
+        while True:
+            with self._cv:
+                if self._outstanding == 0:
+                    return True
+            if deadline is not None and time.monotonic() >= deadline:
+                return False
+            time.sleep(0.001)
+
+    def close(self, *, drain: bool = True) -> None:
+        """Shut down: stop accepting requests, then stop the threads.
+
+        Args:
+            drain: resolve the outstanding backlog first.  With
+                ``drain=False`` every undrained request fails with
+                :class:`~repro.errors.ServiceClosedError` instead.
+        """
+        with self._cv:
+            if self._closed:
+                return
+            self._closed = True
+            dropped: list[_Entry] = []
+            if not drain:
+                dropped = self._pending[:]
+                self._pending.clear()
+            self._cv.notify_all()
+        for entry in dropped:
+            self._settle(
+                entry,
+                error=ServiceClosedError(
+                    "PlanService closed before resolution"
+                ),
+            )
+            self._stats.resolve(
+                group_size=1, failed=True, latencies_ms=[]
+            )
+        self._thread.join()
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "PlanService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close(drain=True)
+
+    # -- coalescer -----------------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            with self._cv:
+                while not self._pending and not self._closed:
+                    self._cv.wait()
+                if not self._pending:
+                    return  # closed and drained
+                # Micro-batch: let the burst accumulate for one flush
+                # window from its first arrival (skipped when closing).
+                deadline = self._pending[0].submitted + self._flush_s
+                while not self._closed and len(self._pending) < self._max_batch:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._cv.wait(timeout=remaining)
+                batch = self._pending[: self._max_batch]
+                del self._pending[: len(batch)]
+            try:
+                self._process(batch)
+            except BaseException as exc:
+                # A defect anywhere in batch handling must fail that
+                # batch's callers, not silently kill the coalescer and
+                # hang every future request.
+                self._fail_batch(batch, exc)
+
+    def _settle(
+        self,
+        entry: _Entry,
+        *,
+        plan: IterationPlan | None = None,
+        error: BaseException | None = None,
+    ) -> bool:
+        """Deliver one entry's outcome, tolerating caller cancellation.
+
+        Futures are never marked running until this point, so a caller
+        may have cancelled while the entry waited; in that case nothing
+        is delivered.  Always decrements the quiescence counter.
+
+        Returns:
+            True when the outcome was delivered, False when the caller
+            had already cancelled.
+        """
+        delivered = entry.future.set_running_or_notify_cancel()
+        if delivered:
+            if error is not None:
+                entry.future.set_exception(error)
+            else:
+                entry.future.set_result(plan)
+        with self._cv:
+            self._outstanding -= 1
+        return delivered
+
+    def _fail_batch(
+        self, batch: list[_Entry], error: BaseException
+    ) -> None:
+        for entry in batch:
+            if entry.future.done():
+                continue  # already settled through its group
+            with self._cv:
+                self._inflight.pop(entry.key, None)
+            self._settle(entry, error=error)
+            self._stats.resolve(
+                group_size=1, failed=True, latencies_ms=[]
+            )
+
+    def _process(self, batch: list[_Entry]) -> None:
+        self._stats.batch(len(batch))
+        new_groups: list[_Group] = []
+        with self._cv:
+            for entry in batch:
+                group = self._inflight.get(entry.key)
+                if group is None:
+                    group = _Group(key=entry.key, leader=entry.request)
+                    self._inflight[entry.key] = group
+                    new_groups.append(group)
+                group.members.append(entry)
+        if new_groups:
+            self._prewarm(new_groups)
+        if self._pool is not None and len(new_groups) > 1:
+            list(self._pool.map(self._resolve_group, new_groups))
+        else:
+            for group in new_groups:
+                self._resolve_group(group)
+
+    def _prewarm(self, groups: list[_Group]) -> None:
+        """One batched Algorithm-1 pass over a cold batch's contexts.
+
+        Also stamps each group's content digest (used for the
+        single-flight bookkeeping and skipping disk-cached groups).
+        Best-effort throughout: any failure here is swallowed so it
+        surfaces -- once, per group, through that group's futures -- in
+        the resolve step instead of poisoning the whole batch.
+        """
+        for group in groups:
+            req = group.leader
+            try:
+                group.digest = self.workspace.plan_digest(
+                    req.stack, req.system, req.cluster,
+                    parallel=req.parallel, gate_kind=req.gate_kind,
+                    routing_overhead=req.routing_overhead,
+                    include_gar=req.include_gar,
+                    noise=req.noise, seed=req.seed,
+                )
+            except Exception:
+                group.digest = None
+        if not self._prewarm_enabled or len(groups) < 2:
+            return
+        by_rmax: dict[int, list] = {}
+        for group in groups:
+            req = group.leader
+            if (
+                group.digest is not None
+                and (
+                    self.workspace.plans_dir / f"{group.digest}.json"
+                ).exists()
+            ):
+                continue  # already on disk: nothing to solve
+            try:
+                compiler = self.workspace.compiler(
+                    req.cluster, req.parallel,
+                    noise=req.noise, seed=req.seed,
+                    r_max=req.system.r_max,
+                )
+                profiles = compiler.resolve_stack(
+                    req.stack,
+                    gate_kind=req.gate_kind,
+                    routing_overhead=req.routing_overhead,
+                )
+                contexts = req.system.schedule_contexts(profiles)
+            except Exception:
+                continue  # the group's resolve step will surface it
+            if contexts:
+                by_rmax.setdefault(req.system.r_max, []).extend(contexts)
+        for r_max, contexts in by_rmax.items():
+            try:
+                solve_degrees(contexts, r_max)
+            except Exception:
+                pass  # per-group resolves retry their own contexts
+
+    def _resolve_group(self, group: _Group) -> None:
+        req = group.leader
+        error: BaseException | None = None
+        plan = None
+        try:
+            plan = self.workspace.plan(
+                req.stack, req.system, req.cluster,
+                parallel=req.parallel, gate_kind=req.gate_kind,
+                routing_overhead=req.routing_overhead,
+                include_gar=req.include_gar,
+                noise=req.noise, seed=req.seed,
+            )
+        except BaseException as exc:  # surfaced through every future
+            error = exc
+        with self._cv:
+            group.done = True
+            self._inflight.pop(group.key, None)
+            members = group.members[:]
+        now = time.monotonic()
+        cancelled = 0
+        for entry in members:
+            if not self._settle(entry, plan=plan, error=error):
+                cancelled += 1
+        self._stats.resolve(
+            group_size=len(members),
+            failed=error is not None,
+            cancelled=cancelled,
+            latencies_ms=[
+                (now - entry.submitted) * 1000.0 for entry in members
+            ],
+        )

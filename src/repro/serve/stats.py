@@ -1,0 +1,159 @@
+"""Exact serving counters and latency percentiles for one PlanService.
+
+Follows the library's counters-not-logs convention
+(:class:`~repro.planner.store.StoreStats`,
+:class:`~repro.core.fastsolve.SolverStats`): every number is exact, so
+tests assert "this burst coalesced into one batch and deduplicated 199
+of 200 requests" instead of eyeballing throughput.
+
+Latency percentiles come from a bounded reservoir of the most recent
+request latencies (submission to resolution, wall clock) -- enough for a
+serving dashboard without unbounded memory.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+
+#: how many of the most recent request latencies feed the percentiles.
+LATENCY_WINDOW = 8192
+
+
+def percentile(samples: list[float], q: float) -> float:
+    """Nearest-rank percentile (``q`` in [0, 100]) of ``samples``.
+
+    Returns 0.0 for an empty sample set -- serving stats are read
+    continuously, including before the first request resolves.
+    """
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, round(q / 100.0 * len(ordered)) - 1))
+    return ordered[rank]
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Snapshot of one :class:`~repro.serve.PlanService`'s counters.
+
+    Attributes:
+        requests: submissions accepted into the queue.
+        completed: requests resolved with a plan.
+        failed: requests resolved with an exception.
+        rejected: submissions refused (queue full or service closed).
+        dedup_hits: requests answered by another request's computation
+            (coalesced within a batch, or joined onto an in-flight
+            digest).  ``dedup_hits + resolved == completed`` always.
+        resolved: distinct plan resolutions performed (one
+            ``Workspace.plan`` call each).
+        batches: coalescer flushes that processed at least one request.
+        max_batch: most requests drained in one flush.
+        coalesced_requests: total requests across all batches (mean
+            batch size is ``coalesced_requests / batches``).
+        p50_latency_ms: median submission-to-resolution latency over the
+            recent-latency window.
+        p95_latency_ms: 95th-percentile latency over the same window.
+    """
+
+    requests: int = 0
+    completed: int = 0
+    failed: int = 0
+    rejected: int = 0
+    dedup_hits: int = 0
+    resolved: int = 0
+    batches: int = 0
+    max_batch: int = 0
+    coalesced_requests: int = 0
+    p50_latency_ms: float = 0.0
+    p95_latency_ms: float = 0.0
+
+    @property
+    def dedup_rate(self) -> float:
+        """Fraction of completed requests that shared another's work."""
+        if self.completed == 0:
+            return 0.0
+        return self.dedup_hits / self.completed
+
+    @property
+    def mean_batch(self) -> float:
+        """Average coalesced batch size."""
+        if self.batches == 0:
+            return 0.0
+        return self.coalesced_requests / self.batches
+
+
+class StatsAccumulator:
+    """Thread-safe mutable counters behind :class:`ServiceStats`."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._requests = 0
+        self._completed = 0
+        self._failed = 0
+        self._rejected = 0
+        self._dedup_hits = 0
+        self._resolved = 0
+        self._batches = 0
+        self._max_batch = 0
+        self._coalesced = 0
+        self._latencies: deque[float] = deque(maxlen=LATENCY_WINDOW)
+
+    def request(self) -> None:
+        with self._lock:
+            self._requests += 1
+
+    def reject(self) -> None:
+        with self._lock:
+            self._rejected += 1
+
+    def batch(self, size: int) -> None:
+        with self._lock:
+            self._batches += 1
+            self._coalesced += size
+            self._max_batch = max(self._max_batch, size)
+
+    def resolve(
+        self,
+        *,
+        group_size: int,
+        failed: bool,
+        latencies_ms: list[float],
+        cancelled: int = 0,
+    ) -> None:
+        """Record one resolved group: 1 computation, ``group_size`` answers.
+
+        ``cancelled`` members (futures the caller cancelled before
+        delivery) count as failed, never as completed, so the
+        ``dedup_hits + resolved == completed`` invariant holds for the
+        delivered remainder.
+        """
+        delivered = group_size - cancelled
+        with self._lock:
+            if failed:
+                self._failed += group_size
+            else:
+                self._completed += delivered
+                self._failed += cancelled
+                if delivered > 0:
+                    self._resolved += 1
+                    self._dedup_hits += delivered - 1
+            self._latencies.extend(latencies_ms)
+
+    def snapshot(self) -> ServiceStats:
+        with self._lock:
+            samples = list(self._latencies)
+            return ServiceStats(
+                requests=self._requests,
+                completed=self._completed,
+                failed=self._failed,
+                rejected=self._rejected,
+                dedup_hits=self._dedup_hits,
+                resolved=self._resolved,
+                batches=self._batches,
+                max_batch=self._max_batch,
+                coalesced_requests=self._coalesced,
+                p50_latency_ms=percentile(samples, 50.0),
+                p95_latency_ms=percentile(samples, 95.0),
+            )

@@ -25,6 +25,7 @@ from ..core.gradient_partition import (
     GradientPartitionPlan,
     plan_gradient_partition,
 )
+from ..core.fastsolve import solve_merged_phase_degree
 from ..core.perf_model import PerfModelSet
 from ..core.pipeline_degree import DEFAULT_MAX_DEGREE, solve_degrees
 from ..core.schedules import (
@@ -200,8 +201,43 @@ def _merged_phase_degree(
     Algorithm 1's closed forms assume a dedicated inter-node stream; on a
     merged comm stream they overestimate the benefit of chunking.  The
     No-IIO ablation therefore picks its per-phase degree by sweeping its
-    *own* schedule's simulated makespan -- still adaptive and per-phase,
-    just against the correct stream model.
+    *own* schedule's makespan -- still adaptive and per-phase, just
+    against the correct stream model.
+
+    The sweep is the vectorized recurrence of
+    :func:`~repro.core.fastsolve.merged_phase_times`: every integer
+    degree of the whole stack in one array pass, bit-identical (degree
+    and makespan) to building and event-simulating one task graph per
+    degree (kept as :func:`_merged_phase_degree_sim` and pinned equal in
+    the tests).
+    """
+    if phase == "forward":
+        ctxs = [p.ctx_fw for p in profiles]
+        dense = [p.dense_fw_ms for p in profiles]
+        dense_first = True
+    else:
+        # Backward executes the stack in reverse, dense after each block.
+        ctxs = [p.ctx_bw for p in reversed(profiles)]
+        dense = [p.dense_bw_ms for p in reversed(profiles)]
+        dense_first = False
+    degree, _ = solve_merged_phase_degree(
+        ctxs, dense, r_max, dense_first=dense_first
+    )
+    return degree
+
+
+def _merged_phase_degree_sim(
+    profiles: tuple[LayerProfile, ...],
+    models: PerfModelSet,
+    r_max: int,
+    phase: str,
+) -> int:
+    """Simulate-per-degree reference for :func:`_merged_phase_degree`.
+
+    The pre-vectorization implementation, kept as the pinned oracle: it
+    builds one 2-stream task graph per candidate degree and takes the
+    event-simulated makespan.  Tests assert the vectorized sweep matches
+    it exactly.
     """
     best_r, best_t = 1, float("inf")
     for r in range(1, r_max + 1):

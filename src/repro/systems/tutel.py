@@ -17,6 +17,7 @@ from __future__ import annotations
 import functools
 from typing import Sequence
 
+from ..core.fastsolve import best_swept_degree, merged_iteration_times
 from ..core.perf_model import PerfModelSet
 from ..core.schedules import (
     GarMode,
@@ -37,7 +38,34 @@ def _oracle_degree(
     r_max: int,
     include_gar: bool,
 ) -> int:
-    """Integer sweep of the PipeMoE schedule's simulated iteration time."""
+    """Integer sweep of the PipeMoE schedule's iteration time.
+
+    Vectorized: all degrees of the full fw+bw+GAR-tail iteration in one
+    :func:`~repro.core.fastsolve.merged_iteration_times` pass,
+    bit-identical to building and event-simulating one task graph per
+    degree (kept as :func:`_oracle_degree_sim`, pinned in the tests).
+    """
+    times = merged_iteration_times(
+        [p.ctx_fw for p in profiles],
+        [p.dense_fw_ms for p in profiles],
+        [p.ctx_bw for p in profiles],
+        [p.dense_bw_ms for p in profiles],
+        [
+            models.allreduce.time_ms(p.grad_bytes) if include_gar else 0.0
+            for p in profiles
+        ],
+        r_max,
+    )
+    return best_swept_degree(times)[0]
+
+
+def _oracle_degree_sim(
+    profiles: tuple[LayerProfile, ...],
+    models: PerfModelSet,
+    r_max: int,
+    include_gar: bool,
+) -> int:
+    """Simulate-per-degree reference for :func:`_oracle_degree`."""
     best_r, best_t = 1, float("inf")
     for r in range(1, r_max + 1):
         spec = _pipemoe_spec(

@@ -1,4 +1,4 @@
-"""The ``python -m repro`` command line: plan / sweep / bench / cache."""
+"""The ``python -m repro`` command line: plan/sweep/bench/serve/cache."""
 
 from __future__ import annotations
 
@@ -252,3 +252,101 @@ class TestBenchAndCache:
         assert main(["cache", "clear", "--workspace", ws]) == 0  # recovers
         capsys.readouterr()
         assert main(["sweep", str(spec_file), "--workspace", ws]) == 0
+
+
+class TestServe:
+    REQUEST = {
+        "cluster": "B",
+        "system": "tutel",
+        "stack": {
+            "layers": [
+                {
+                    "batch_size": 1,
+                    "seq_len": 256,
+                    "embed_dim": 512,
+                    "num_experts": 8,
+                    "num_heads": 8,
+                }
+            ],
+            "num_layers": 2,
+        },
+    }
+
+    @pytest.fixture()
+    def requests_file(self, tmp_path):
+        lines = [
+            json.dumps(self.REQUEST),
+            json.dumps({**self.REQUEST, "system": "fsmoe",
+                        "solver": "slsqp"}),
+            json.dumps(self.REQUEST),  # duplicate: must dedup
+        ]
+        path = tmp_path / "requests.jsonl"
+        path.write_text("\n".join(lines) + "\n")
+        return path
+
+    def test_requests_stream_round_trips(
+        self, tmp_path, requests_file, capsys
+    ):
+        ws = str(tmp_path / "ws")
+        assert main([
+            "serve", "--requests", str(requests_file), "--workspace", ws,
+        ]) == 0
+        captured = capsys.readouterr()
+        rows = [json.loads(line) for line in captured.out.splitlines()]
+        assert [row["index"] for row in rows] == [0, 1, 2]
+        assert rows[0]["system"] == "Tutel"
+        assert rows[1]["system"] == "FSMoE"
+        # the duplicate answers identically to its first occurrence
+        assert rows[2] == {**rows[0], "index": 2}
+        assert "dedup" in captured.err
+
+    def test_served_plan_matches_direct_workspace_plan(
+        self, tmp_path, requests_file, capsys
+    ):
+        from repro import MoELayerSpec, Workspace
+        from repro.systems.registry import get_system
+
+        ws = str(tmp_path / "ws")
+        main(["serve", "--requests", str(requests_file),
+              "--workspace", ws])
+        rows = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines()
+        ]
+        layer = MoELayerSpec(batch_size=1, seq_len=256, embed_dim=512,
+                             num_experts=8, num_heads=8)
+        direct = Workspace(ws).plan(
+            (layer,) * 2, get_system("tutel"), make_testbed_b()
+        )
+        assert rows[0]["makespan_ms"] == direct.makespan_ms()
+        # and the serve run left its plans in the shared cache
+        warm = Workspace(ws)
+        warm.plan((layer,) * 2, get_system("tutel"), make_testbed_b())
+        assert warm.stats.plan_misses == 0
+
+    def test_demo_reports_speedup(self, capsys):
+        assert main(["serve", "--demo", "24", "--distinct", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "speedup:" in out
+        assert "plans bit-identical: True" in out
+        assert "dedup hits" in out
+
+    def test_requires_exactly_one_mode(self, capsys):
+        assert main(["serve"]) == 2
+        assert main([
+            "serve", "--demo", "4", "--requests", "x.jsonl",
+        ]) == 2
+
+    def test_malformed_request_line_is_a_clean_error(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"cluster": "B"}\n')
+        assert main(["serve", "--requests", str(path)]) == 2
+        assert "lacks 'system'" in capsys.readouterr().err
+
+    def test_unknown_request_key_is_a_clean_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({**self.REQUEST, "mystery": 1}) + "\n")
+        assert main(["serve", "--requests", str(path)]) == 2
+        assert "unknown keys" in capsys.readouterr().err
