@@ -1,39 +1,35 @@
 """Shared fixtures for the paper-artifact benchmarks.
 
-Every benchmark regenerates one table or figure of the FSMoE paper and
-prints it in the paper's format (also saved under ``benchmarks/results/``).
-Set ``REPRO_BENCH_FULL=1`` to run full-size sweeps (e.g. all 1458 Table-5
-configurations); the default subsamples for wall-clock friendliness while
-preserving every swept dimension.
+Every benchmark module reproduces one table or figure of the FSMoE
+paper through an importable ``produce(workspace, config) ->
+ArtifactResult`` function -- the same producer ``python -m repro
+report`` runs -- and a thin pytest wrapper that emits the files under
+``benchmarks/results/`` and asserts the paper's qualitative claims.
+
+Set ``REPRO_BENCH_FULL=1`` to run full-size sweeps (e.g. all 1458
+Table-5 configurations); the default subsamples for wall-clock
+friendliness while preserving every swept dimension.
+``REPRO_BENCH_SOLVER`` overrides the FSMoE Step-2 solver and
+``REPRO_PERF_SMOKE=1`` selects the scaled-down CI perf mode (see
+:class:`repro.report.ReportConfig`).
 """
 
 from __future__ import annotations
 
-import os
 import pathlib
 
 import pytest
 
-from repro import Workspace, standard_layout, testbed_a, testbed_b
+from repro import Workspace, testbed_a, testbed_b
+from repro.report import ArtifactResult, ReportConfig
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
-def full_run() -> bool:
-    """True when the full-size sweeps were requested via env var."""
-    return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
-
-
-def bench_solver() -> str:
-    """FSMoE Step-2 solver for the big sweeps.
-
-    Full-grid runs default to the fast local solver (placements within a
-    fraction of a percent of differential evolution, ~20x cheaper --
-    the DE solves dominate Table 5's wall time otherwise); subsampled
-    runs keep the paper's DE.  Override with ``REPRO_BENCH_SOLVER``.
-    """
-    default = "slsqp" if full_run() else "de"
-    return os.environ.get("REPRO_BENCH_SOLVER", default)
+@pytest.fixture(scope="session")
+def report_config() -> ReportConfig:
+    """The env-derived producer configuration shared by the session."""
+    return ReportConfig.from_env()
 
 
 @pytest.fixture(scope="session")
@@ -60,32 +56,14 @@ def workspace(tmp_path_factory):
 
 
 @pytest.fixture(scope="session")
-def profile_store(workspace):
-    """The session workspace's profile cache (compatibility fixture)."""
-    return workspace.store
-
-
-@pytest.fixture(scope="session")
-def models_a(cluster_a, profile_store):
-    """Fitted performance models for Testbed A (store-cached)."""
-    parallel = standard_layout(cluster_a.total_gpus, cluster_a.gpus_per_node)
-    return profile_store.models(cluster_a, parallel)
-
-
-@pytest.fixture(scope="session")
-def models_b(cluster_b, profile_store):
-    """Fitted performance models for Testbed B (store-cached)."""
-    parallel = standard_layout(cluster_b.total_gpus, cluster_b.gpus_per_node)
-    return profile_store.models(cluster_b, parallel)
-
-
-@pytest.fixture(scope="session")
-def emit():
-    """Print an artifact to the terminal and persist it under results/."""
+def emit_result():
+    """Persist an ArtifactResult under results/ and print its tables."""
     RESULTS_DIR.mkdir(exist_ok=True)
 
-    def _emit(name: str, text: str) -> None:
-        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
-        print(f"\n{'=' * 72}\n{text}\n{'=' * 72}")
+    def _emit(result: ArtifactResult) -> None:
+        for filename, text in result.outputs.items():
+            (RESULTS_DIR / filename).write_text(text)
+            if filename.endswith(".txt"):
+                print(f"\n{'=' * 72}\n{text.rstrip()}\n{'=' * 72}")
 
     return _emit

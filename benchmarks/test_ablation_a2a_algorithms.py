@@ -11,43 +11,36 @@ per-layer choice the scheduler facade makes.
 
 from __future__ import annotations
 
-import pytest
-
 from repro import MoELayerSpec
+from repro.api.registry import get_cluster
 from repro.bench.reporting import format_table
 from repro.core.scheduler import GenericScheduler
 from repro.parallel.collectives import A2AAlgorithm, CollectiveCostModel
+from repro.report import ArtifactResult, ReportConfig
 
 SIZES = tuple(int(4 ** i * 1e3) for i in range(1, 9))  # 4 KB .. 65 MB
 
 
-@pytest.mark.parametrize("testbed", ["A", "B"])
-def test_a2a_algorithm_crossover(testbed, cluster_a, cluster_b, emit,
-                                 benchmark):
-    cluster = cluster_a if testbed == "A" else cluster_b
+def _crossover_table(testbed, cluster):
+    """One testbed's cost sweep plus the small/large endpoint costs."""
     oracle = CollectiveCostModel(cluster)
     group = cluster.num_nodes
-
-    def sweep():
-        rows = []
-        for size in SIZES:
-            costs = {
-                algo: oracle.alltoall_ms(size, group, algo)
-                for algo in A2AAlgorithm
-            }
-            best = min(costs, key=costs.get)
-            rows.append(
-                [
-                    f"{size / 1e6:.3f} MB",
-                    f"{costs[A2AAlgorithm.NCCL]:.4f}",
-                    f"{costs[A2AAlgorithm.HIER_1D]:.4f}",
-                    f"{costs[A2AAlgorithm.HIER_2D]:.4f}",
-                    best.value,
-                ]
-            )
-        return rows
-
-    rows = benchmark(sweep)
+    rows = []
+    for size in SIZES:
+        costs = {
+            algo: oracle.alltoall_ms(size, group, algo)
+            for algo in A2AAlgorithm
+        }
+        best = min(costs, key=costs.get)
+        rows.append(
+            [
+                f"{size / 1e6:.3f} MB",
+                f"{costs[A2AAlgorithm.NCCL]:.4f}",
+                f"{costs[A2AAlgorithm.HIER_1D]:.4f}",
+                f"{costs[A2AAlgorithm.HIER_2D]:.4f}",
+                best.value,
+            ]
+        )
     table = format_table(
         ["buffer", "NCCL (ms)", "1DH (ms)", "2DH (ms)", "best"],
         rows,
@@ -56,19 +49,45 @@ def test_a2a_algorithm_crossover(testbed, cluster_a, cluster_b, emit,
             f"{testbed}, EP group of {group})"
         ),
     )
-    emit(f"ablation_a2a_algorithms_{testbed}", table)
+    endpoints = {
+        "small_hier": oracle.alltoall_ms(SIZES[0], group, A2AAlgorithm.HIER_1D),
+        "small_nccl": oracle.alltoall_ms(SIZES[0], group, A2AAlgorithm.NCCL),
+        "large_hier": oracle.alltoall_ms(SIZES[-1], group, A2AAlgorithm.HIER_1D),
+        "large_nccl": oracle.alltoall_ms(SIZES[-1], group, A2AAlgorithm.NCCL),
+    }
+    return table, endpoints
 
+
+def produce(workspace, config: ReportConfig) -> ArtifactResult:
+    """Regenerate the AlltoAll-crossover sweep for both testbeds."""
+    outputs: dict[str, str] = {}
+    endpoints: dict[str, dict[str, float]] = {}
+    for testbed in ("A", "B"):
+        cluster = get_cluster(testbed)
+        table, ends = _crossover_table(testbed, cluster)
+        outputs[f"ablation_a2a_algorithms_{testbed}.txt"] = table + "\n"
+        endpoints[testbed] = ends
+    return ArtifactResult(
+        artifact="a2a-algorithms",
+        outputs=outputs,
+        data={"endpoints": endpoints},
+    )
+
+
+def test_a2a_algorithm_crossover(workspace, report_config, emit_result,
+                                 benchmark):
+    result = benchmark.pedantic(
+        produce, args=(workspace, report_config), rounds=1, iterations=1
+    )
+    emit_result(result)
     # Shape: the hierarchical algorithm wins somewhere small, the direct
     # algorithm wins somewhere large -- a real crossover exists.
-    small = oracle.alltoall_ms(SIZES[0], group, A2AAlgorithm.HIER_1D)
-    small_direct = oracle.alltoall_ms(SIZES[0], group, A2AAlgorithm.NCCL)
-    large = oracle.alltoall_ms(SIZES[-1], group, A2AAlgorithm.HIER_1D)
-    large_direct = oracle.alltoall_ms(SIZES[-1], group, A2AAlgorithm.NCCL)
-    assert small < small_direct
-    assert large_direct < large
+    for testbed, ends in result.data["endpoints"].items():
+        assert ends["small_hier"] < ends["small_nccl"], testbed
+        assert ends["large_nccl"] < ends["large_hier"], testbed
 
 
-def test_scheduler_facade_picks_per_layer(cluster_b, emit):
+def test_scheduler_facade_picks_per_layer(cluster_b):
     scheduler = GenericScheduler(cluster_b)
     tiny = MoELayerSpec(
         batch_size=1, seq_len=32, embed_dim=256, num_experts=8,

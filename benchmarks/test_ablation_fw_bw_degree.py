@@ -9,23 +9,24 @@ and reports the fraction.
 from __future__ import annotations
 
 from repro import standard_layout
+from repro.api.registry import get_cluster
 from repro.bench import configured_layer_grid, format_table
 from repro.core.pipeline_degree import find_optimal_pipeline_degree
-from repro.models import profile_layer
-
-from .conftest import full_run
+from repro.report import ArtifactResult, ReportConfig
 
 PAPER_FRACTION = 912 / 1458  # ~62.6%
 
 
-def count_differing(cluster, models, stride):
+def count_differing(cluster, store, stride):
+    """(differing, total) forward/backward degree disagreements."""
     parallel = standard_layout(cluster.total_gpus, cluster.gpus_per_node)
+    models = store.models(cluster, parallel)
     specs = configured_layer_grid(
         "B", num_experts=cluster.num_nodes, stride=stride
     )
     differing = 0
     for spec in specs:
-        profile = profile_layer(spec, parallel, models)
+        profile = store.layer_profile(spec, parallel, models)
         fw = find_optimal_pipeline_degree(profile.ctx_fw).degree
         bw = find_optimal_pipeline_degree(profile.ctx_bw).degree
         if fw != bw:
@@ -33,14 +34,11 @@ def count_differing(cluster, models, stride):
     return differing, len(specs)
 
 
-def test_fw_bw_degrees_differ(cluster_b, models_b, emit, benchmark):
-    stride = 1 if full_run() else 9
-    differing, total = benchmark.pedantic(
-        count_differing,
-        args=(cluster_b, models_b, stride),
-        rounds=1,
-        iterations=1,
-    )
+def produce(workspace, config: ReportConfig) -> ArtifactResult:
+    """Regenerate the fw-vs-bw degree-disagreement table."""
+    cluster = get_cluster("B")
+    stride = 1 if config.full else 9
+    differing, total = count_differing(cluster, workspace.store, stride)
     fraction = differing / total
     table = format_table(
         ["metric", "measured", "paper"],
@@ -51,8 +49,19 @@ def test_fw_bw_degrees_differ(cluster_b, models_b, emit, benchmark):
         ],
         title="Ablation §4.4 -- per-phase pipeline degrees (Testbed B grid)",
     )
-    emit("ablation_fw_bw_degree", table)
+    return ArtifactResult(
+        artifact="fw-bw-degree",
+        outputs={"ablation_fw_bw_degree.txt": table + "\n"},
+        data={"fraction": fraction},
+    )
 
+
+def test_fw_bw_degrees_differ(workspace, report_config, emit_result,
+                              benchmark):
+    result = benchmark.pedantic(
+        produce, args=(workspace, report_config), rounds=1, iterations=1
+    )
+    emit_result(result)
     # Shape: a substantial fraction of configurations differ, justifying
     # per-phase scheduling.
-    assert fraction > 0.25
+    assert result.data["fraction"] > 0.25

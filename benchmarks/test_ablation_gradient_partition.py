@@ -16,12 +16,13 @@ three-stream schedule.
 from __future__ import annotations
 
 from repro import standard_layout
+from repro.api.registry import get_cluster
 from repro.bench.reporting import format_table
 from repro.core.gradient_partition import (
     GeneralizedLayer,
     plan_gradient_partition,
 )
-from repro.core.profiler import profile_cluster
+from repro.core.pipeline_degree import find_optimal_pipeline_degree
 from repro.core.schedules import (
     GarMode,
     IterationSpec,
@@ -29,11 +30,9 @@ from repro.core.schedules import (
     THREE_STREAM,
     build_iteration_graph,
 )
-from repro.models import MIXTRAL_7B, layer_spec_for, profile_layer
+from repro.models import MIXTRAL_7B, layer_spec_for
+from repro.report import ArtifactResult, ReportConfig
 from repro.sim import simulate
-from repro.core.pipeline_degree import find_optimal_pipeline_degree
-
-from .conftest import full_run
 
 
 def _forward_degree(profile, r_max):
@@ -41,6 +40,7 @@ def _forward_degree(profile, r_max):
 
 
 def build_variant(profiles, models, gar_mode, plan, r_max=16):
+    """One IterationSpec for a (gar_mode, partition-plan) combination."""
     forward = tuple(
         LayerPhaseSchedule(
             ctx=p.ctx_fw, degree=_forward_degree(p, r_max),
@@ -77,13 +77,14 @@ def build_variant(profiles, models, gar_mode, plan, r_max=16):
     )
 
 
-def run_ablation(cluster, num_layers):
+def run_ablation(cluster, num_layers, store):
+    """Makespans of the four gradient-aggregation variants."""
     parallel = standard_layout(cluster.total_gpus, cluster.gpus_per_node)
-    models = profile_cluster(cluster, parallel).models
+    models = store.models(cluster, parallel)
     spec = layer_spec_for(
         MIXTRAL_7B, batch_size=1, seq_len=1024, num_experts=parallel.n_ep
     )
-    profiles = [profile_layer(spec, parallel, models)] * num_layers
+    profiles = [store.layer_profile(spec, parallel, models)] * num_layers
     layers = [
         GeneralizedLayer(
             ctx=p.ctx_bw,
@@ -117,11 +118,11 @@ def run_ablation(cluster, num_layers):
     }
 
 
-def test_gradient_partition_ablation(cluster_a, emit, benchmark):
-    num_layers = MIXTRAL_7B.num_layers if full_run() else 6
-    times = benchmark.pedantic(
-        run_ablation, args=(cluster_a, num_layers), rounds=1, iterations=1
-    )
+def produce(workspace, config: ReportConfig) -> ArtifactResult:
+    """Regenerate the §5 gradient-partition ablation table."""
+    cluster = get_cluster("A")
+    num_layers = MIXTRAL_7B.num_layers if config.full else 6
+    times = run_ablation(cluster, num_layers, workspace.store)
     baseline = times["exposed (no §5)"]
     rows = [
         [name, f"{t:.1f}", f"{baseline / t:.3f}x"]
@@ -135,7 +136,19 @@ def test_gradient_partition_ablation(cluster_a, emit, benchmark):
             "FSMoE 3-stream schedule (Mixtral-7B, Testbed A)"
         ),
     )
-    emit("ablation_gradient_partition", table)
+    return ArtifactResult(
+        artifact="gradient-partition",
+        outputs={"ablation_gradient_partition.txt": table + "\n"},
+        data={"times": times},
+    )
 
+
+def test_gradient_partition_ablation(workspace, report_config, emit_result,
+                                     benchmark):
+    result = benchmark.pedantic(
+        produce, args=(workspace, report_config), rounds=1, iterations=1
+    )
+    emit_result(result)
+    times = result.data["times"]
     assert times["full plan (FSMoE)"] <= times["step1 only"] + 1e-6
-    assert times["full plan (FSMoE)"] < baseline
+    assert times["full plan (FSMoE)"] < times["exposed (no §5)"]

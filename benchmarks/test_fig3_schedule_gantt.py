@@ -10,13 +10,16 @@ qualitative claims: each added overlap shortens the makespan.
 from __future__ import annotations
 
 from repro import MoELayerSpec, standard_layout
+from repro.api.registry import get_cluster
 from repro.models import profile_layer
+from repro.report import ArtifactResult, ReportConfig
 from repro.systems import DeepSpeedMoE, FSMoE, Tutel, TutelImproved
 
 SYSTEMS = (DeepSpeedMoE(), Tutel(), TutelImproved(), FSMoE())
 
 
 def render_all(cluster, models):
+    """ASCII Gantt text plus per-system makespans on one layer pair."""
     parallel = standard_layout(cluster.total_gpus, cluster.gpus_per_node)
     spec = MoELayerSpec(
         batch_size=2,
@@ -42,14 +45,30 @@ def render_all(cluster, models):
     return "\n\n".join(blocks), makespans
 
 
-def test_fig3_schedules(cluster_b, models_b, emit, benchmark):
-    text, makespans = benchmark(render_all, cluster_b, models_b)
-    emit(
-        "fig3_schedules",
+def produce(workspace, config: ReportConfig) -> ArtifactResult:
+    """Regenerate the Fig. 3 schedule Gantt charts (Testbed B)."""
+    cluster = get_cluster("B")
+    parallel = standard_layout(cluster.total_gpus, cluster.gpus_per_node)
+    models = workspace.store.models(cluster, parallel)
+    text, makespans = render_all(cluster, models)
+    body = (
         "Fig. 3 -- backward-pass schedules (glyphs: D dispatch, C combine, "
         "G allgather, S reducescatter, E experts, R grad-allreduce, "
-        "o others)\n\n" + text,
+        "o others)\n\n" + text
     )
+    return ArtifactResult(
+        artifact="fig3",
+        outputs={"fig3_schedules.txt": body + "\n"},
+        data={"makespans": makespans},
+    )
+
+
+def test_fig3_schedules(workspace, report_config, emit_result, benchmark):
+    result = benchmark.pedantic(
+        produce, args=(workspace, report_config), rounds=1, iterations=1
+    )
+    emit_result(result)
+    makespans = result.data["makespans"]
     # Fig. 3's qualitative claim: (a) default is slowest; (d) FSMoE's
     # 3-stream overlap + gradient partitioning is fastest.
     assert makespans["FSMoE"] < makespans["Tutel"]

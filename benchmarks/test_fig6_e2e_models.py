@@ -11,14 +11,11 @@ Paper: FSMoE 1.28-3.01x over DS-MoE; Tutel 1.16-2.59x; FSMoE averages
 
 from __future__ import annotations
 
-import pytest
-
 from repro.api import ClusterRef, ExperimentSpec, StackSpec
 from repro.bench import format_table
 from repro.models import GPT2_XL, MIXTRAL_7B, MIXTRAL_22B
+from repro.report import ArtifactResult, ReportConfig
 from repro.systems import ALL_SYSTEM_KEYS
-
-from .conftest import bench_solver, full_run
 
 SYSTEM_ORDER = (
     "DS-MoE", "Tutel", "Tutel-Improved", "PipeMoE+Lina", "FSMoE-No-IIO",
@@ -35,13 +32,13 @@ CASES = [
 ]
 
 
-@pytest.mark.parametrize("testbed,preset,seq_len", CASES)
-def test_fig6_e2e_speedups(testbed, preset, seq_len, workspace, emit,
-                           benchmark):
+def _case_result(workspace, config, testbed, preset, seq_len):
+    """One (testbed, model) sweep -> its ConfigResult."""
     # The subsampled run trims deep models to 8 layers (identical layers,
     # so speedup ratios are unchanged beyond ~4 layers).
-    num_layers = preset.num_layers if full_run() else min(preset.num_layers, 8)
-
+    num_layers = (
+        preset.num_layers if config.full else min(preset.num_layers, 8)
+    )
     spec = ExperimentSpec(
         name=f"fig6-{preset.name}-{testbed}",
         clusters=(ClusterRef(testbed),),
@@ -51,33 +48,56 @@ def test_fig6_e2e_speedups(testbed, preset, seq_len, workspace, emit,
                 model=preset.name, seq_len=seq_len, num_layers=num_layers
             ),
         ),
-        solver=bench_solver(),
+        solver=config.step2_solver,
     )
-    sweep = benchmark.pedantic(
-        workspace.sweep, args=(spec,), rounds=1, iterations=1
-    )
-    result = sweep.config_results()[0]
+    result = workspace.sweep(spec).config_results()[0]
+    return result, num_layers
 
-    rows = [
-        [
-            name,
-            f"{result.times_ms[name]:.1f}",
-            f"{result.speedup(name, 'DS-MoE'):.2f}x",
+
+def produce(workspace, config: ReportConfig) -> ArtifactResult:
+    """Regenerate the five Fig. 6 speedup tables."""
+    outputs: dict[str, str] = {}
+    speedups: dict[tuple[str, str], dict[str, float]] = {}
+    for testbed, preset, seq_len in CASES:
+        result, num_layers = _case_result(
+            workspace, config, testbed, preset, seq_len
+        )
+        rows = [
+            [
+                name,
+                f"{result.times_ms[name]:.1f}",
+                f"{result.speedup(name, 'DS-MoE'):.2f}x",
+            ]
+            for name in SYSTEM_ORDER
         ]
-        for name in SYSTEM_ORDER
-    ]
-    table = format_table(
-        ["System", "iteration (ms)", "speedup vs DS-MoE"],
-        rows,
-        title=(
-            f"Fig. 6 -- {preset.name} on Testbed {testbed} "
-            f"(L={seq_len}, {num_layers} layers).  Paper bands: FSMoE "
-            f"1.28-3.01x, Tutel 1.16-2.59x over DS-MoE."
-        ),
+        table = format_table(
+            ["System", "iteration (ms)", "speedup vs DS-MoE"],
+            rows,
+            title=(
+                f"Fig. 6 -- {preset.name} on Testbed {testbed} "
+                f"(L={seq_len}, {num_layers} layers).  Paper bands: FSMoE "
+                f"1.28-3.01x, Tutel 1.16-2.59x over DS-MoE."
+            ),
+        )
+        outputs[f"fig6_{preset.name}_testbed_{testbed}.txt"] = table + "\n"
+        speedups[(preset.name, testbed)] = {
+            "fsmoe_vs_dsmoe": result.speedup("FSMoE", "DS-MoE"),
+            "tutel_vs_dsmoe": result.speedup("Tutel", "DS-MoE"),
+            "fsmoe_vs_tutel": result.speedup("FSMoE", "Tutel"),
+            "fsmoe_vs_noiio": result.speedup("FSMoE", "FSMoE-No-IIO"),
+        }
+    return ArtifactResult(
+        artifact="fig6", outputs=outputs, data={"speedups": speedups}
     )
-    emit(f"fig6_{preset.name}_testbed_{testbed}", table)
 
-    # Shape assertions (who wins).
-    assert result.speedup("FSMoE", "DS-MoE") > result.speedup("Tutel", "DS-MoE")
-    assert result.speedup("FSMoE", "Tutel") > 1.05
-    assert result.speedup("FSMoE", "FSMoE-No-IIO") > 1.0
+
+def test_fig6_e2e_speedups(workspace, report_config, emit_result, benchmark):
+    result = benchmark.pedantic(
+        produce, args=(workspace, report_config), rounds=1, iterations=1
+    )
+    emit_result(result)
+    # Shape assertions (who wins), per case.
+    for case, ratios in result.data["speedups"].items():
+        assert ratios["fsmoe_vs_dsmoe"] > ratios["tutel_vs_dsmoe"], case
+        assert ratios["fsmoe_vs_tutel"] > 1.05, case
+        assert ratios["fsmoe_vs_noiio"] > 1.0, case

@@ -15,13 +15,24 @@ from __future__ import annotations
 from repro.api import ClusterRef, ExperimentSpec, StackSpec
 from repro.bench import format_table
 from repro.models import MIXTRAL_7B
+from repro.report import ArtifactResult, ReportConfig
 from repro.systems import ALL_SYSTEM_KEYS
 
-from .conftest import bench_solver, full_run
+
+def _speedup_rows(results, labels):
+    return [
+        [
+            label,
+            f"{result.speedup('FSMoE', 'DS-MoE'):.2f}x",
+            f"{result.speedup('Tutel', 'DS-MoE'):.2f}x",
+            f"{result.speedup('FSMoE', 'Tutel'):.2f}x",
+        ]
+        for result, label in zip(results, labels)
+    ]
 
 
-def test_fig7_varied_seq_len(workspace, emit, benchmark):
-    num_layers = 7 if full_run() else 4
+def _varied_seq_len(workspace, config):
+    num_layers = 7 if config.full else 4
     spec = ExperimentSpec(
         name="fig7-varied-L",
         clusters=(ClusterRef("A"),),
@@ -32,42 +43,28 @@ def test_fig7_varied_seq_len(workspace, emit, benchmark):
             )
             for seq_len in (512, 1024, 2048)
         ),
-        solver=bench_solver(),
+        solver=config.step2_solver,
     )
-    sweep = benchmark.pedantic(
-        workspace.sweep, args=(spec,), rounds=1, iterations=1
-    )
-    results = sweep.config_results()
-
-    rows = []
-    for result in results:
-        rows.append(
-            [
-                f"L={result.spec.seq_len}",
-                f"{result.speedup('FSMoE', 'DS-MoE'):.2f}x",
-                f"{result.speedup('Tutel', 'DS-MoE'):.2f}x",
-                f"{result.speedup('FSMoE', 'Tutel'):.2f}x",
-            ]
-        )
+    results = workspace.sweep(spec).config_results()
+    labels = [f"L={result.spec.seq_len}" for result in results]
     table = format_table(
         ["case", "FSMoE/DS-MoE", "Tutel/DS-MoE", "FSMoE/Tutel"],
-        rows,
+        _speedup_rows(results, labels),
         title=(
             "Fig. 7a -- varied L, P=48, Mixtral-7B, Testbed A.  Paper: "
             "FSMoE 2.17/2.72/3.14x over DS-MoE, 1.17/1.19/1.17x over Tutel."
         ),
     )
-    emit("fig7_varied_L", table)
-    for result in results:
-        assert result.speedup("FSMoE", "Tutel") > 1.05
+    return table, results
 
 
-def test_fig7_varied_world_size(workspace, emit, benchmark):
-    num_layers = 7 if full_run() else 4
+def _varied_world_size(workspace, config):
+    num_layers = 7 if config.full else 4
+    world_sizes = (16, 32, 48)
     spec = ExperimentSpec(
         name="fig7-varied-P",
         clusters=tuple(
-            ClusterRef("A", total_gpus=total) for total in (16, 32, 48)
+            ClusterRef("A", total_gpus=total) for total in world_sizes
         ),
         systems=ALL_SYSTEM_KEYS,
         stacks=(
@@ -75,31 +72,43 @@ def test_fig7_varied_world_size(workspace, emit, benchmark):
                 model=MIXTRAL_7B.name, seq_len=1024, num_layers=num_layers
             ),
         ),
-        solver=bench_solver(),
+        solver=config.step2_solver,
     )
-    sweep = benchmark.pedantic(
-        workspace.sweep, args=(spec,), rounds=1, iterations=1
-    )
-    results = sweep.config_results()
-
-    rows = []
-    for result, total_gpus in zip(results, (16, 32, 48)):
-        rows.append(
-            [
-                f"P={total_gpus}",
-                f"{result.speedup('FSMoE', 'DS-MoE'):.2f}x",
-                f"{result.speedup('Tutel', 'DS-MoE'):.2f}x",
-                f"{result.speedup('FSMoE', 'Tutel'):.2f}x",
-            ]
-        )
+    results = workspace.sweep(spec).config_results()
+    labels = [f"P={total}" for total in world_sizes]
     table = format_table(
         ["case", "FSMoE/DS-MoE", "Tutel/DS-MoE", "FSMoE/Tutel"],
-        rows,
+        _speedup_rows(results, labels),
         title=(
             "Fig. 7b -- varied P, L=1024, Mixtral-7B, Testbed A.  Paper: "
             "FSMoE 2.25/2.27/2.72x over DS-MoE, 1.20/1.16/1.19x over Tutel."
         ),
     )
-    emit("fig7_varied_P", table)
-    for result in results:
-        assert result.speedup("FSMoE", "Tutel") > 1.05
+    return table, results
+
+
+def produce(workspace, config: ReportConfig) -> ArtifactResult:
+    """Regenerate both Fig. 7 sweeps (varied L, varied P)."""
+    table_l, results_l = _varied_seq_len(workspace, config)
+    table_p, results_p = _varied_world_size(workspace, config)
+    fsmoe_vs_tutel = [
+        result.speedup("FSMoE", "Tutel") for result in results_l + results_p
+    ]
+    return ArtifactResult(
+        artifact="fig7",
+        outputs={
+            "fig7_varied_L.txt": table_l + "\n",
+            "fig7_varied_P.txt": table_p + "\n",
+        },
+        data={"fsmoe_vs_tutel": fsmoe_vs_tutel},
+    )
+
+
+def test_fig7_varied_L_and_P(workspace, report_config, emit_result,
+                             benchmark):
+    result = benchmark.pedantic(
+        produce, args=(workspace, report_config), rounds=1, iterations=1
+    )
+    emit_result(result)
+    for speedup in result.data["fsmoe_vs_tutel"]:
+        assert speedup > 1.05

@@ -14,9 +14,11 @@ Tutel-Improved, 1.12x over PipeMoE+Lina and 1.05x over FSMoE-No-IIO.
 from __future__ import annotations
 
 from repro import standard_layout
+from repro.api.registry import get_cluster
 from repro.bench.reporting import format_table
 from repro.models import MIXTRAL_7B, gpipe_iteration_ms, layer_spec_for, \
     microbatch_spec, split_stages
+from repro.report import ArtifactResult, ReportConfig
 from repro.systems import (
     DeepSpeedMoE,
     FSMoE,
@@ -25,8 +27,6 @@ from repro.systems import (
     Tutel,
     TutelImproved,
 )
-
-from .conftest import full_run
 
 N_PP = 2
 N_MICRO = 4
@@ -61,17 +61,19 @@ def pp_iteration_ms(system, preset, cluster, num_layers, store):
     )
 
 
-def test_fig8_pp_enabled(cluster_a, profile_store, emit, benchmark):
+def produce(workspace, config: ReportConfig) -> ArtifactResult:
+    """Regenerate the Fig. 8 pipeline-parallel speedup table."""
+    cluster = get_cluster("A")
     # An odd default layer count exercises the heterogeneous-stage path
     # (stages of 3 and 2 layers) even in the subsampled run.
-    num_layers = MIXTRAL_7B.num_layers if full_run() else 5
+    num_layers = MIXTRAL_7B.num_layers if config.full else 5
     times = {}
     for system in (
         DeepSpeedMoE(), Tutel(), TutelImproved(), PipeMoELina(),
         FSMoENoIIO(), FSMoE(),
     ):
         times[system.name] = pp_iteration_ms(
-            system, MIXTRAL_7B, cluster_a, num_layers, profile_store
+            system, MIXTRAL_7B, cluster, num_layers, workspace.store
         )
 
     rows = [
@@ -91,14 +93,18 @@ def test_fig8_pp_enabled(cluster_a, profile_store, emit, benchmark):
             "1.16x over Tutel, 1.05x over FSMoE-No-IIO."
         ),
     )
-    emit("fig8_pp", table)
-
-    benchmark.pedantic(
-        pp_iteration_ms,
-        args=(FSMoE(), MIXTRAL_7B, cluster_a, 2, profile_store),
-        rounds=1,
-        iterations=1,
+    return ArtifactResult(
+        artifact="fig8",
+        outputs={"fig8_pp.txt": table + "\n"},
+        data={"times": times},
     )
 
+
+def test_fig8_pp_enabled(workspace, report_config, emit_result, benchmark):
+    result = benchmark.pedantic(
+        produce, args=(workspace, report_config), rounds=1, iterations=1
+    )
+    emit_result(result)
+    times = result.data["times"]
     assert times["FSMoE"] < times["Tutel"] < times["DS-MoE"]
     assert times["FSMoE"] < times["FSMoE-No-IIO"]

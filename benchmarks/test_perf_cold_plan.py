@@ -22,7 +22,6 @@ Assertions:
 from __future__ import annotations
 
 import json
-import os
 import platform
 import time
 
@@ -32,9 +31,10 @@ from repro.core import clear_solver_cache, set_default_degree_solver
 from repro.core.pipeline_degree import _find_optimal_cached
 from repro.models import get_model_preset, layer_spec_for
 from repro.planner.batch import plan_many
+from repro.report import ArtifactResult, ReportConfig
 from repro.systems import fsmoe as fsmoe_module
 
-from .conftest import RESULTS_DIR, full_run
+from .conftest import RESULTS_DIR
 
 RESULTS_PATH = RESULTS_DIR / "BENCH_planner.json"
 
@@ -47,10 +47,10 @@ MAX_REGRESSION = 3.0
 REGRESSION_FLOOR_S = 1.0
 
 
-def _fig7_grid():
+def _fig7_grid(full: bool):
     """Varied L x varied P, Mixtral-7B on Testbed-A subsets."""
-    seq_lens = (512, 1024, 2048) if full_run() else (512, 1024)
-    world_sizes = (16, 32, 48) if full_run() else (16, 32)
+    seq_lens = (512, 1024, 2048) if full else (512, 1024)
+    world_sizes = (16, 32, 48) if full else (16, 32)
     clusters = [get_cluster("A", total_gpus=g) for g in world_sizes]
     preset = get_model_preset("Mixtral-7B")
     specs = [
@@ -91,12 +91,14 @@ def _cold_plan(specs, clusters, solver: str):
     return elapsed, result
 
 
-def test_cold_plan_batch_vs_slsqp(emit):
-    baseline = None
-    if RESULTS_PATH.exists():
-        baseline = json.loads(RESULTS_PATH.read_text())
+def produce(workspace, config: ReportConfig) -> ArtifactResult:
+    """Measure cold/warm/SLSQP planning and build the JSON baseline.
 
-    specs, clusters = _fig7_grid()
+    The timings are machine-dependent, so the artifact is registered as
+    non-deterministic: ``repro report`` rewrites the files, ``repro
+    report --check`` skips them.
+    """
+    specs, clusters = _fig7_grid(config.full)
 
     cold_batch_s, batch_result = _cold_plan(specs, clusters, "batch")
     batch_stats = solver_stats()  # window-exact: _cold_plan zeroed them
@@ -116,17 +118,18 @@ def test_cold_plan_batch_vs_slsqp(emit):
     cold_slsqp_s, slsqp_result = _cold_plan(specs, clusters, "slsqp")
 
     # Cross-check: the exact sweep and the relaxation agree closely.
+    max_gap = 0.0
     for batch_point, slsqp_point in zip(
         batch_result.points, slsqp_result.points
     ):
-        assert batch_point.makespan_ms == slsqp_point.makespan_ms or (
-            abs(batch_point.makespan_ms - slsqp_point.makespan_ms)
-            <= 0.02 * slsqp_point.makespan_ms
+        gap = abs(batch_point.makespan_ms - slsqp_point.makespan_ms)
+        max_gap = max(max_gap, gap / slsqp_point.makespan_ms)
+    warm_identical = all(
+        batch_point.makespan_ms == warm_point.makespan_ms
+        for batch_point, warm_point in zip(
+            batch_result.points, warm_result.points
         )
-    for batch_point, warm_point in zip(
-        batch_result.points, warm_result.points
-    ):
-        assert batch_point.makespan_ms == warm_point.makespan_ms
+    )
 
     speedup = cold_slsqp_s / cold_batch_s
     payload = {
@@ -149,26 +152,49 @@ def test_cold_plan_batch_vs_slsqp(emit):
         "machine": platform.machine(),
         "python": platform.python_version(),
     }
-    RESULTS_DIR.mkdir(exist_ok=True)
-    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
-    emit(
-        "perf_cold_plan",
-        (
-            f"cold plan_many ({len(batch_result)} points): "
-            f"batch {cold_batch_s * 1e3:.1f} ms, "
-            f"slsqp {cold_slsqp_s * 1e3:.1f} ms "
-            f"({speedup:.0f}x), warm {warm_s * 1e3:.1f} ms"
-        ),
+    summary = (
+        f"cold plan_many ({len(batch_result)} points): "
+        f"batch {cold_batch_s * 1e3:.1f} ms, "
+        f"slsqp {cold_slsqp_s * 1e3:.1f} ms "
+        f"({speedup:.0f}x), warm {warm_s * 1e3:.1f} ms"
+    )
+    return ArtifactResult(
+        artifact="perf-planner",
+        outputs={
+            "perf_cold_plan.txt": summary + "\n",
+            "BENCH_planner.json": json.dumps(payload, indent=2) + "\n",
+        },
+        data={
+            "cold_batch_s": cold_batch_s,
+            "speedup": speedup,
+            "max_gap": max_gap,
+            "warm_identical": warm_identical,
+        },
     )
 
-    assert speedup >= MIN_SPEEDUP
 
-    if os.environ.get("REPRO_PERF_SMOKE") == "1" and baseline is not None:
+def test_cold_plan_batch_vs_slsqp(workspace, report_config, emit_result,
+                                  benchmark):
+    baseline = None
+    if RESULTS_PATH.exists():
+        baseline = json.loads(RESULTS_PATH.read_text())
+
+    result = benchmark.pedantic(
+        produce, args=(workspace, report_config), rounds=1, iterations=1
+    )
+    emit_result(result)
+
+    assert result.data["max_gap"] <= 0.02
+    assert result.data["warm_identical"]
+    assert result.data["speedup"] >= MIN_SPEEDUP
+
+    if report_config.smoke and baseline is not None:
         limit = max(
             MAX_REGRESSION * float(baseline["cold_batch_s"]),
             REGRESSION_FLOOR_S,
         )
-        assert cold_batch_s <= limit, (
-            f"cold planning regressed: {cold_batch_s:.3f} s vs recorded "
-            f"baseline {baseline['cold_batch_s']} s (limit {limit:.3f} s)"
+        assert result.data["cold_batch_s"] <= limit, (
+            f"cold planning regressed: {result.data['cold_batch_s']:.3f} s "
+            f"vs recorded baseline {baseline['cold_batch_s']} s "
+            f"(limit {limit:.3f} s)"
         )

@@ -29,13 +29,15 @@ Assertions:
 from __future__ import annotations
 
 import json
-import os
 import platform
+import tempfile
 import time
+from pathlib import Path
 
 from repro import Workspace
 from repro.core import clear_solver_cache
 from repro.core.pipeline_degree import _find_optimal_cached
+from repro.report import ArtifactResult, ReportConfig
 from repro.serve import (
     PlanService,
     duplicate_heavy_requests,
@@ -46,7 +48,7 @@ from repro.serve import (
 from repro.systems import fsmoe as fsmoe_module
 from repro.systems import tutel as tutel_module
 
-from .conftest import RESULTS_DIR, full_run
+from .conftest import RESULTS_DIR
 
 RESULTS_PATH = RESULTS_DIR / "BENCH_serve.json"
 
@@ -57,15 +59,11 @@ MIN_SPEEDUP = 5.0
 SMOKE_MIN_SPEEDUP = 3.0
 
 
-def _smoke() -> bool:
-    return os.environ.get("REPRO_PERF_SMOKE") == "1"
-
-
-def _workload() -> tuple[int, int, int]:
+def _workload(config: ReportConfig) -> tuple[int, int, int]:
     """(total, distinct, depth) for the current run size."""
-    if full_run():
+    if config.full:
         return 4000, 4, 12
-    if _smoke():
+    if config.smoke:
         return 600, 4, 8
     return 2500, 4, 12
 
@@ -79,38 +77,41 @@ def _reset_process_caches() -> None:
     tutel_module._oracle_degree.cache_clear()
 
 
-def test_serve_throughput_vs_serial(tmp_path, emit):
-    total, distinct, depth = _workload()
+def produce(workspace, config: ReportConfig) -> ArtifactResult:
+    """Measure serving throughput and build the JSON baseline.
+
+    Timing-dependent (registered non-deterministic); smoke runs omit
+    the committed ``BENCH_serve.json`` so CI never rewrites the
+    full-size baseline with scaled-down numbers.
+    """
+    total, distinct, depth = _workload(config)
     requests = duplicate_heavy_requests(total, distinct, depth=depth)
 
-    _reset_process_caches()
-    serial = run_serial_session(requests, tmp_path / "serial")
+    with tempfile.TemporaryDirectory(prefix="repro-perf-serve-") as tmp:
+        scratch = Path(tmp)
+        _reset_process_caches()
+        serial = run_serial_session(requests, scratch / "serial")
 
-    _reset_process_caches()
-    served = run_service(requests, tmp_path / "service")
+        _reset_process_caches()
+        served = run_service(requests, scratch / "service")
 
-    # The per-request baseline re-opens the workspace every call; a
-    # subsample gives its rate without dominating the benchmark's wall
-    # time (the stream is duplicate-heavy, so the subsample still mixes
-    # every distinct request).
-    per_request_n = min(total, 200)
-    _reset_process_caches()
-    per_request = run_serial_per_request(
-        requests[:per_request_n], tmp_path / "per-request"
+        # The per-request baseline re-opens the workspace every call; a
+        # subsample gives its rate without dominating the benchmark's
+        # wall time (the stream is duplicate-heavy, so the subsample
+        # still mixes every distinct request).
+        per_request_n = min(total, 200)
+        _reset_process_caches()
+        per_request = run_serial_per_request(
+            requests[:per_request_n], scratch / "per-request"
+        )
+
+    bit_identical = all(
+        mine.to_json() == theirs.to_json()
+        for mine, theirs in zip(served.plans, serial.plans)
     )
-
-    # bit-identical plans, request by request
-    for mine, theirs in zip(served.plans, serial.plans):
-        assert mine.to_json() == theirs.to_json()
-
     stats = served.stats
-    assert stats.completed == total and stats.failed == 0
-    assert stats.dedup_hits + stats.resolved == total
-
     speedup = serial.wall_s / served.wall_s
-    speedup_per_request = (
-        served.throughput_rps / per_request.throughput_rps
-    )
+    speedup_per_request = served.throughput_rps / per_request.throughput_rps
     payload = {
         "workload": {
             "total_requests": total,
@@ -127,7 +128,7 @@ def test_serve_throughput_vs_serial(tmp_path, emit):
         "service_rps": round(served.throughput_rps, 1),
         "speedup_vs_serial": round(speedup, 1),
         "speedup_vs_per_request": round(speedup_per_request, 1),
-        "bit_identical": True,
+        "bit_identical": bit_identical,
         "service": {
             "requests": stats.requests,
             "resolved": stats.resolved,
@@ -142,35 +143,60 @@ def test_serve_throughput_vs_serial(tmp_path, emit):
         "machine": platform.machine(),
         "python": platform.python_version(),
     }
-    if not _smoke():
-        RESULTS_DIR.mkdir(exist_ok=True)
-        RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
-    emit(
-        "perf_serve",
-        (
-            f"serve ({total} requests, {distinct} distinct): "
-            f"serial {serial.wall_s:.3f} s "
-            f"({serial.throughput_rps:.0f} req/s), "
-            f"service {served.wall_s:.3f} s "
-            f"({served.throughput_rps:.0f} req/s, {speedup:.1f}x), "
-            f"per-request sessions {per_request.throughput_rps:.0f} req/s "
-            f"({speedup_per_request:.1f}x), "
-            f"dedup {100.0 * stats.dedup_rate:.1f}%"
-        ),
+    summary = (
+        f"serve ({total} requests, {distinct} distinct): "
+        f"serial {serial.wall_s:.3f} s "
+        f"({serial.throughput_rps:.0f} req/s), "
+        f"service {served.wall_s:.3f} s "
+        f"({served.throughput_rps:.0f} req/s, {speedup:.1f}x), "
+        f"per-request sessions {per_request.throughput_rps:.0f} req/s "
+        f"({speedup_per_request:.1f}x), "
+        f"dedup {100.0 * stats.dedup_rate:.1f}%"
+    )
+    outputs = {"perf_serve.txt": summary + "\n"}
+    if not config.smoke:
+        outputs["BENCH_serve.json"] = json.dumps(payload, indent=2) + "\n"
+    return ArtifactResult(
+        artifact="perf-serve",
+        outputs=outputs,
+        data={
+            "total": total,
+            "bit_identical": bit_identical,
+            "speedup": speedup,
+            "speedup_per_request": speedup_per_request,
+            "stats": stats,
+        },
     )
 
-    floor = SMOKE_MIN_SPEEDUP if _smoke() else MIN_SPEEDUP
+
+def test_serve_throughput_vs_serial(workspace, report_config, emit_result,
+                                    benchmark):
+    result = benchmark.pedantic(
+        produce, args=(workspace, report_config), rounds=1, iterations=1
+    )
+    emit_result(result)
+
+    # bit-identical plans, request by request
+    assert result.data["bit_identical"]
+
+    stats = result.data["stats"]
+    total = result.data["total"]
+    assert stats.completed == total and stats.failed == 0
+    assert stats.dedup_hits + stats.resolved == total
+
+    floor = SMOKE_MIN_SPEEDUP if report_config.smoke else MIN_SPEEDUP
+    speedup = result.data["speedup"]
     assert speedup >= floor, (
         f"coalesced service is only {speedup:.2f}x the serial loop "
         f"(required >= {floor}x)"
     )
     # the one-shot-caller baseline must lose to the service by even more
-    assert speedup_per_request >= floor
+    assert result.data["speedup_per_request"] >= floor
 
 
-def test_serve_duplicate_burst_dedups_fully(tmp_path):
+def test_serve_duplicate_burst_dedups_fully(tmp_path, report_config):
     """A burst of one identical request resolves exactly once."""
-    burst = 200 if not _smoke() else 100
+    burst = 100 if report_config.smoke else 200
     requests = duplicate_heavy_requests(burst, 1, depth=4)
     workspace = Workspace(tmp_path / "burst")
     start = time.perf_counter()

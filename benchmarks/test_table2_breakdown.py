@@ -9,15 +9,18 @@ dominate -- is the reproduction target).
 
 from __future__ import annotations
 
-import pytest
-
 from repro import MoELayerSpec, standard_layout
+from repro.api.registry import get_cluster
 from repro.bench.reporting import format_table
 from repro.models import GPT2_XL, MIXTRAL_7B, layer_op_breakdown, profile_layer
 from repro.models.transformer import BREAKDOWN_OPS
+from repro.report import ArtifactResult, ReportConfig
+
+SEQ_LEN = 1024
 
 
 def layer_spec(preset, parallel, seq_len):
+    """The Table-2 layer shape for one model preset."""
     return MoELayerSpec(
         batch_size=4,
         seq_len=seq_len,
@@ -32,6 +35,7 @@ def layer_spec(preset, parallel, seq_len):
 
 
 def breakdown_rows(cluster, models, seq_len):
+    """All (model, phase) breakdown rows for one testbed."""
     parallel = standard_layout(cluster.total_gpus, cluster.gpus_per_node)
     rows = []
     for preset in (GPT2_XL, MIXTRAL_7B):
@@ -48,31 +52,46 @@ def breakdown_rows(cluster, models, seq_len):
     return rows
 
 
-@pytest.mark.parametrize("testbed", ["A", "B"])
-def test_table2_breakdown(testbed, cluster_a, cluster_b, models_a, models_b,
-                          emit, benchmark):
-    cluster = cluster_a if testbed == "A" else cluster_b
-    models = models_a if testbed == "A" else models_b
-    seq_len = 1024
-
-    rows = benchmark(breakdown_rows, cluster, models, seq_len)
-
-    table = format_table(
-        ["Model/Phase"] + list(BREAKDOWN_OPS),
-        rows,
-        title=(
-            f"Table 2 (Testbed {testbed}) -- per-op time, ms (share of "
-            f"phase).  Paper Testbed-B GPT2 fw: AlltoAll 11.2 (20.7%), "
-            f"AG 15.5 (28.7%), RS 15.7 (29.1%), Experts 6.7 (12.4%), "
-            f"Attention 4.5 (8.3%)."
-        ),
+def produce(workspace, config: ReportConfig) -> ArtifactResult:
+    """Regenerate the Table 2 breakdown for both testbeds."""
+    outputs: dict[str, str] = {}
+    comm_fraction: dict[str, float] = {}
+    for testbed in ("A", "B"):
+        cluster = get_cluster(testbed)
+        parallel = standard_layout(cluster.total_gpus, cluster.gpus_per_node)
+        models = workspace.store.models(cluster, parallel)
+        rows = breakdown_rows(cluster, models, SEQ_LEN)
+        table = format_table(
+            ["Model/Phase"] + list(BREAKDOWN_OPS),
+            rows,
+            title=(
+                f"Table 2 (Testbed {testbed}) -- per-op time, ms (share of "
+                f"phase).  Paper Testbed-B GPT2 fw: AlltoAll 11.2 (20.7%), "
+                f"AG 15.5 (28.7%), RS 15.7 (29.1%), Experts 6.7 (12.4%), "
+                f"Attention 4.5 (8.3%)."
+            ),
+        )
+        outputs[f"table2_testbed_{testbed}.txt"] = table + "\n"
+        fw = layer_op_breakdown(
+            profile_layer(layer_spec(GPT2_XL, parallel, SEQ_LEN), parallel,
+                          models),
+            models,
+            "forward",
+        )
+        comm = fw["AlltoAll"] + fw["AllGather"] + fw["ReduceScatter"]
+        comm_fraction[testbed] = comm / sum(fw.values())
+    return ArtifactResult(
+        artifact="table2",
+        outputs=outputs,
+        data={"comm_fraction": comm_fraction},
     )
-    emit(f"table2_testbed_{testbed}", table)
 
+
+def test_table2_breakdown(workspace, report_config, emit_result, benchmark):
+    result = benchmark.pedantic(
+        produce, args=(workspace, report_config), rounds=1, iterations=1
+    )
+    emit_result(result)
     # Shape assertions: communication dominates both phases (paper: >50%).
-    parallel = standard_layout(cluster.total_gpus, cluster.gpus_per_node)
-    spec = layer_spec(GPT2_XL, parallel, seq_len)
-    profile = profile_layer(spec, parallel, models)
-    fw = layer_op_breakdown(profile, models, "forward")
-    comm = fw["AlltoAll"] + fw["AllGather"] + fw["ReduceScatter"]
-    assert comm > 0.5 * sum(fw.values())
+    for testbed, fraction in result.data["comm_fraction"].items():
+        assert fraction > 0.5, (testbed, fraction)

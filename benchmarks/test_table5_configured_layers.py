@@ -20,19 +20,15 @@ FSMoE              1.18x      1.22x
 
 from __future__ import annotations
 
-import pytest
-
 from repro.api import ClusterRef, ExperimentSpec, StackSpec
+from repro.api.registry import get_cluster
 from repro.bench import (
     CONFIGURED_LAYER_COUNT,
     configured_layer_grid,
-    evaluate_config,
     format_table,
     speedups_over,
 )
-from repro.systems import FSMoE, FSMoENoIIO, Tutel, TutelImproved
-
-from .conftest import bench_solver, full_run
+from repro.report import ArtifactResult, ReportConfig
 
 #: paper Table 5 values for the report.
 PAPER_TABLE5 = {
@@ -46,19 +42,17 @@ PAPER_TABLE5 = {
 DEFAULT_STRIDE = 27
 
 
-@pytest.mark.parametrize("testbed", ["A", "B"])
-def test_table5_configured_layers(testbed, cluster_a, cluster_b, models_a,
-                                  models_b, workspace, emit, benchmark):
-    cluster = cluster_a if testbed == "A" else cluster_b
-    models = models_a if testbed == "A" else models_b
-    stride = 1 if full_run() else DEFAULT_STRIDE
+def _testbed_table(workspace, config, testbed):
+    """One testbed's Table-5 text plus its geo-mean speedups."""
+    cluster = get_cluster(testbed)
+    stride = 1 if config.full else DEFAULT_STRIDE
     specs = configured_layer_grid(
         testbed, num_experts=cluster.num_nodes, stride=stride
     )
 
     # The whole grid is one declarative experiment: concurrent planning,
     # profiling deduplicated in the workspace store, every plan cached on
-    # disk.  Full runs use the fast Step-2 solver (see bench_solver).
+    # disk.  Full runs use the fast Step-2 solver (see ReportConfig).
     experiment = ExperimentSpec(
         name=f"table5-{testbed}",
         clusters=(ClusterRef(testbed),),
@@ -67,7 +61,7 @@ def test_table5_configured_layers(testbed, cluster_a, cluster_b, models_a,
             StackSpec.of(spec, num_layers=CONFIGURED_LAYER_COUNT)
             for spec in specs
         ),
-        solver=bench_solver(),
+        solver=config.step2_solver,
     )
     results = workspace.sweep(experiment).config_results()
     table5 = speedups_over(results, "Tutel")
@@ -81,14 +75,30 @@ def test_table5_configured_layers(testbed, cluster_a, cluster_b, models_a,
         rows,
         title=f"Table 5 (Testbed {testbed}) -- geo-mean speedup over Tutel",
     )
-    emit(f"table5_testbed_{testbed}", table)
+    return table, table5
 
-    # benchmark one configuration evaluation (the unit of the sweep).
-    systems = [Tutel(), TutelImproved(), FSMoENoIIO(),
-               FSMoE(solver=experiment.solver)]
-    benchmark(evaluate_config, specs[0], cluster, models, systems)
 
-    # Shape assertions: the paper's ranking.
-    assert table5["FSMoE"] > table5["FSMoE-No-IIO"] > 1.0
-    assert table5["FSMoE"] > table5["Tutel-Improved"] > 1.0
-    assert table5["FSMoE"] > 1.1
+def produce(workspace, config: ReportConfig) -> ArtifactResult:
+    """Regenerate Table 5 (geo-mean speedups) for both testbeds."""
+    outputs: dict[str, str] = {}
+    speedups: dict[str, dict[str, float]] = {}
+    for testbed in ("A", "B"):
+        table, table5 = _testbed_table(workspace, config, testbed)
+        outputs[f"table5_testbed_{testbed}.txt"] = table + "\n"
+        speedups[testbed] = table5
+    return ArtifactResult(
+        artifact="table5", outputs=outputs, data={"speedups": speedups}
+    )
+
+
+def test_table5_configured_layers(workspace, report_config, emit_result,
+                                  benchmark):
+    result = benchmark.pedantic(
+        produce, args=(workspace, report_config), rounds=1, iterations=1
+    )
+    emit_result(result)
+    # Shape assertions: the paper's ranking, on both testbeds.
+    for testbed, table5 in result.data["speedups"].items():
+        assert table5["FSMoE"] > table5["FSMoE-No-IIO"] > 1.0, testbed
+        assert table5["FSMoE"] > table5["Tutel-Improved"] > 1.0, testbed
+        assert table5["FSMoE"] > 1.1, testbed

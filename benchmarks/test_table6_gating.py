@@ -19,12 +19,13 @@ DeepSpeed-MoE additionally pays its unoptimized routing kernels.
 
 from __future__ import annotations
 
+from repro import standard_layout
+from repro.api.registry import get_cluster
 from repro.bench import evaluate_model, format_table
 from repro.models import GPT2_XL
 from repro.moe.gates import GateKind
+from repro.report import ArtifactResult, ReportConfig
 from repro.systems import DeepSpeedMoE, FSMoE
-
-from .conftest import full_run
 
 PAPER_TABLE6 = {
     GateKind.GSHARD: (968.1, 707.7, 1.37),
@@ -41,7 +42,8 @@ GATE_LABEL = {
 }
 
 
-def run_gate(gate_kind, cluster, models, num_layers):
+def run_gate(gate_kind, cluster, models, num_layers, store):
+    """Both systems' iteration times under one routing function."""
     # DeepSpeedMoE applies its unoptimized-routing overhead internally.
     return evaluate_model(
         GPT2_XL,
@@ -51,20 +53,25 @@ def run_gate(gate_kind, cluster, models, num_layers):
         seq_len=256,
         num_layers=num_layers,
         gate_kind=gate_kind,
+        store=store,
     )
 
 
-def test_table6_gating_functions(cluster_b, models_b, emit, benchmark):
-    num_layers = GPT2_XL.num_layers if full_run() else 6
+def produce(workspace, config: ReportConfig) -> ArtifactResult:
+    """Regenerate the Table 6 gating-function comparison."""
+    cluster = get_cluster("B")
+    parallel = standard_layout(cluster.total_gpus, cluster.gpus_per_node)
+    models = workspace.store.models(cluster, parallel)
+    num_layers = GPT2_XL.num_layers if config.full else 6
     rows = []
-    speedups = {}
+    times: dict[GateKind, dict[str, float]] = {}
     for kind in (
         GateKind.GSHARD, GateKind.XMOE, GateKind.SIGMOID,
         GateKind.EXPERT_CHOICE,
     ):
-        result = run_gate(kind, cluster_b, models_b, num_layers)
+        result = run_gate(kind, cluster, models, num_layers, workspace.store)
         speedup = result.speedup("FSMoE", "DS-MoE")
-        speedups[kind] = speedup
+        times[kind] = dict(result.times_ms)
         paper_ds, paper_fs, paper_speedup = PAPER_TABLE6[kind]
         rows.append(
             [
@@ -84,19 +91,25 @@ def test_table6_gating_functions(cluster_b, models_b, emit, benchmark):
             "(iteration time; FSMoE speedup in parentheses)"
         ),
     )
-    emit("table6_gating", table)
-
-    benchmark.pedantic(
-        run_gate,
-        args=(GateKind.GSHARD, cluster_b, models_b, 2),
-        rounds=1,
-        iterations=1,
+    return ArtifactResult(
+        artifact="table6",
+        outputs={"table6_gating.txt": table + "\n"},
+        data={"times": times},
     )
 
+
+def test_table6_gating_functions(workspace, report_config, emit_result,
+                                 benchmark):
+    result = benchmark.pedantic(
+        produce, args=(workspace, report_config), rounds=1, iterations=1
+    )
+    emit_result(result)
+    times = result.data["times"]
     # Shape assertions: every gate lands in the paper's winning band and
     # expert-choice (exact-capacity routing) is the cheapest end to end.
-    for kind, speedup in speedups.items():
-        assert speedup > 1.15, kind
-    ec = run_gate(GateKind.EXPERT_CHOICE, cluster_b, models_b, num_layers)
-    gshard = run_gate(GateKind.GSHARD, cluster_b, models_b, num_layers)
-    assert ec.times_ms["FSMoE"] < gshard.times_ms["FSMoE"]
+    for kind, per_system in times.items():
+        assert per_system["DS-MoE"] / per_system["FSMoE"] > 1.15, kind
+    assert (
+        times[GateKind.EXPERT_CHOICE]["FSMoE"]
+        < times[GateKind.GSHARD]["FSMoE"]
+    )

@@ -1,6 +1,6 @@
-"""``python -m repro``: plan, sweep, bench, serve and cache from the shell.
+"""``python -m repro``: plan, sweep, bench, serve, report and cache.
 
-Five subcommands over the :class:`~repro.api.workspace.Workspace` API:
+Subcommands over the :class:`~repro.api.workspace.Workspace` API:
 
 * ``plan``  -- compile one iteration plan; ``--json`` prints the exact
   :meth:`IterationPlan.to_json` document (replayable bit-identically).
@@ -15,6 +15,13 @@ Five subcommands over the :class:`~repro.api.workspace.Workspace` API:
   stream (``-`` for stdin) and prints one JSON result per line;
   ``--demo N`` runs the closed-loop load generator and reports
   coalesced throughput against the serial ``plan()`` loop.
+* ``report`` -- regenerate every paper artifact (the full manifest or
+  ``--only fig7,table5``) through one workspace, writing
+  ``benchmarks/results/*`` plus a generated ``REPORT.md``;
+  ``--check`` re-runs the deterministic artifacts and exits non-zero
+  on any byte drift against the committed files.
+* ``docs``  -- regenerate ``docs/CLI.md`` from this very parser
+  (``--check`` verifies the committed page instead).
 * ``cache`` -- inspect a workspace's on-disk caches (plus the process's
   degree-solver counters), ``--gc DAYS`` away stale plan files, or
   ``clear`` everything.
@@ -441,6 +448,157 @@ def _cmd_serve(args) -> int:
     return 0
 
 
+def _cmd_report(args) -> int:
+    from ..report import (
+        ReportConfig,
+        check_run,
+        default_results_dir,
+        render_report,
+        run_report,
+        select_artifacts,
+        write_outputs,
+    )
+
+    if args.list:
+        artifacts = select_artifacts(args.only)
+        rows = [
+            [
+                artifact.name,
+                artifact.paper_ref,
+                ", ".join(artifact.outputs),
+                "yes" if artifact.deterministic else "no",
+            ]
+            for artifact in artifacts
+        ]
+        print(
+            format_table(
+                ["artifact", "paper ref", "outputs", "checked"],
+                rows,
+                title=f"manifest: {len(artifacts)} artifact(s)",
+            )
+        )
+        return 0
+
+    env = ReportConfig.from_env()
+    config = ReportConfig(
+        full=args.full or env.full,
+        solver=args.solver if args.solver is not None else env.solver,
+        smoke=env.smoke,
+    )
+    results_dir = (
+        Path(args.results_dir) if args.results_dir else default_results_dir()
+    )
+    if results_dir is None:
+        print(
+            "error: cannot locate benchmarks/results (the `benchmarks` "
+            "package is not importable); pass --results-dir",
+            file=sys.stderr,
+        )
+        return 2
+
+    only = args.only
+    if args.check and (config.full or config.solver is not None):
+        # The committed files were produced under the default config; a
+        # --full or non-default-solver re-run would "drift" on every
+        # file for configuration reasons, not reproducibility ones.
+        print(
+            "error: --check compares against the committed "
+            "default-configuration files; drop --full/--solver (and "
+            "unset REPRO_BENCH_FULL/REPRO_BENCH_SOLVER)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.check:
+        # --check verifies byte-reproducibility; artifacts that embed
+        # wall-clock measurements cannot drift meaningfully, so running
+        # them would burn minutes verifying nothing.
+        checkable = [
+            artifact.name
+            for artifact in select_artifacts(only)
+            if artifact.deterministic
+        ]
+        if not checkable:
+            print(
+                "error: --check selected no deterministic artifacts "
+                "(see `repro report --list`)",
+                file=sys.stderr,
+            )
+            return 2
+        only = checkable
+
+    with contextlib.ExitStack() as resources:
+        workspace = _open_workspace(args, resources)
+        run = run_report(
+            workspace,
+            config,
+            only=only,
+            progress=lambda line: print(line, file=sys.stderr),
+        )
+
+    if args.check:
+        drifts = check_run(run, results_dir)
+        checked = sum(
+            len(record.result.outputs)
+            for record in run.runs
+            if record.artifact.deterministic
+        )
+        if drifts:
+            for drift in drifts:
+                print(f"drift: {drift}", file=sys.stderr)
+            print(
+                f"error: {len(drifts)} of {checked} checked file(s) "
+                f"drifted from {results_dir}",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"report check passed: {checked} file(s) byte-identical to "
+            f"{results_dir}"
+        )
+        return 0
+
+    written = write_outputs(run, results_dir)
+    report_path = (
+        Path(args.report_file)
+        if args.report_file
+        else results_dir.parent / "REPORT.md"
+    )
+    report_path.parent.mkdir(parents=True, exist_ok=True)
+    report_path.write_text(
+        render_report(run, include_timings=not args.no_timings)
+    )
+    print(
+        f"wrote {len(written)} artifact file(s) to {results_dir} and "
+        f"{report_path} in {run.wall_s:.1f} s"
+    )
+    _print_cache_summary(workspace.stats, sys.stdout)
+    return 0
+
+
+def _cmd_docs(args) -> int:
+    from ..report.clidoc import render_cli_markdown
+
+    rendered = render_cli_markdown()
+    path = Path(args.out)
+    if args.check:
+        if not path.exists():
+            print(f"error: {path} does not exist", file=sys.stderr)
+            return 1
+        if path.read_text() != rendered:
+            print(
+                f"error: {path} is stale; regenerate it with "
+                f"`python -m repro docs`",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"{path} matches the parser")
+        return 0
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(rendered)
+    print(f"wrote {path}")
+    return 0
+
+
 def _cmd_cache(args) -> int:
     if args.action == "clear" and args.gc is not None:
         # Refuse the ambiguous combination: `clear` wipes everything,
@@ -596,6 +754,76 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_workspace_arg(serve)
     serve.set_defaults(func=_cmd_serve)
+
+    report = sub.add_parser(
+        "report",
+        help="regenerate every paper artifact (or verify with --check)",
+    )
+    report.add_argument(
+        "--only",
+        metavar="LIST",
+        default=None,
+        help="comma-separated artifact names (see --list); default: all",
+    )
+    report.add_argument(
+        "--list",
+        action="store_true",
+        help="list the manifest (names, paper refs, files) and exit",
+    )
+    report.add_argument(
+        "--check",
+        action="store_true",
+        help="re-run the deterministic artifacts and exit 1 on any byte "
+             "drift against the committed result files (writes nothing)",
+    )
+    report.add_argument(
+        "--full",
+        action="store_true",
+        help="paper-sized grids (equivalent to REPRO_BENCH_FULL=1)",
+    )
+    report.add_argument(
+        "--solver",
+        default=None,
+        choices=list(STEP2_SOLVERS),
+        help="FSMoE Step-2 solver override for the big sweeps",
+    )
+    report.add_argument(
+        "--results-dir",
+        metavar="PATH",
+        default=None,
+        help="artifact directory (default: the repo's benchmarks/results)",
+    )
+    report.add_argument(
+        "--report-file",
+        metavar="PATH",
+        default=None,
+        help="where to write REPORT.md (default: next to the results dir)",
+    )
+    report.add_argument(
+        "--no-timings",
+        action="store_true",
+        help="omit wall-clock columns from REPORT.md (byte-stable "
+             "output: re-runs of an unchanged tree produce no diff)",
+    )
+    _add_workspace_arg(report)
+    report.set_defaults(func=_cmd_report)
+
+    docs = sub.add_parser(
+        "docs",
+        help="regenerate docs/CLI.md from this parser (or verify --check)",
+    )
+    docs.add_argument(
+        "--out",
+        metavar="PATH",
+        default="docs/CLI.md",
+        help="where the generated CLI reference lives",
+    )
+    docs.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 when the committed page differs from a fresh render",
+    )
+    docs.set_defaults(func=_cmd_docs)
 
     cache = sub.add_parser(
         "cache", help="inspect or clear a workspace's caches"

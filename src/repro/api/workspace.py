@@ -94,6 +94,23 @@ class WorkspaceStats:
         """True when this session computed nothing new at all."""
         return self.profiles.misses == 0 and self.plan_misses == 0
 
+    def since(self, earlier: "WorkspaceStats") -> "WorkspaceStats":
+        """Counter delta between two snapshots of one session.
+
+        The report runner snapshots :attr:`Workspace.stats` around each
+        artifact and attributes the windowed counters (profiles fitted,
+        plans compiled, degree solves) to it.  ``service`` is carried
+        from the later snapshot: service counters are cumulative
+        per-service, not windowable here.
+        """
+        return WorkspaceStats(
+            profiles=self.profiles - earlier.profiles,
+            plan_hits=self.plan_hits - earlier.plan_hits,
+            plan_misses=self.plan_misses - earlier.plan_misses,
+            solver=self.solver - earlier.solver,
+            service=self.service,
+        )
+
 
 @dataclass(frozen=True)
 class ExperimentResult:

@@ -1,8 +1,35 @@
-"""Plain-text table rendering for benchmark output."""
+"""Plain-text and Markdown table rendering for benchmark output."""
 
 from __future__ import annotations
 
 from typing import Sequence
+
+
+def _cell(value: object) -> str:
+    """Render one table cell (floats with three decimals)."""
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_markdown_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """Render a GitHub-flavored Markdown table (used by ``REPORT.md``).
+
+    Cells follow the same conventions as :func:`format_table` (floats
+    with three decimals, everything else ``str``); pipes inside cells
+    are escaped so arbitrary text cannot break the row structure.
+    """
+    def cell(value: object) -> str:
+        return _cell(value).replace("|", "\\|")
+
+    out = ["| " + " | ".join(cell(h) for h in headers) + " |"]
+    out.append("|" + "|".join(" --- " for _ in headers) + "|")
+    for row in rows:
+        out.append("| " + " | ".join(cell(v) for v in row) + " |")
+    return "\n".join(out)
 
 
 def format_table(
@@ -15,12 +42,7 @@ def format_table(
 
     Floats render with three decimals; everything else with ``str``.
     """
-    def cell(value: object) -> str:
-        if isinstance(value, float):
-            return f"{value:.3f}"
-        return str(value)
-
-    text_rows = [[cell(v) for v in row] for row in rows]
+    text_rows = [[_cell(v) for v in row] for row in rows]
     widths = [len(h) for h in headers]
     for row in text_rows:
         for i, value in enumerate(row):

@@ -1,0 +1,49 @@
+"""Paper-artifact report subsystem: manifest, runner, renderer, checker.
+
+``repro report`` regenerates every committed figure/table of the paper
+through one :class:`~repro.api.workspace.Workspace`; ``repro report
+--check`` re-runs the deterministic subset and fails on byte drift.
+See :mod:`repro.report.manifest` for the artifact registry.
+"""
+
+from .diff import Drift, check_run, first_difference
+from .manifest import (
+    DEFAULT_ARTIFACTS,
+    Artifact,
+    ArtifactResult,
+    ReportConfig,
+    available_artifacts,
+    get_artifact,
+    register_artifact,
+    select_artifacts,
+    unregister_artifact,
+)
+from .render import render_report
+from .runner import (
+    ArtifactRun,
+    ReportRun,
+    default_results_dir,
+    run_report,
+    write_outputs,
+)
+
+__all__ = [
+    "Artifact",
+    "ArtifactResult",
+    "ArtifactRun",
+    "DEFAULT_ARTIFACTS",
+    "Drift",
+    "ReportConfig",
+    "ReportRun",
+    "available_artifacts",
+    "check_run",
+    "default_results_dir",
+    "first_difference",
+    "get_artifact",
+    "register_artifact",
+    "render_report",
+    "run_report",
+    "select_artifacts",
+    "unregister_artifact",
+    "write_outputs",
+]

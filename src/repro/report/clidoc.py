@@ -1,0 +1,70 @@
+"""Generate ``docs/CLI.md`` from the argparse parser itself.
+
+The CLI reference is *rendered from* :func:`repro.api.cli.build_parser`
+-- every flag, default and help string in the page is the one argparse
+would print -- so the documentation cannot drift from the
+implementation.  ``python -m repro docs`` writes the page;
+``python -m repro docs --check`` (and the tier-1 docs test) fails when
+the committed page differs from a fresh render.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+from contextlib import contextmanager
+
+#: argparse wraps help to the terminal width; pin it for byte-stable
+#: output regardless of where the generator runs.
+_RENDER_COLUMNS = "80"
+
+_HEADER = """\
+# `python -m repro` — CLI reference
+
+**This page is generated.**  Regenerate it with `python -m repro docs`
+(CI and the tier-1 suite check that it matches the parser exactly) —
+do not edit by hand.
+
+Every subcommand below is `python -m repro <subcommand> ...`; an
+installed package also exposes the `repro` console script.
+"""
+
+
+@contextmanager
+def _pinned_width():
+    previous = os.environ.get("COLUMNS")
+    os.environ["COLUMNS"] = _RENDER_COLUMNS
+    try:
+        yield
+    finally:
+        if previous is None:
+            os.environ.pop("COLUMNS", None)
+        else:
+            os.environ["COLUMNS"] = previous
+
+
+def _subparsers(
+    parser: argparse.ArgumentParser,
+) -> dict[str, argparse.ArgumentParser]:
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return dict(action.choices)
+    return {}
+
+
+def render_cli_markdown() -> str:
+    """The full ``docs/CLI.md`` document, rendered from argparse."""
+    from ..api.cli import build_parser
+
+    with _pinned_width():
+        parser = build_parser()
+        sections = [_HEADER]
+        sections.append("## Top level\n\n```text\n"
+                        + parser.format_help().rstrip("\n") + "\n```\n")
+        for name, sub in _subparsers(parser).items():
+            sections.append(
+                f"## `{name}`\n\n```text\n"
+                + sub.format_help().rstrip("\n")
+                + "\n```\n"
+            )
+    return "\n".join(sections)

@@ -1,0 +1,114 @@
+"""Byte-exact drift detection between a report run and committed files.
+
+``repro report --check`` re-produces the deterministic artifacts and
+compares each output against the committed file of the same name --
+byte for byte, no normalization.  Any difference (content, a missing
+file, even a trailing-newline change) is a :class:`Drift`, and the CLI
+exits non-zero if any exist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from .runner import ReportRun
+
+
+@dataclass(frozen=True)
+class Drift:
+    """One detected difference between produced and committed bytes.
+
+    Attributes:
+        artifact: which manifest entry produced the file.
+        filename: the file's name under the results directory.
+        reason: a one-line human explanation (missing file, first
+            differing line, size change, ...).
+    """
+
+    artifact: str
+    filename: str
+    reason: str
+
+    def __str__(self) -> str:
+        return f"{self.artifact}: {self.filename}: {self.reason}"
+
+
+def first_difference(expected: str, actual: str) -> str:
+    """Locate the first differing line of two texts (for drift messages).
+
+    Returns a one-line summary quoting both versions of the first line
+    that differs, or a length-only summary when one text is a prefix of
+    the other.
+    """
+    expected_lines = expected.splitlines()
+    actual_lines = actual.splitlines()
+    for i, (want, got) in enumerate(zip(expected_lines, actual_lines)):
+        if want != got:
+            return (
+                f"first difference at line {i + 1}: "
+                f"committed {want!r} != produced {got!r}"
+            )
+    if len(expected_lines) != len(actual_lines):
+        return (
+            f"line count differs: committed {len(expected_lines)}, "
+            f"produced {len(actual_lines)}"
+        )
+    # Same lines, different bytes: only line endings / trailing bytes.
+    return (
+        f"byte-level difference (line endings or trailing bytes): "
+        f"committed {len(expected)} bytes, produced {len(actual)} bytes"
+    )
+
+
+def check_run(
+    run: ReportRun,
+    results_dir: str | Path,
+    *,
+    include_nondeterministic: bool = False,
+) -> list[Drift]:
+    """Compare a run's produced files against the committed ones.
+
+    Args:
+        run: an executed report run (nothing is written).
+        results_dir: the committed results directory to diff against.
+        include_nondeterministic: also compare artifacts whose outputs
+            embed wall-clock measurements (off by default -- they
+            legitimately differ every run).
+
+    Returns:
+        All detected drifts, in run order; empty means byte-identical.
+    """
+    results_dir = Path(results_dir).expanduser()
+    drifts: list[Drift] = []
+    for record in run.runs:
+        if not record.artifact.deterministic and not include_nondeterministic:
+            continue
+        for filename, produced in record.result.outputs.items():
+            path = results_dir / filename
+            if not path.exists():
+                drifts.append(
+                    Drift(
+                        artifact=record.artifact.name,
+                        filename=filename,
+                        reason=(
+                            "not committed (run `repro report` and "
+                            "commit the results)"
+                        ),
+                    )
+                )
+                continue
+            # Compare raw bytes: read_text()'s universal-newline mode
+            # would hide CRLF drift and betray the byte-for-byte
+            # contract.
+            committed_bytes = path.read_bytes()
+            if committed_bytes != produced.encode():
+                committed = committed_bytes.decode("utf-8", "replace")
+                drifts.append(
+                    Drift(
+                        artifact=record.artifact.name,
+                        filename=filename,
+                        reason=first_difference(committed, produced),
+                    )
+                )
+    return drifts

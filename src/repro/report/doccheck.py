@@ -1,0 +1,138 @@
+"""Docstring-coverage gate over the public ``repro`` API.
+
+Walks every module under ``src/repro`` with :mod:`ast` (no imports, so
+it cannot be fooled by import-time side effects), counts the public
+surface -- module docstrings, public classes, public functions and
+methods -- and computes the fraction that carry a docstring.  CI runs
+``python -m repro.report.doccheck``: it fails when coverage drops below
+the committed baseline, so an undocumented public API cannot land
+silently.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: the gate: measured coverage at the time this gate landed was 100%;
+#: a small margin keeps unrelated one-liner churn from tripping CI.
+BASELINE_COVERAGE = 0.98
+
+
+@dataclass
+class CoverageReport:
+    """Public-API docstring census for one source tree.
+
+    Attributes:
+        total: public definitions found (modules, classes, functions).
+        documented: how many of them have a docstring.
+        missing: dotted names of the undocumented ones.
+    """
+
+    total: int = 0
+    documented: int = 0
+    missing: list[str] = field(default_factory=list)
+
+    @property
+    def coverage(self) -> float:
+        """Documented fraction (1.0 for an empty tree)."""
+        if self.total == 0:
+            return 1.0
+        return self.documented / self.total
+
+    def count(self, name: str, has_doc: bool) -> None:
+        """Record one public definition."""
+        self.total += 1
+        if has_doc:
+            self.documented += 1
+        else:
+            self.missing.append(name)
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _scan_body(
+    body: list[ast.stmt], prefix: str, report: CoverageReport
+) -> None:
+    """Census the public defs directly inside a module or class body."""
+    for node in body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if _is_public(node.name):
+                report.count(
+                    f"{prefix}.{node.name}",
+                    ast.get_docstring(node) is not None,
+                )
+        elif isinstance(node, ast.ClassDef) and _is_public(node.name):
+            qualified = f"{prefix}.{node.name}"
+            report.count(qualified, ast.get_docstring(node) is not None)
+            _scan_body(node.body, qualified, report)
+
+
+def scan_tree(root: str | Path) -> CoverageReport:
+    """Docstring census of every ``*.py`` file under ``root``.
+
+    Modules whose own name is private (``_internal.py``) are skipped
+    entirely; ``__init__.py`` counts as its package's module.
+    """
+    root = Path(root)
+    report = CoverageReport()
+    for path in sorted(root.rglob("*.py")):
+        stem = path.stem
+        if stem != "__init__" and not _is_public(stem):
+            continue
+        module = ".".join(
+            part
+            for part in path.relative_to(root.parent).with_suffix("").parts
+            if part != "__init__"
+        )
+        tree = ast.parse(path.read_text())
+        report.count(module, ast.get_docstring(tree) is not None)
+        _scan_body(tree.body, module, report)
+    return report
+
+
+def default_root() -> Path:
+    """The installed/source ``repro`` package directory."""
+    return Path(__file__).resolve().parent.parent
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for the CI gate; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.report.doccheck",
+        description="fail when public-API docstring coverage drops",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        help="package directory to scan (default: the repro package)",
+    )
+    parser.add_argument(
+        "--min",
+        type=float,
+        default=BASELINE_COVERAGE,
+        dest="minimum",
+        help=f"required coverage fraction (default {BASELINE_COVERAGE})",
+    )
+    args = parser.parse_args(argv)
+    root = Path(args.root) if args.root else default_root()
+    report = scan_tree(root)
+    print(
+        f"docstring coverage: {report.documented}/{report.total} public "
+        f"definitions ({100.0 * report.coverage:.1f}%), required >= "
+        f"{100.0 * args.minimum:.1f}%"
+    )
+    if report.coverage < args.minimum:
+        for name in report.missing:
+            print(f"missing docstring: {name}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    raise SystemExit(main())

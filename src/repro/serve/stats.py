@@ -101,14 +101,17 @@ class StatsAccumulator:
         self._latencies: deque[float] = deque(maxlen=LATENCY_WINDOW)
 
     def request(self) -> None:
+        """Count one accepted submission."""
         with self._lock:
             self._requests += 1
 
     def reject(self) -> None:
+        """Count one submission refused at the queue (backlog full)."""
         with self._lock:
             self._rejected += 1
 
     def batch(self, size: int) -> None:
+        """Record one drained coalescer batch of ``size`` requests."""
         with self._lock:
             self._batches += 1
             self._coalesced += size
@@ -142,6 +145,7 @@ class StatsAccumulator:
             self._latencies.extend(latencies_ms)
 
     def snapshot(self) -> ServiceStats:
+        """A consistent :class:`ServiceStats` view of the counters."""
         with self._lock:
             samples = list(self._latencies)
             return ServiceStats(

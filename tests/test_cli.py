@@ -350,3 +350,179 @@ class TestServe:
         path.write_text(json.dumps({**self.REQUEST, "mystery": 1}) + "\n")
         assert main(["serve", "--requests", str(path)]) == 2
         assert "unknown keys" in capsys.readouterr().err
+
+
+class TestReport:
+    @pytest.fixture()
+    def tiny_artifact(self):
+        from repro.report import (
+            Artifact,
+            ArtifactResult,
+            register_artifact,
+            unregister_artifact,
+        )
+
+        def produce(workspace, config):
+            return ArtifactResult(
+                artifact="cli-tiny",
+                outputs={"cli_tiny.txt": f"solver={config.step2_solver}\n"},
+            )
+
+        register_artifact(Artifact(
+            name="cli-tiny",
+            title="tiny CLI test artifact",
+            paper_ref="test",
+            producer=produce,
+            outputs=("cli_tiny.txt",),
+        ))
+        yield
+        unregister_artifact("cli-tiny")
+
+    def test_list_prints_the_manifest(self, capsys):
+        assert main(["report", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fig3", "fig6", "table5", "perf-serve"):
+            assert name in out
+
+    def test_unknown_artifact_is_a_clean_error(self, capsys):
+        assert main(["report", "--only", "fig99"]) == 2
+        assert "unknown artifact" in capsys.readouterr().err
+
+    def test_report_writes_results_and_report_md(
+        self, tmp_path, tiny_artifact, capsys
+    ):
+        results = tmp_path / "results"
+        code = main([
+            "report", "--only", "cli-tiny",
+            "--results-dir", str(results),
+            "--report-file", str(tmp_path / "REPORT.md"),
+        ])
+        assert code == 0
+        assert (results / "cli_tiny.txt").read_text() == "solver=de\n"
+        report = (tmp_path / "REPORT.md").read_text()
+        assert "cli-tiny" in report and "solver=de" in report
+        out = capsys.readouterr().out
+        assert "wrote 1 artifact file(s)" in out
+
+    def test_solver_flag_reaches_producers(self, tmp_path, tiny_artifact):
+        results = tmp_path / "results"
+        assert main([
+            "report", "--only", "cli-tiny", "--solver", "slsqp",
+            "--results-dir", str(results),
+            "--report-file", str(tmp_path / "REPORT.md"),
+        ]) == 0
+        assert (results / "cli_tiny.txt").read_text() == "solver=slsqp\n"
+
+    def test_check_passes_then_fails_on_drift(
+        self, tmp_path, tiny_artifact, capsys
+    ):
+        results = tmp_path / "results"
+        main([
+            "report", "--only", "cli-tiny", "--results-dir", str(results),
+            "--report-file", str(tmp_path / "REPORT.md"),
+        ])
+        assert main([
+            "report", "--only", "cli-tiny", "--check",
+            "--results-dir", str(results),
+        ]) == 0
+        assert "report check passed" in capsys.readouterr().out
+
+        (results / "cli_tiny.txt").write_text("solver=other\n")
+        assert main([
+            "report", "--only", "cli-tiny", "--check",
+            "--results-dir", str(results),
+        ]) == 1
+        err = capsys.readouterr().err
+        assert "drift: cli-tiny: cli_tiny.txt" in err
+
+    def test_check_skips_nondeterministic_artifacts_entirely(
+        self, tmp_path, capsys
+    ):
+        from repro.report import (
+            Artifact,
+            ArtifactResult,
+            register_artifact,
+            unregister_artifact,
+        )
+
+        calls: list[str] = []
+
+        def produce(workspace, config):
+            calls.append("ran")
+            return ArtifactResult(
+                artifact="cli-nondet", outputs={"cli_nondet.txt": "x\n"}
+            )
+
+        register_artifact(Artifact(
+            name="cli-nondet", title="", paper_ref="test",
+            producer=produce, outputs=("cli_nondet.txt",),
+            deterministic=False,
+        ))
+        try:
+            # a selection with nothing checkable is an error, and the
+            # producer must never run (it could be minutes of load test)
+            code = main([
+                "report", "--only", "cli-nondet", "--check",
+                "--results-dir", str(tmp_path),
+            ])
+            assert code == 2
+            assert calls == []
+            err = capsys.readouterr().err
+            assert "no deterministic artifacts" in err
+        finally:
+            unregister_artifact("cli-nondet")
+
+    def test_check_refuses_non_default_config(self, tmp_path, capsys):
+        assert main([
+            "report", "--check", "--full", "--results-dir", str(tmp_path),
+        ]) == 2
+        assert "default-configuration" in capsys.readouterr().err
+        assert main([
+            "report", "--check", "--solver", "slsqp",
+            "--results-dir", str(tmp_path),
+        ]) == 2
+
+    def test_no_timings_report_is_byte_stable(
+        self, tmp_path, tiny_artifact
+    ):
+        args = [
+            "report", "--only", "cli-tiny", "--no-timings",
+            "--results-dir", str(tmp_path / "results"),
+            "--report-file", str(tmp_path / "REPORT.md"),
+        ]
+        assert main(args) == 0
+        first = (tmp_path / "REPORT.md").read_text()
+        assert "Wall time" not in first and "wall (s)" not in first
+        assert main(args) == 0
+        assert (tmp_path / "REPORT.md").read_text() == first
+
+    def test_check_does_not_write(self, tmp_path, tiny_artifact):
+        results = tmp_path / "results"
+        results.mkdir()
+        assert main([
+            "report", "--only", "cli-tiny", "--check",
+            "--results-dir", str(results),
+        ]) == 1  # drift: file missing
+        assert list(results.iterdir()) == []
+
+
+class TestDocs:
+    def test_write_then_check(self, tmp_path, capsys):
+        out = tmp_path / "CLI.md"
+        assert main(["docs", "--out", str(out)]) == 0
+        assert out.exists()
+        assert main(["docs", "--out", str(out), "--check"]) == 0
+        assert "matches the parser" in capsys.readouterr().out
+
+    def test_check_detects_drift(self, tmp_path, capsys):
+        out = tmp_path / "CLI.md"
+        main(["docs", "--out", str(out)])
+        out.write_text(out.read_text() + "edited\n")
+        assert main(["docs", "--out", str(out), "--check"]) == 1
+        assert "stale" in capsys.readouterr().err
+
+    def test_check_missing_file(self, tmp_path, capsys):
+        assert main([
+            "docs", "--out", str(tmp_path / "nope.md"), "--check",
+        ]) == 1
+        assert "does not exist" in capsys.readouterr().err

@@ -1,0 +1,82 @@
+"""The docs suite is machine-verified: generated pages cannot drift."""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+DOCS = pathlib.Path(__file__).parent.parent / "docs"
+
+
+class TestGeneratedCliReference:
+    def test_cli_md_matches_the_parser(self):
+        """`docs/CLI.md` is byte-identical to a fresh argparse render.
+
+        Regenerate with `python -m repro docs` after changing the CLI.
+        """
+        from repro.report.clidoc import render_cli_markdown
+
+        committed = (DOCS / "CLI.md").read_text()
+        assert committed == render_cli_markdown(), (
+            "docs/CLI.md is stale; run `python -m repro docs`"
+        )
+
+    def test_render_is_deterministic(self, monkeypatch):
+        from repro.report.clidoc import render_cli_markdown
+
+        first = render_cli_markdown()
+        # a different terminal width must not change the output
+        monkeypatch.setenv("COLUMNS", "220")
+        assert render_cli_markdown() == first
+
+    def test_every_subcommand_has_a_section(self):
+        from repro.api.cli import build_parser
+        from repro.report.clidoc import _subparsers
+
+        text = (DOCS / "CLI.md").read_text()
+        for name in _subparsers(build_parser()):
+            assert f"## `{name}`" in text
+
+
+class TestDocsPages:
+    #: every documentation page the README's index promises.
+    PAGES = (
+        "ARCHITECTURE.md",
+        "REPRODUCING.md",
+        "CLI.md",
+        "EXPERIMENTS.md",
+        "PLAN_SCHEMA.md",
+        "SERVING.md",
+        "PERFORMANCE.md",
+    )
+
+    @pytest.mark.parametrize("page", PAGES)
+    def test_page_exists_and_is_linked_from_readme(self, page):
+        assert (DOCS / page).is_file()
+        readme = (DOCS.parent / "README.md").read_text()
+        assert f"docs/{page}" in readme
+
+    def test_architecture_covers_every_layer(self):
+        text = (DOCS / "ARCHITECTURE.md").read_text()
+        for package in (
+            "src/repro/core/", "src/repro/planner/", "src/repro/api/",
+            "src/repro/serve/", "src/repro/report/", "src/repro/moe/",
+            "src/repro/sim/", "src/repro/systems/", "src/repro/bench/",
+        ):
+            assert package in text, f"ARCHITECTURE.md misses {package}"
+
+    def test_architecture_points_at_pinned_tests(self):
+        text = (DOCS / "ARCHITECTURE.md").read_text()
+        for guard in (
+            "tests/test_fastsolve.py",
+            "tests/test_noiio_sweep.py",
+            "tests/test_workspace.py",
+            "tests/test_serve.py",
+            "tests/test_report.py",
+        ):
+            assert guard in text, f"ARCHITECTURE.md misses {guard}"
+
+    def test_readme_reproduces_the_paper_with_one_command(self):
+        readme = (DOCS.parent / "README.md").read_text()
+        assert "python -m repro report" in readme

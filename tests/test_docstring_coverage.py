@@ -1,0 +1,78 @@
+"""The docstring-coverage gate: public API documentation cannot erode."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.report.doccheck import (
+    BASELINE_COVERAGE,
+    default_root,
+    main,
+    scan_tree,
+)
+
+
+class TestScanTree:
+    def test_counts_public_defs_only(self, tmp_path):
+        package = tmp_path / "pkg"
+        package.mkdir()
+        (package / "__init__.py").write_text('"""Package doc."""\n')
+        (package / "mod.py").write_text(textwrap.dedent(
+            '''
+            """Module doc."""
+
+            def documented():
+                """Doc."""
+
+            def undocumented():
+                pass
+
+            def _private():
+                pass
+
+            class Public:
+                """Doc."""
+
+                def method(self):
+                    pass
+
+                def __dunder__(self):
+                    pass
+
+            class _Hidden:
+                def whatever(self):
+                    pass
+            '''
+        ))
+        (package / "_internal.py").write_text("def anything():\n    pass\n")
+        report = scan_tree(package)
+        # pkg, pkg.mod, documented, undocumented, Public, Public.method
+        assert report.total == 6
+        assert report.documented == 4
+        assert set(report.missing) == {
+            "pkg.mod.undocumented", "pkg.Public.method".replace(
+                "pkg.Public", "pkg.mod.Public"
+            ),
+        }
+
+    def test_empty_tree_is_full_coverage(self, tmp_path):
+        assert scan_tree(tmp_path / "nothing").coverage == 1.0
+
+
+class TestGate:
+    def test_repro_package_meets_the_baseline(self):
+        report = scan_tree(default_root())
+        assert report.coverage >= BASELINE_COVERAGE, (
+            f"public docstring coverage dropped to "
+            f"{report.coverage:.1%} (< {BASELINE_COVERAGE:.0%}); "
+            f"undocumented: {report.missing[:10]}"
+        )
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        package = tmp_path / "p"
+        package.mkdir()
+        (package / "__init__.py").write_text("def f():\n    pass\n")
+        assert main(["--root", str(package), "--min", "0.0"]) == 0
+        assert main(["--root", str(package), "--min", "1.0"]) == 1
+        err = capsys.readouterr().err
+        assert "missing docstring: p.f" in err

@@ -1,0 +1,78 @@
+"""Table rendering: alignment, degenerate inputs, unicode, Markdown."""
+
+from __future__ import annotations
+
+from repro.bench.reporting import format_markdown_table, format_table
+
+
+class TestFormatTable:
+    def test_columns_align_on_widest_cell(self):
+        text = format_table(
+            ["sys", "iteration (ms)"],
+            [["FSMoE", 1.0], ["a-much-longer-name", 123.456]],
+        )
+        lines = text.splitlines()
+        # every rendered line has the same width (cells are padded)
+        header, rule, *rows = lines
+        assert len(set(map(len, [header, *rows]))) == 1
+        # the separator matches the header's column structure
+        assert rule.count("-+-") == 1
+        assert len(rule) == len(header)
+        # cell starts line up column by column
+        assert header.index("| iteration") == rows[0].index("| 1.000")
+
+    def test_floats_render_with_three_decimals(self):
+        text = format_table(["x"], [[1.5], [2.0]])
+        assert "1.500" in text and "2.000" in text
+
+    def test_empty_rows_render_header_and_rule_only(self):
+        text = format_table(["a", "bb"], [])
+        assert text.splitlines() == ["a | bb", "--+---"]
+
+    def test_empty_rows_with_title(self):
+        text = format_table(["a"], [], title="empty table")
+        assert text.splitlines() == ["empty table", "a", "-"]
+
+    def test_empty_cells_keep_structure(self):
+        text = format_table(["a", "b"], [["", "x"], ["y", ""]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(map(len, lines[2:]))) == 1
+
+    def test_unicode_cells_round_trip(self):
+        text = format_table(
+            ["système", "Δt (ms)"],
+            [["FSMoE™", "1.2×"], ["§5-ablation", "naïve"]],
+        )
+        assert "FSMoE™" in text
+        assert "§5-ablation" in text
+        assert "Δt (ms)" in text
+        # widths are computed in code points, so alignment still holds
+        header, rule, *rows = text.splitlines()
+        assert len(set(map(len, [header, *rows]))) == 1
+
+    def test_non_string_cells_use_str(self):
+        text = format_table(["k", "v"], [[1, None], [(2, 3), True]])
+        assert "None" in text and "(2, 3)" in text and "True" in text
+
+
+class TestFormatMarkdownTable:
+    def test_shape(self):
+        text = format_markdown_table(["a", "b"], [["x", 1.5]])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b |"
+        assert lines[1] == "| --- | --- |"
+        assert lines[2] == "| x | 1.500 |"
+
+    def test_pipes_in_cells_are_escaped(self):
+        text = format_markdown_table(["h"], [["a|b"]])
+        assert "a\\|b" in text
+        # the row still has exactly the delimiter pipes
+        row = text.splitlines()[2]
+        assert row.replace("\\|", "").count("|") == 2
+
+    def test_empty_rows(self):
+        text = format_markdown_table(["only", "header"], [])
+        assert text.splitlines() == [
+            "| only | header |", "| --- | --- |",
+        ]
