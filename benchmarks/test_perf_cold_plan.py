@@ -5,7 +5,9 @@ size P) twice from a fully cold state -- once with the default batched
 exact solver, once with the paper's SLSQP path pinned via
 :func:`~repro.core.pipeline_degree.set_default_degree_solver` -- plus a
 warm re-run against the populated caches, and records all three
-wall-times in ``benchmarks/results/BENCH_planner.json``.
+wall-times in ``benchmarks/results/BENCH_planner.json``, alongside a
+``step2`` series (batched vs scalar partition objective, measured by
+:func:`benchmarks.test_perf_step2.measure_step2`).
 
 Assertions:
 
@@ -35,6 +37,7 @@ from repro.report import ArtifactResult, ReportConfig
 from repro.systems import fsmoe as fsmoe_module
 
 from .conftest import RESULTS_DIR
+from .test_perf_step2 import measure_step2
 
 RESULTS_PATH = RESULTS_DIR / "BENCH_planner.json"
 
@@ -117,6 +120,13 @@ def produce(workspace, config: ReportConfig) -> ArtifactResult:
 
     cold_slsqp_s, slsqp_result = _cold_plan(specs, clusters, "slsqp")
 
+    # The Step-2 partition solver head to head (batched vs scalar
+    # objective) on the full Testbed A (the grid's subsets leave no
+    # Step-2 residual to solve for); perf-step2's own artifact asserts
+    # on these numbers, this baseline just records them alongside the
+    # planner timings.
+    step2 = measure_step2(batch_result.store, get_cluster("A"))
+
     # Cross-check: the exact sweep and the relaxation agree closely.
     max_gap = 0.0
     for batch_point, slsqp_point in zip(
@@ -148,6 +158,15 @@ def produce(workspace, config: ReportConfig) -> ArtifactResult:
             "cache_hits": batch_stats.cache_hits,
             "batch_calls": batch_stats.batch_calls,
             "max_batch_size": batch_stats.max_batch_size,
+        },
+        "step2": {
+            "num_layers": step2["num_layers"],
+            "de_maxiter": step2["de_maxiter"],
+            "batch_s": round(step2["batch"]["wall_s"], 4),
+            "scalar_s": round(step2["scalar"]["wall_s"], 4),
+            "speedup": round(step2["speedup"], 1),
+            "objective_calls": step2["batch"]["objective_calls"],
+            "candidates": step2["batch"]["candidates"],
         },
         "machine": platform.machine(),
         "python": platform.python_version(),

@@ -61,6 +61,7 @@ from .parallel import (
 )
 from .core import (
     DEGREE_SOLVERS,
+    STEP2_IMPLS,
     STEP2_SOLVERS,
     GenericScheduler,
     LinearPerfModel,
@@ -225,6 +226,7 @@ __all__ = [
     "get_cluster",
     "register_cluster",
     "STEP2_SOLVERS",
+    "STEP2_IMPLS",
     # experiment API
     "Workspace",
     "WorkspaceStats",

@@ -193,6 +193,11 @@ def _print_cache_summary(stats: WorkspaceStats, out) -> None:
         f"(largest batch {solver.max_batch_size})",
         file=out,
     )
+    print(
+        f"step2 solver: {solver.step2_objective_calls} objective calls, "
+        f"{solver.step2_candidates} candidates",
+        file=out,
+    )
 
 
 def _cmd_plan(args) -> int:
@@ -533,6 +538,7 @@ def _cmd_report(args) -> int:
             config,
             only=only,
             progress=lambda line: print(line, file=sys.stderr),
+            jobs=args.jobs,
         )
 
     if args.check:
@@ -642,6 +648,10 @@ def _cmd_cache(args) -> int:
         f"degree_solver: {solver.solves} solves, {solver.cache_hits} "
         f"cache hits, {solver.batch_calls} batch calls "
         f"(largest batch {solver.max_batch_size})"
+    )
+    print(
+        f"step2_solver: {solver.step2_objective_calls} objective calls, "
+        f"{solver.step2_candidates} candidates"
     )
     return 0
 
@@ -804,6 +814,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="omit wall-clock columns from REPORT.md (byte-stable "
              "output: re-runs of an unchanged tree produce no diff)",
+    )
+    report.add_argument(
+        "--jobs",
+        metavar="N",
+        type=int,
+        default=1,
+        help="produce parallel-safe artifacts with N concurrent threads "
+             "through the shared workspace (outputs and ordering are "
+             "identical to a serial run); default: 1",
     )
     _add_workspace_arg(report)
     report.set_defaults(func=_cmd_report)

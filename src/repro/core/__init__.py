@@ -55,11 +55,13 @@ from .fastsolve import (
     solver_stats,
 )
 from .gradient_partition import (
+    STEP2_IMPLS,
     STEP2_SOLVERS,
     GarPlacement,
     GeneralizedLayer,
     GradientPartitionPlan,
     plan_gradient_partition,
+    resolve_step2_impl,
 )
 from .scheduler import GenericScheduler, LayerScheduleReport
 
@@ -97,7 +99,9 @@ __all__ = [
     "GeneralizedLayer",
     "GradientPartitionPlan",
     "plan_gradient_partition",
+    "resolve_step2_impl",
     "STEP2_SOLVERS",
+    "STEP2_IMPLS",
     "GenericScheduler",
     "LayerScheduleReport",
 ]

@@ -58,6 +58,12 @@ class SolverStats:
         max_batch_size: largest number of contexts evaluated in one
             array pass.
         evictions: memoized solutions dropped by the LRU bound.
+        step2_objective_calls: Step-2 gradient-partition objective
+            evaluations (one per array pass in the batched
+            implementation, one per candidate in the scalar one).
+        step2_candidates: total Step-2 candidate assignments evaluated
+            across those calls -- ``candidates / calls`` is the mean
+            population batched into one pass.
     """
 
     solves: int = 0
@@ -65,6 +71,8 @@ class SolverStats:
     batch_calls: int = 0
     max_batch_size: int = 0
     evictions: int = 0
+    step2_objective_calls: int = 0
+    step2_candidates: int = 0
 
     def __sub__(self, other: "SolverStats") -> "SolverStats":
         """Counter delta between two snapshots (``after - before``).
@@ -80,6 +88,10 @@ class SolverStats:
             batch_calls=self.batch_calls - other.batch_calls,
             max_batch_size=self.max_batch_size,
             evictions=self.evictions - other.evictions,
+            step2_objective_calls=(
+                self.step2_objective_calls - other.step2_objective_calls
+            ),
+            step2_candidates=self.step2_candidates - other.step2_candidates,
         )
 
 
@@ -90,6 +102,8 @@ _cache_hits = 0
 _batch_calls = 0
 _max_batch_size = 0
 _evictions = 0
+_step2_objective_calls = 0
+_step2_candidates = 0
 
 
 def solver_stats() -> SolverStats:
@@ -101,6 +115,8 @@ def solver_stats() -> SolverStats:
             batch_calls=_batch_calls,
             max_batch_size=_max_batch_size,
             evictions=_evictions,
+            step2_objective_calls=_step2_objective_calls,
+            step2_candidates=_step2_candidates,
         )
 
 
@@ -111,6 +127,7 @@ def clear_solver_cache(*, reset_stats: bool = False) -> None:
         reset_stats: also zero the counters.
     """
     global _solves, _cache_hits, _batch_calls, _max_batch_size, _evictions
+    global _step2_objective_calls, _step2_candidates
     with _lock:
         _cache.clear()
         if reset_stats:
@@ -119,6 +136,22 @@ def clear_solver_cache(*, reset_stats: bool = False) -> None:
             _batch_calls = 0
             _max_batch_size = 0
             _evictions = 0
+            _step2_objective_calls = 0
+            _step2_candidates = 0
+
+
+def record_step2_objective(candidates: int) -> None:
+    """Count one Step-2 objective evaluation covering ``candidates`` points.
+
+    The gradient-partition solver calls this once per objective pass: the
+    batched implementation evaluates a whole DE population per pass, the
+    scalar one a single candidate, so ``step2_candidates /
+    step2_objective_calls`` measures the achieved batching.
+    """
+    global _step2_objective_calls, _step2_candidates
+    with _lock:
+        _step2_objective_calls += 1
+        _step2_candidates += candidates
 
 
 def _evaluate_batch(ctxs: Sequence[PipelineContext], r_max: int):

@@ -17,6 +17,15 @@ run concurrently with the MoE layer; FSMoE instead:
   exposed tail AllReduce.  Solved with differential evolution, as in the
   paper.
 
+The Step-2 objective is evaluated for a **whole DE population in one
+NumPy pass** (``vectorized=True``): the availability repair runs as a
+per-layer recurrence over ``(candidates,)`` columns, every layer's
+``f_moe`` curve is interpolated for all candidates at once, and the
+AllReduce model is applied array-wise.  A scalar per-candidate path is
+kept behind ``REPRO_STEP2_IMPL=scalar`` for cross-checking; both paths
+execute the same IEEE operation sequence per candidate, so the same seed
+yields bit-identical plans (pinned in the tests).
+
 Layers are indexed in *forward* order; backward processes index
 ``n_l - 1`` first.  A layer's own gradients only become available after
 its backward finishes, so they can only ride in layers processed later
@@ -26,6 +35,7 @@ construction.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -35,6 +45,7 @@ from scipy.optimize import differential_evolution, minimize
 from ..errors import SolverError
 from .cases import overlappable_time, overlappable_time_merged_comm
 from .constraints import PipelineContext
+from .fastsolve import record_step2_objective
 from .perf_model import LinearPerfModel
 from .pipeline_degree import (
     DEFAULT_MAX_DEGREE,
@@ -48,6 +59,31 @@ from .pipeline_degree import (
 #: near-identical placements on the Table-4 grid), ``"none"`` skips
 #: Step 2 entirely (all residual gradients go to the tail).
 STEP2_SOLVERS = ("de", "slsqp", "none")
+
+#: Step-2 objective implementations.  ``"batch"`` (the default) evaluates
+#: a whole DE population per NumPy pass; ``"scalar"`` is the one
+#: candidate-at-a-time reference kept for cross-checking.  Selected via
+#: the ``REPRO_STEP2_IMPL`` environment variable or the ``step2_impl``
+#: argument of :func:`plan_gradient_partition`.
+STEP2_IMPLS = ("batch", "scalar")
+
+
+def resolve_step2_impl(step2_impl: str | None = None) -> str:
+    """Resolve the Step-2 objective implementation to use.
+
+    Precedence: an explicit ``step2_impl`` argument, then the
+    ``REPRO_STEP2_IMPL`` environment variable, then ``"batch"``.
+
+    Raises:
+        SolverError: for a value outside :data:`STEP2_IMPLS`.
+    """
+    impl = step2_impl or os.environ.get("REPRO_STEP2_IMPL") or "batch"
+    if impl not in STEP2_IMPLS:
+        raise SolverError(
+            f"unknown Step-2 implementation {impl!r}; "
+            f"choose from {STEP2_IMPLS}"
+        )
+    return impl
 
 
 @dataclass(frozen=True)
@@ -204,6 +240,14 @@ def _step1_fill(
 ) -> tuple[list[float], list[float], list[float]]:
     """Greedy window fill in backward order (paper Eq. 3/4).
 
+    Every window inversion (the paper's ``g_inv``) happens in one array
+    pass up front; only the data-dependent pending-byte recurrence walks
+    the layers.  The recurrence itself has a reversed-cumsum closed form
+    (``p = D + running-max(g - D)``) but re-associating the adds is not
+    IEEE-bit-identical to the sequential fill, and committed plans pin the
+    sequential bytes -- so the per-layer min/subtract steps stay ordered
+    and the tests pin this function against the plain-Python reference.
+
     Returns:
         ``(moe_window_bytes, dense_window_bytes, residual_before)`` where
         ``residual_before[i]`` is the pending gradient volume when layer
@@ -211,17 +255,21 @@ def _step1_fill(
         availability bound for Step 2.
     """
     n = len(layers)
+    moe_caps = ar_model.inverse_array(np.asarray(moe_windows_ms, dtype=float))
+    dense_caps = ar_model.inverse_array(
+        np.asarray(
+            [layer.dense_overlappable_ms for layer in layers], dtype=float
+        )
+    )
     moe_bytes = [0.0] * n
     dense_bytes = [0.0] * n
     residual_before = [0.0] * n
     pending = 0.0
     for i in reversed(range(n)):
-        take_moe = min(pending, ar_model.inverse(moe_windows_ms[i]))
+        take_moe = min(pending, float(moe_caps[i]))
         pending -= take_moe
         moe_bytes[i] = take_moe
-        take_dense = min(
-            pending, ar_model.inverse(layers[i].dense_overlappable_ms)
-        )
+        take_dense = min(pending, float(dense_caps[i]))
         pending -= take_dense
         dense_bytes[i] = take_dense
         residual_before[i] = pending
@@ -238,7 +286,8 @@ class _MoETimeInterpolator:
     33-layer models where every layer shares one context.  All curves of
     a solve are prebuilt with :meth:`prepare` -- every distinct layer
     context x grid point lands in one batched Algorithm-1 call, so the
-    DE/SLSQP objective only ever interpolates.
+    DE/SLSQP objective only ever interpolates: scalars through
+    :meth:`time_ms`, whole populations through :meth:`times_matrix`.
     """
 
     GRID_POINTS = 33
@@ -274,6 +323,26 @@ class _MoETimeInterpolator:
             times = self._curves[ctx]
         return float(np.interp(t_gar, self._grid, times))
 
+    def times_matrix(
+        self,
+        ctxs: Sequence[PipelineContext],
+        t_gar_matrix: np.ndarray,
+    ) -> np.ndarray:
+        """Interpolate all layers x candidates in one pass per layer.
+
+        ``t_gar_matrix[:, i]`` holds every candidate's ``t_gar`` for
+        ``ctxs[i]``; the result has the same shape, each entry
+        bit-identical to the corresponding scalar :meth:`time_ms` call
+        (``np.interp`` applies the same lerp per element either way).
+        """
+        self.prepare(ctxs)
+        out = np.empty_like(t_gar_matrix, dtype=float)
+        for i, ctx in enumerate(ctxs):
+            out[:, i] = np.interp(
+                t_gar_matrix[:, i], self._grid, self._curves[ctx]
+            )
+        return out
+
 
 def _repair(
     proposal: np.ndarray, residual_before: list[float]
@@ -294,17 +363,41 @@ def _repair(
     return repaired
 
 
+def _repair_matrix(
+    proposals: np.ndarray, residual_before: list[float]
+) -> np.ndarray:
+    """:func:`_repair` for a whole ``(candidates, n_layers)`` population.
+
+    The consumed-bytes recurrence is data-dependent along the layer axis,
+    so the loop walks layers (short) while every candidate's clip runs as
+    one array op (wide) -- each row bit-identical to :func:`_repair` on
+    that candidate, since ``np.minimum``/``np.maximum`` and the ordered
+    adds mirror the scalar ``min``/``max`` exactly.
+    """
+    n = len(residual_before)
+    repaired = np.zeros_like(proposals, dtype=float)
+    consumed = np.zeros(proposals.shape[0])
+    for i in reversed(range(n)):
+        available = np.maximum(0.0, residual_before[i] - consumed)
+        repaired[:, i] = np.minimum(
+            np.maximum(0.0, proposals[:, i]), available
+        )
+        consumed = consumed + repaired[:, i]
+    return repaired
+
+
 def plan_gradient_partition(
     layers: list[GeneralizedLayer] | tuple[GeneralizedLayer, ...],
     ar_model: LinearPerfModel,
     *,
     r_max: int = DEFAULT_MAX_DEGREE,
     merged_comm: bool = False,
-    solver: str = "de",
+    solver: str | None = None,
     use_differential_evolution: bool = True,
     de_maxiter: int = 40,
     de_popsize: int = 12,
     seed: int = 0,
+    step2_impl: str | None = None,
 ) -> GradientPartitionPlan:
     """Produce the full two-step partitioning plan for one backward pass.
 
@@ -314,25 +407,41 @@ def plan_gradient_partition(
         r_max: pipeline-degree cap forwarded to Algorithm 1.
         merged_comm: size the MoE windows for a merged comm stream
             (FSMoE-No-IIO) instead of a dedicated inter-node stream.
-        solver: Step-2 solver, one of :data:`STEP2_SOLVERS`.  ``"de"``
-            reproduces the paper (§5.3); ``"slsqp"`` trades the global
-            search for a much cheaper local solve; ``"none"`` skips
-            Step 2 (all residual gradients go to the tail).
-        use_differential_evolution: legacy switch; ``False`` forces
-            ``solver="none"`` -- kept for ablation callers.
+        solver: Step-2 solver, one of :data:`STEP2_SOLVERS`, or ``None``
+            to defer to the legacy flag.  ``"de"`` reproduces the paper
+            (§5.3); ``"slsqp"`` trades the global search for a much
+            cheaper local solve; ``"none"`` skips Step 2 (all residual
+            gradients go to the tail).
+        use_differential_evolution: legacy ablation switch.  Precedence
+            with ``solver``: when ``solver`` is ``None`` (the default),
+            ``False`` selects ``"none"`` and ``True`` selects ``"de"``;
+            when ``solver="de"`` is passed explicitly, ``False`` still
+            downgrades it to ``"none"`` (the historical behavior, which
+            ablation callers rely on); an explicit ``"slsqp"`` or
+            ``"none"`` is always honored as written.
         de_maxiter / de_popsize / seed: differential-evolution knobs
             (paper §5.3 uses DE since this runs once before training).
+        step2_impl: Step-2 objective implementation, one of
+            :data:`STEP2_IMPLS`, or ``None`` to defer to the
+            ``REPRO_STEP2_IMPL`` environment variable (default
+            ``"batch"``).  Both implementations produce bit-identical
+            plans for the same seed; ``"scalar"`` exists for
+            cross-checking and timing.
 
     Raises:
-        SolverError: for an empty layer list or unknown solver.
+        SolverError: for an empty layer list, unknown solver, or unknown
+            implementation.
     """
     if not layers:
         raise SolverError("plan_gradient_partition needs at least one layer")
-    if solver not in STEP2_SOLVERS:
+    if solver is not None and solver not in STEP2_SOLVERS:
         raise SolverError(
             f"unknown Step-2 solver {solver!r}; choose from {STEP2_SOLVERS}"
         )
-    if not use_differential_evolution:
+    impl = resolve_step2_impl(step2_impl)
+    if solver is None:
+        solver = "de" if use_differential_evolution else "none"
+    elif solver == "de" and not use_differential_evolution:
         solver = "none"
     layer_tuple = tuple(layers)
     n = len(layer_tuple)
@@ -353,26 +462,62 @@ def plan_gradient_partition(
                 max(moe_window_bytes) + residual_cap
             )
             interp = _MoETimeInterpolator(r_max, t_gar_max)
-            interp.prepare([layer.ctx for layer in layer_tuple])
+            ctxs = [layer.ctx for layer in layer_tuple]
+            interp.prepare(ctxs)
+            window_bytes = np.asarray(moe_window_bytes, dtype=float)
 
             def objective_bytes(proposal: np.ndarray) -> float:
-                assigned = float(np.sum(proposal))
+                # One candidate.  Left-to-right accumulation, mirrored
+                # op-for-op by the batched pass below so both paths yield
+                # the same IEEE result per candidate.
+                record_step2_objective(1)
+                assigned = 0.0
                 total = 0.0
                 for i, layer in enumerate(layer_tuple):
+                    assigned += float(proposal[i])
                     t_gar = ar_model.time_ms(
-                        moe_window_bytes[i] + proposal[i]
+                        moe_window_bytes[i] + float(proposal[i])
                     )
                     total += interp.time_ms(layer.ctx, t_gar)
                 tail = total_residual - assigned
                 total += ar_model.time_ms(tail)
                 return total
 
-            if solver == "de":
+            def objective_bytes_batch(proposals: np.ndarray) -> np.ndarray:
+                # A whole (candidates, n_layers) population in one pass.
+                record_step2_objective(proposals.shape[0])
+                t_gar = ar_model.time_ms_array(
+                    window_bytes[None, :] + proposals
+                )
+                times = interp.times_matrix(ctxs, t_gar)
+                assigned = np.zeros(proposals.shape[0])
+                total = np.zeros(proposals.shape[0])
+                for i in range(n):
+                    assigned = assigned + proposals[:, i]
+                    total = total + times[:, i]
+                tail = total_residual - assigned
+                return total + ar_model.time_ms_array(tail)
 
-                def objective(u: np.ndarray) -> float:
-                    return objective_bytes(
-                        _repair(u * residual_cap, residual_before)
-                    )
+            if solver == "de":
+                if impl == "batch":
+
+                    def objective(u: np.ndarray) -> np.ndarray:
+                        # scipy sends (n_params, candidates); a lone
+                        # candidate may arrive 1-D.
+                        arr = np.asarray(u, dtype=float)
+                        if arr.ndim == 1:
+                            arr = arr[:, None]
+                        proposals = _repair_matrix(
+                            arr.T * residual_cap, residual_before
+                        )
+                        return objective_bytes_batch(proposals)
+
+                else:
+
+                    def objective(u: np.ndarray) -> float:
+                        return objective_bytes(
+                            _repair(u * residual_cap, residual_before)
+                        )
 
                 result = differential_evolution(
                     objective,
@@ -382,6 +527,8 @@ def plan_gradient_partition(
                     seed=seed,
                     tol=1e-6,
                     polish=False,
+                    updating="deferred",
+                    vectorized=(impl == "batch"),
                 )
                 extra = _repair(result.x * residual_cap, residual_before)
             else:  # slsqp

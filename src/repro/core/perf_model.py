@@ -52,6 +52,23 @@ class LinearPerfModel:
             return 0.0 if t_ms <= self.alpha else float("inf")
         return max(0.0, (t_ms - self.alpha) / self.beta)
 
+    def time_ms_array(self, n: np.ndarray) -> np.ndarray:
+        """Elementwise :meth:`time_ms` -- bit-identical per entry.
+
+        ``np.where`` mirrors the scalar ``n <= 0`` branch and the
+        arithmetic is the same two IEEE ops in the same order, so each
+        entry equals ``time_ms(n[i])`` exactly.
+        """
+        n = np.asarray(n, dtype=float)
+        return np.where(n <= 0, 0.0, self.alpha + n * self.beta)
+
+    def inverse_array(self, t_ms: np.ndarray) -> np.ndarray:
+        """Elementwise :meth:`inverse` -- bit-identical per entry."""
+        t_ms = np.asarray(t_ms, dtype=float)
+        if self.beta <= 0:
+            return np.where(t_ms <= self.alpha, 0.0, float("inf"))
+        return np.maximum(0.0, (t_ms - self.alpha) / self.beta)
+
     def scaled(self, alpha_factor: float = 1.0, beta_factor: float = 1.0) -> "LinearPerfModel":
         """Return a copy with scaled coefficients (e.g. 2x for backward)."""
         return LinearPerfModel(

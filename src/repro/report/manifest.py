@@ -110,6 +110,13 @@ class Artifact:
         deterministic: True when the output bytes are a pure function
             of the configuration (checked by ``repro report --check``);
             False for artifacts that embed wall-clock measurements.
+        parallel_safe: True when the producer only reads and plans
+            through the shared workspace (whose caches are
+            thread-safe), so ``repro report --jobs N`` may run it
+            concurrently with other artifacts.  False for producers
+            that mutate process-wide solver state (default-solver
+            switches, cache resets, timed cold runs) -- those run
+            serially after the pool drains.
     """
 
     name: str
@@ -118,6 +125,7 @@ class Artifact:
     producer: str | Producer
     outputs: tuple[str, ...]
     deterministic: bool = True
+    parallel_safe: bool = True
 
     def resolve_producer(self) -> Producer:
         """Import (if needed) and return the producer callable.
@@ -320,6 +328,7 @@ DEFAULT_ARTIFACTS: tuple[Artifact, ...] = (
         producer=_bench("test_ablation_slsqp_vs_oracle"),
         outputs=("ablation_slsqp_vs_oracle.txt",),
         deterministic=False,  # reports measured solve times
+        parallel_safe=False,  # switches the default degree solver
     ),
     Artifact(
         name="perf-planner",
@@ -328,6 +337,16 @@ DEFAULT_ARTIFACTS: tuple[Artifact, ...] = (
         producer=_bench("test_perf_cold_plan"),
         outputs=("perf_cold_plan.txt", "BENCH_planner.json"),
         deterministic=False,
+        parallel_safe=False,  # resets solver caches for cold timings
+    ),
+    Artifact(
+        name="perf-step2",
+        title="Step-2 partition solver: batched vs scalar objective",
+        paper_ref="repo baseline (BENCH_planner step2 series)",
+        producer=_bench("test_perf_step2"),
+        outputs=("perf_step2.txt",),
+        deterministic=False,
+        parallel_safe=False,  # windows the process-wide solver counters
     ),
     Artifact(
         name="perf-serve",
@@ -336,6 +355,7 @@ DEFAULT_ARTIFACTS: tuple[Artifact, ...] = (
         producer=_bench("test_perf_serve"),
         outputs=("perf_serve.txt", "BENCH_serve.json"),
         deterministic=False,
+        parallel_safe=False,  # resets solver caches for cold timings
     ),
 )
 

@@ -12,6 +12,7 @@ files under a results directory.
 from __future__ import annotations
 
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterable
@@ -99,12 +100,42 @@ def _validate(artifact: Artifact, result: ArtifactResult) -> None:
         )
 
 
+def _run_one(
+    artifact: Artifact,
+    producer: Callable,
+    workspace: Workspace,
+    config: ReportConfig,
+) -> ArtifactRun:
+    """Execute one producer and window the workspace counters around it.
+
+    Counter windows are snapshot deltas: under ``jobs > 1`` a window may
+    also include work concurrent artifacts did inside it (a superset,
+    never a torn read -- every snapshot is taken under the stores'
+    locks).  The whole-run window is exact either way.
+    """
+    before = workspace.stats
+    start = time.perf_counter()
+    result = producer(workspace, config)
+    wall_s = time.perf_counter() - start
+    stats = workspace.stats.since(before)
+    if not isinstance(result, ArtifactResult):
+        raise ConfigError(
+            f"artifact {artifact.name!r}: producer returned "
+            f"{type(result).__name__}, expected ArtifactResult"
+        )
+    _validate(artifact, result)
+    return ArtifactRun(
+        artifact=artifact, result=result, wall_s=wall_s, stats=stats
+    )
+
+
 def run_report(
     workspace: Workspace,
     config: ReportConfig | None = None,
     *,
     only: str | Iterable[str] | None = None,
     progress: Callable[[str], None] | None = None,
+    jobs: int = 1,
 ) -> ReportRun:
     """Produce the selected artifacts through one workspace session.
 
@@ -116,63 +147,100 @@ def run_report(
         only: optional manifest subset (``"fig7,table5"`` or a list of
             names); None runs everything.
         progress: optional callback receiving one line per artifact as
-            it completes (the CLI prints these).
+            it completes (the CLI prints these).  Always invoked from
+            the calling thread, in selection order.
+        jobs: producer thread count.  With ``jobs > 1`` the
+            parallel-safe artifacts run concurrently through the shared
+            workspace (its caches and plan single-flight are
+            thread-safe); artifacts marked ``parallel_safe=False`` run
+            serially after the pool drains.  The returned ``runs`` are
+            always in selection order, so rendering and
+            :func:`write_outputs` are order-identical to a serial run.
 
     Raises:
         RegistryError: for an unknown ``--only`` name.
-        ConfigError: for an unresolvable producer or an output-manifest
-            mismatch.
+        ConfigError: for an unresolvable producer, an output-manifest
+            mismatch, or ``jobs < 1``.
     """
     if config is None:
         config = ReportConfig.from_env()
+    if jobs < 1:
+        raise ConfigError(f"jobs must be >= 1, got {jobs}")
     artifacts = select_artifacts(only)
-    runs: list[ArtifactRun] = []
-    owner: dict[str, str] = {}
+    # Resolve every producer up front, on this thread: import errors
+    # surface deterministically and no import machinery runs inside the
+    # pool.
+    producers = [artifact.resolve_producer() for artifact in artifacts]
     run_before = workspace.stats
     run_start = time.perf_counter()
-    for artifact in artifacts:
-        producer = artifact.resolve_producer()
-        before = workspace.stats
-        start = time.perf_counter()
-        result = producer(workspace, config)
-        wall_s = time.perf_counter() - start
-        stats = workspace.stats.since(before)
-        if not isinstance(result, ArtifactResult):
-            raise ConfigError(
-                f"artifact {artifact.name!r}: producer returned "
-                f"{type(result).__name__}, expected ArtifactResult"
+
+    records: dict[str, ArtifactRun] = {}
+    if jobs == 1:
+        for artifact, producer in zip(artifacts, producers):
+            records[artifact.name] = _run_one(
+                artifact, producer, workspace, config
             )
-        _validate(artifact, result)
-        # Filename collisions across artifacts would silently
-        # last-write-win in write_outputs and make --check compare two
-        # producers against one committed file; refuse them here so
-        # every downstream consumer is covered.
-        for filename in result.outputs:
+            _emit_progress(progress, records[artifact.name])
+    else:
+        pooled = [
+            (a, p)
+            for a, p in zip(artifacts, producers)
+            if a.parallel_safe
+        ]
+        serial = [
+            (a, p)
+            for a, p in zip(artifacts, producers)
+            if not a.parallel_safe
+        ]
+        with ThreadPoolExecutor(
+            max_workers=jobs, thread_name_prefix="repro-report"
+        ) as pool:
+            futures = [
+                (a, pool.submit(_run_one, a, p, workspace, config))
+                for a, p in pooled
+            ]
+            # Collect in submission order: exceptions propagate
+            # deterministically and progress lines stay ordered.
+            for artifact, future in futures:
+                records[artifact.name] = future.result()
+                _emit_progress(progress, records[artifact.name])
+        for artifact, producer in serial:
+            records[artifact.name] = _run_one(
+                artifact, producer, workspace, config
+            )
+            _emit_progress(progress, records[artifact.name])
+
+    # Assemble in selection order regardless of execution order, then
+    # refuse filename collisions: two artifacts producing one file would
+    # silently last-write-win in write_outputs and make --check compare
+    # two producers against one committed file.
+    runs = tuple(records[artifact.name] for artifact in artifacts)
+    owner: dict[str, str] = {}
+    for record in runs:
+        for filename in record.result.outputs:
             if filename in owner:
                 raise ConfigError(
                     f"artifacts {owner[filename]!r} and "
-                    f"{artifact.name!r} both produce {filename!r}"
+                    f"{record.artifact.name!r} both produce {filename!r}"
                 )
-            owner[filename] = artifact.name
-        runs.append(
-            ArtifactRun(
-                artifact=artifact,
-                result=result,
-                wall_s=wall_s,
-                stats=stats,
-            )
-        )
-        if progress is not None:
-            progress(
-                f"{artifact.name}: {len(result.outputs)} file(s) in "
-                f"{wall_s:.1f} s ({stats.profiles.misses} profiles "
-                f"fitted, {stats.plan_misses} plans compiled)"
-            )
+            owner[filename] = record.artifact.name
     return ReportRun(
         config=config,
-        runs=tuple(runs),
+        runs=runs,
         wall_s=time.perf_counter() - run_start,
         stats=workspace.stats.since(run_before),
+    )
+
+
+def _emit_progress(
+    progress: Callable[[str], None] | None, record: ArtifactRun
+) -> None:
+    if progress is None:
+        return
+    progress(
+        f"{record.artifact.name}: {len(record.result.outputs)} file(s) in "
+        f"{record.wall_s:.1f} s ({record.stats.profiles.misses} profiles "
+        f"fitted, {record.stats.plan_misses} plans compiled)"
     )
 
 

@@ -24,6 +24,7 @@ from ..core.gradient_partition import (
     GeneralizedLayer,
     GradientPartitionPlan,
     plan_gradient_partition,
+    resolve_step2_impl,
 )
 from ..core.fastsolve import solve_merged_phase_degree
 from ..core.perf_model import PerfModelSet
@@ -50,7 +51,11 @@ def _partition_plan(
     r_max: int,
     merged_comm: bool,
     solver: str,
+    step2_impl: str,
 ) -> GradientPartitionPlan:
+    # step2_impl is resolved by the caller (not read from the environment
+    # here) so flipping REPRO_STEP2_IMPL mid-process can never serve a
+    # plan memoized under the other implementation.
     layers = [
         GeneralizedLayer(
             ctx=p.ctx_bw,
@@ -65,6 +70,7 @@ def _partition_plan(
         r_max=r_max,
         merged_comm=merged_comm,
         solver=solver,
+        step2_impl=step2_impl,
     )
 
 
@@ -145,7 +151,12 @@ class FSMoE(TrainingSystem):
         key = tuple(profiles)
         plan = (
             _partition_plan(
-                key, models, self.r_max, self._merged_comm, self.solver
+                key,
+                models,
+                self.r_max,
+                self._merged_comm,
+                self.solver,
+                resolve_step2_impl(),
             )
             if include_gar
             else None

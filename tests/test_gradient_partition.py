@@ -1,11 +1,19 @@
 """Tests for the two-step adaptive gradient partitioning (paper §5)."""
 
+import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.constraints import PipelineContext
+from repro.core.fastsolve import solver_stats
 from repro.core.gradient_partition import (
     GeneralizedLayer,
+    _repair,
+    _repair_matrix,
+    _step1_fill,
     plan_gradient_partition,
+    resolve_step2_impl,
 )
 from repro.core.perf_model import LinearPerfModel
 from repro.errors import SolverError
@@ -228,6 +236,32 @@ class TestStep2Solvers:
             <= greedy.total_estimated_backward_ms() + 1e-9
         )
 
+    def test_explicit_slsqp_survives_legacy_flag(self):
+        """The legacy switch only downgrades DE; an explicit non-DE
+        solver is honored as written (it used to be forced to none)."""
+        from repro.core.fastsolve import solver_stats
+
+        layers = [make_layer(grad_mb=80.0, dense_ms=1.0) for _ in range(4)]
+        before = solver_stats()
+        with_flag = plan_gradient_partition(
+            layers, AR, solver="slsqp", use_differential_evolution=False
+        )
+        # Step 2 actually ran: the objective was evaluated (solver="none"
+        # never touches it), so the flag no longer silently forced "none".
+        assert (solver_stats() - before).step2_objective_calls > 0
+        without_flag = plan_gradient_partition(layers, AR, solver="slsqp")
+        assert with_flag.extra_bytes == without_flag.extra_bytes
+        assert with_flag.tail_bytes == without_flag.tail_bytes
+
+    def test_default_solver_follows_legacy_flag(self):
+        layers = [make_layer() for _ in range(3)]
+        off = plan_gradient_partition(
+            layers, AR, use_differential_evolution=False
+        )
+        explicit_none = plan_gradient_partition(layers, AR, solver="none")
+        assert off.extra_bytes == explicit_none.extra_bytes
+        assert off.tail_bytes == explicit_none.tail_bytes
+
     def test_fsmoe_system_accepts_solver(self):
         from repro.systems import FSMoE, FSMoENoIIO
 
@@ -238,3 +272,188 @@ class TestStep2Solvers:
         fp_de = FSMoE(solver="de").fingerprint()
         fp_sl = FSMoE(solver="slsqp").fingerprint()
         assert fp_de != fp_sl
+
+
+def _step1_fill_reference(layers, ar_model, moe_windows_ms):
+    """The pre-vectorization Step-1 fill, kept verbatim as the oracle."""
+    n = len(layers)
+    moe_bytes = [0.0] * n
+    dense_bytes = [0.0] * n
+    residual_before = [0.0] * n
+    pending = 0.0
+    for i in reversed(range(n)):
+        take_moe = min(pending, ar_model.inverse(moe_windows_ms[i]))
+        pending -= take_moe
+        moe_bytes[i] = take_moe
+        take_dense = min(
+            pending, ar_model.inverse(layers[i].dense_overlappable_ms)
+        )
+        pending -= take_dense
+        dense_bytes[i] = take_dense
+        residual_before[i] = pending
+        pending += layers[i].grad_bytes
+    return moe_bytes, dense_bytes, residual_before
+
+
+def _repair_reference(proposal, residual_before):
+    """The pre-vectorization repair loop, kept verbatim as the oracle."""
+    n = len(residual_before)
+    repaired = np.zeros(n)
+    consumed = 0.0
+    for i in reversed(range(n)):
+        available = max(0.0, residual_before[i] - consumed)
+        repaired[i] = min(max(0.0, proposal[i]), available)
+        consumed += repaired[i]
+    return repaired
+
+
+@st.composite
+def _stacks(draw):
+    n = draw(st.integers(1, 5))
+    layers = tuple(
+        make_layer(
+            grad_mb=draw(st.floats(0.0, 80.0)),
+            dense_ms=draw(st.floats(0.0, 10.0)),
+            expert_heavy=draw(st.booleans()),
+        )
+        for _ in range(n)
+    )
+    windows = tuple(draw(st.floats(0.0, 5.0)) for _ in range(n))
+    return layers, windows
+
+
+class TestVectorizedHelpers:
+    """The NumPy rewrites are pinned bit-identical to the Python loops."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(stack=_stacks())
+    def test_step1_fill_matches_reference(self, stack):
+        layers, windows = stack
+        got = _step1_fill(layers, AR, windows)
+        want = _step1_fill_reference(layers, AR, windows)
+        assert got == want  # exact: same floats, same IEEE op order
+
+    def test_step1_fill_zero_beta_model(self):
+        """beta=0 hits inverse's infinite-capacity branch array-wise."""
+        flat = LinearPerfModel(alpha=0.5, beta=0.0)
+        layers = tuple(make_layer(grad_mb=10.0, dense_ms=2.0) for _ in range(3))
+        windows = (0.1, 1.0, 0.0)
+        assert _step1_fill(layers, flat, windows) == _step1_fill_reference(
+            layers, flat, windows
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        residual=st.lists(st.floats(0.0, 1e8), min_size=1, max_size=6),
+        seed=st.integers(0, 1000),
+    )
+    def test_repair_matrix_rows_match_scalar_repair(self, residual, seed):
+        rng = np.random.default_rng(seed)
+        proposals = rng.uniform(-1e7, 2e8, size=(7, len(residual)))
+        batched = _repair_matrix(proposals, residual)
+        for row in range(proposals.shape[0]):
+            scalar = _repair(proposals[row], residual)
+            assert batched[row].tolist() == scalar.tolist()
+            assert scalar.tolist() == _repair_reference(
+                proposals[row], residual
+            ).tolist()
+
+
+def _plans_identical(plan_a, plan_b):
+    assert plan_a.moe_window_bytes == plan_b.moe_window_bytes
+    assert plan_a.dense_window_bytes == plan_b.dense_window_bytes
+    assert plan_a.extra_bytes == plan_b.extra_bytes
+    assert plan_a.tail_bytes == plan_b.tail_bytes
+    assert plan_a.t_gar_ms == plan_b.t_gar_ms
+    assert plan_a.tail_ms == plan_b.tail_ms
+    assert [s.degree for s in plan_a.solutions] == [
+        s.degree for s in plan_b.solutions
+    ]
+
+
+class TestBatchedStep2:
+    """`REPRO_STEP2_IMPL=batch` and `=scalar` yield bit-identical plans."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(stack=_stacks(), seed=st.integers(0, 50))
+    def test_same_seed_same_plan(self, stack, seed):
+        layers, _ = stack
+        plans = [
+            plan_gradient_partition(
+                list(layers), AR, seed=seed, de_maxiter=10, step2_impl=impl
+            )
+            for impl in ("batch", "scalar")
+        ]
+        _plans_identical(plans[0], plans[1])
+
+    @pytest.mark.parametrize(
+        "layers",
+        [
+            # single layer: everything is tail, Step 2 is a no-op
+            [lambda: make_layer()],
+            # zero residual: huge dense windows absorb every byte
+            [lambda: make_layer(grad_mb=1.0, dense_ms=100.0)] * 3,
+            # zero gradients at all
+            [lambda: GeneralizedLayer(
+                ctx=make_layer().ctx,
+                dense_overlappable_ms=1.0,
+                grad_bytes=0.0,
+            )] * 2,
+        ],
+        ids=["single-layer", "zero-residual", "zero-grads"],
+    )
+    def test_degenerate_stacks(self, layers):
+        built = [factory() for factory in layers]
+        batch = plan_gradient_partition(built, AR, step2_impl="batch")
+        scalar = plan_gradient_partition(built, AR, step2_impl="scalar")
+        _plans_identical(batch, scalar)
+
+    def test_zero_comm_stack(self):
+        """Layers with no communication volume at all still plan."""
+        free = LinearPerfModel(alpha=0.0, beta=0.0)
+        ctx = PipelineContext(
+            a2a=free, n_a2a=0.0, ag=free, n_ag=0.0,
+            rs=free, n_rs=0.0, exp=LinearPerfModel(0.1, 1e-9), n_exp=1e9,
+        )
+        built = [
+            GeneralizedLayer(
+                ctx=ctx, dense_overlappable_ms=1.0, grad_bytes=20.0 * MB
+            )
+            for _ in range(3)
+        ]
+        batch = plan_gradient_partition(built, AR, step2_impl="batch")
+        scalar = plan_gradient_partition(built, AR, step2_impl="scalar")
+        _plans_identical(batch, scalar)
+
+    def test_env_var_selects_impl(self, monkeypatch):
+        monkeypatch.setenv("REPRO_STEP2_IMPL", "scalar")
+        assert resolve_step2_impl() == "scalar"
+        # an explicit argument wins over the environment
+        assert resolve_step2_impl("batch") == "batch"
+        monkeypatch.delenv("REPRO_STEP2_IMPL")
+        assert resolve_step2_impl() == "batch"
+
+    def test_unknown_impl_rejected(self, monkeypatch):
+        with pytest.raises(SolverError, match="unknown Step-2 impl"):
+            resolve_step2_impl("turbo")
+        monkeypatch.setenv("REPRO_STEP2_IMPL", "bogus")
+        with pytest.raises(SolverError, match="unknown Step-2 impl"):
+            plan_gradient_partition([make_layer()], AR)
+
+    def test_step2_counters_measure_batching(self):
+        layers = [make_layer(grad_mb=80.0, dense_ms=1.0) for _ in range(4)]
+
+        before = solver_stats()
+        plan_gradient_partition(layers, AR, seed=7, step2_impl="batch")
+        batched = solver_stats() - before
+        assert batched.step2_objective_calls > 0
+        # a batched pass covers a whole DE population per call
+        assert batched.step2_candidates > batched.step2_objective_calls
+
+        before = solver_stats()
+        plan_gradient_partition(layers, AR, seed=7, step2_impl="scalar")
+        scalar = solver_stats() - before
+        # the scalar path evaluates exactly one candidate per call
+        assert scalar.step2_objective_calls == scalar.step2_candidates > 0
+        # both paths evaluated the same candidates overall
+        assert scalar.step2_candidates == batched.step2_candidates
