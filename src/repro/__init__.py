@@ -131,6 +131,13 @@ from .api import (
     get_cluster,
     register_cluster,
 )
+from .cache import (
+    CacheServer,
+    CacheStats,
+    LRUCache,
+    RemoteTier,
+    TierStats,
+)
 from .serve import (
     Client,
     PlanRequest,
@@ -234,6 +241,12 @@ __all__ = [
     "ExperimentResult",
     "StackSpec",
     "ClusterRef",
+    # tiered cache
+    "LRUCache",
+    "TierStats",
+    "CacheStats",
+    "CacheServer",
+    "RemoteTier",
     # serving
     "PlanService",
     "PlanRequest",

@@ -22,12 +22,17 @@ Subcommands over the :class:`~repro.api.workspace.Workspace` API:
   on any byte drift against the committed files.
 * ``docs``  -- regenerate ``docs/CLI.md`` from this very parser
   (``--check`` verifies the committed page instead).
-* ``cache`` -- inspect a workspace's on-disk caches (plus the process's
-  degree-solver counters), ``--gc DAYS`` away stale plan files, or
-  ``clear`` everything.
+* ``cache`` -- inspect a workspace's cache tiers (plus the process's
+  degree-solver counters), ``--gc DAYS``/``--max-bytes``/
+  ``--max-entries`` away stale or excess plan files (LRU order),
+  ``clear`` everything, or ``cache serve`` a shared remote tier other
+  processes warm through.
 
 Every subcommand takes ``--workspace PATH``; without it, ``plan``,
 ``bench`` and ``serve`` run against a throwaway in-memory session.
+Planning subcommands also take ``--remote HOST:PORT`` (or the
+``REPRO_CACHE_REMOTE`` environment variable) to read and write plans
+through a shared ``cache serve`` tier.
 """
 
 from __future__ import annotations
@@ -60,6 +65,15 @@ def _add_workspace_arg(parser: argparse.ArgumentParser) -> None:
         metavar="PATH",
         default=None,
         help="workspace directory holding the persistent caches",
+    )
+    parser.add_argument(
+        "--remote",
+        metavar="HOST:PORT",
+        default=None,
+        help=(
+            "shared remote cache server to read/write through "
+            "(defaults to $REPRO_CACHE_REMOTE; empty disables)"
+        ),
     )
 
 
@@ -167,11 +181,12 @@ def _spec_from_args(args, systems: list[str]) -> ExperimentSpec:
 
 def _open_workspace(args, stack: "object") -> Workspace:
     """The named workspace, or a throwaway one for session-only runs."""
+    remote = getattr(args, "remote", None)
     if args.workspace is not None:
-        return Workspace(args.workspace)
+        return Workspace(args.workspace, remote=remote)
     tmp = tempfile.TemporaryDirectory(prefix="repro-ws-")
     stack.callback(tmp.cleanup)  # type: ignore[attr-defined]
-    return Workspace(tmp.name, autosave=False)
+    return Workspace(tmp.name, autosave=False, remote=remote)
 
 
 def _print_cache_summary(stats: WorkspaceStats, out) -> None:
@@ -186,6 +201,15 @@ def _print_cache_summary(stats: WorkspaceStats, out) -> None:
             f"{label}: {hits} hits, {misses} misses ({rate:.0f}% hit rate)",
             file=out,
         )
+    cache = stats.cache
+    print(
+        f"cache tiers: L1 {cache.l1.hits}h/{cache.l1.misses}m, "
+        f"L2 {cache.l2.hits}h/{cache.l2.misses}m, "
+        f"L3 {cache.l3.hits}h/{cache.l3.misses}m "
+        f"({cache.l1.fills + cache.l2.fills} fills, "
+        f"{cache.l1.evictions} evictions)",
+        file=out,
+    )
     solver = stats.solver
     print(
         f"degree solver: {solver.solves} solves, {solver.cache_hits} cache "
@@ -224,10 +248,12 @@ def _cmd_plan(args) -> int:
 
 def _cmd_sweep(args) -> int:
     spec = ExperimentSpec.from_file(args.spec)
-    workspace = Workspace(args.workspace) if args.workspace else None
-    if workspace is None:
+    remote = getattr(args, "remote", None)
+    if args.workspace:
+        workspace = Workspace(args.workspace, remote=remote)
+    else:
         with tempfile.TemporaryDirectory(prefix="repro-ws-") as tmp:
-            workspace = Workspace(tmp, autosave=False)
+            workspace = Workspace(tmp, autosave=False, remote=remote)
             return _run_sweep(args, spec, workspace)
     return _run_sweep(args, spec, workspace)
 
@@ -605,14 +631,50 @@ def _cmd_docs(args) -> int:
     return 0
 
 
+def _cmd_cache_serve(args) -> int:
+    """Run a blocking shared cache server (the L3 tier)."""
+    from ..cache import CacheServer
+
+    server = CacheServer(
+        args.host,
+        args.port,
+        max_entries=args.max_entries if args.max_entries else 4096,
+        max_bytes=args.max_bytes if args.max_bytes else 256 * 1024 * 1024,
+    )
+    # The address line goes first and flushed, so scripts (and the
+    # benchmarks) can read the bound port before any traffic arrives.
+    print(f"cache server listening on {server.address}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    finally:
+        server.close()
+    return 0
+
+
 def _cmd_cache(args) -> int:
-    if args.action == "clear" and args.gc is not None:
+    if args.action == "serve":
+        return _cmd_cache_serve(args)
+    gc_requested = (
+        args.gc is not None
+        or args.max_bytes is not None
+        or args.max_entries is not None
+    )
+    if args.action == "clear" and gc_requested:
         # Refuse the ambiguous combination: `clear` wipes everything,
         # `--gc` promises age-bounded eviction -- silently doing either
         # would betray the other's contract.
         print(
             "error: --gc cannot be combined with 'clear' "
-            "(use `cache --gc DAYS` for age-bounded eviction)",
+            "(use `cache --gc DAYS --max-bytes N --max-entries N` "
+            "for bounded eviction)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.workspace is None:
+        print(
+            f"error: cache {args.action} needs --workspace PATH",
             file=sys.stderr,
         )
         return 2
@@ -629,20 +691,47 @@ def _cmd_cache(args) -> int:
     if not root.is_dir():
         print(f"error: no workspace at {root}", file=sys.stderr)
         return 2
-    if args.gc is not None:
+    if gc_requested:
         # File-level like `clear`: trims workspaces a plain open would
         # refuse, and never rewrites surviving plans' mtimes.
-        swept = Workspace.gc_plans(root, max_age_days=args.gc)
+        swept = Workspace.gc_plans(
+            root,
+            max_age_days=args.gc,
+            max_bytes=args.max_bytes,
+            max_entries=args.max_entries,
+        )
+        if args.gc is not None:
+            print(
+                f"gc: removed {swept['removed']} plan file(s) older than "
+                f"{args.gc:g} day(s), kept {swept['kept']}"
+            )
+        else:
+            print(
+                f"gc: removed {swept['removed']} plan file(s) in LRU "
+                f"order, kept {swept['kept']}"
+            )
         print(
-            f"gc: removed {swept['removed']} plan file(s) older than "
-            f"{args.gc:g} day(s), kept {swept['kept']}"
+            f"gc: evicted {swept['removed_bytes']} bytes, kept "
+            f"{swept['kept_bytes']} bytes"
         )
         return 0
     # info is read-only: a mistyped path must not silently materialize an
     # empty workspace and report it as real
-    info = Workspace(root).cache_info()
+    info = Workspace(root, remote=args.remote).cache_info()
     for key, value in info.items():
         print(f"{key}: {value}")
+    if args.remote:
+        from ..cache import RemoteTier
+
+        stat = RemoteTier(args.remote).stat()
+        if stat is None:
+            print(f"remote_tier: {args.remote} unreachable")
+        else:
+            print(
+                f"remote_tier: {stat.get('entries', 0)} entries, "
+                f"{stat.get('bytes', 0)} bytes, {stat.get('hits', 0)} "
+                f"hits, {stat.get('misses', 0)} misses"
+            )
     solver = solver_stats()
     print(
         f"degree_solver: {solver.solves} solves, {solver.cache_hits} "
@@ -845,18 +934,63 @@ def build_parser() -> argparse.ArgumentParser:
     docs.set_defaults(func=_cmd_docs)
 
     cache = sub.add_parser(
-        "cache", help="inspect or clear a workspace's caches"
+        "cache",
+        help=(
+            "inspect, trim or clear a workspace's caches, or run the "
+            "shared cache server"
+        ),
     )
     cache.add_argument(
-        "action", nargs="?", default="info", choices=("info", "clear")
+        "action",
+        nargs="?",
+        default="info",
+        choices=("info", "clear", "serve"),
     )
-    cache.add_argument("--workspace", "-w", metavar="PATH", required=True)
+    cache.add_argument("--workspace", "-w", metavar="PATH", default=None)
+    cache.add_argument(
+        "--remote",
+        metavar="HOST:PORT",
+        default=None,
+        help="also report the shared remote tier's occupancy (info)",
+    )
     cache.add_argument(
         "--gc",
         type=float,
         metavar="DAYS",
         default=None,
-        help="evict plan files not touched in DAYS days",
+        help="evict plan files not used in DAYS days",
+    )
+    cache.add_argument(
+        "--max-bytes",
+        type=int,
+        metavar="N",
+        default=None,
+        help=(
+            "with --gc/alone: evict least recently used plan files "
+            "until under N bytes; with serve: the server's byte bound"
+        ),
+    )
+    cache.add_argument(
+        "--max-entries",
+        type=int,
+        metavar="N",
+        default=None,
+        help=(
+            "with --gc/alone: evict least recently used plan files "
+            "until at most N remain; with serve: the server's entry "
+            "bound"
+        ),
+    )
+    cache.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="serve: bind address of the cache server",
+    )
+    cache.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="serve: bind port (0 picks a free one, printed on start)",
     )
     cache.set_defaults(func=_cmd_cache)
 

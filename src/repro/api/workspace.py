@@ -18,6 +18,15 @@ Both caches expose exact hit/miss counters (:attr:`Workspace.stats`):
 "this re-run fitted zero new profiles and compiled zero new plans" is an
 assertion, not a hope.
 
+Lookups route through a tier stack (:mod:`repro.cache`): **L1**, a
+per-process in-memory LRU bounded by entries and approximate bytes;
+**L2**, the on-disk layout below (format unchanged); and optionally
+**L3**, a shared remote cache server (``REPRO_CACHE_REMOTE=host:port``
+or the ``remote=`` constructor argument), so a fleet of processes warms
+each other.  Misses fall through tier by tier, hits fill the tiers
+above (read-through), fresh compiles write through, and every movement
+is counted per tier in :attr:`WorkspaceStats.cache`.
+
 On-disk layout::
 
     <root>/
@@ -39,11 +48,19 @@ import threading
 import time
 import warnings
 from concurrent.futures import Future, ThreadPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Sequence
 
 from ..bench.runner import ConfigResult
+from ..cache import (
+    DEFAULT_MAX_BYTES,
+    DEFAULT_MAX_ENTRIES,
+    CacheStats,
+    LRUCache,
+    RemoteTier,
+    TierStats,
+)
 from ..config import MoELayerSpec, ParallelSpec, standard_layout
 from ..core.fastsolve import SolverStats, solver_stats
 from ..core.pipeline_degree import DEFAULT_MAX_DEGREE
@@ -81,6 +98,9 @@ class WorkspaceStats:
         service: counters of the :class:`~repro.serve.PlanService`
             bound to this workspace (None when no service is serving
             from it).
+        cache: exact per-tier counters (L1 memory / L2 disk / L3
+            remote, plus the profile store's remote traffic) behind the
+            ``plan_hits``/``plan_misses`` totals above.
     """
 
     profiles: StoreStats
@@ -88,6 +108,7 @@ class WorkspaceStats:
     plan_misses: int = 0
     solver: SolverStats = SolverStats()
     service: "ServiceStats | None" = None
+    cache: CacheStats = CacheStats()
 
     @property
     def warm(self) -> bool:
@@ -109,6 +130,7 @@ class WorkspaceStats:
             plan_misses=self.plan_misses - earlier.plan_misses,
             solver=self.solver - earlier.solver,
             service=self.service,
+            cache=self.cache - earlier.cache,
         )
 
 
@@ -173,6 +195,30 @@ def _quarantine(path: Path) -> None:
     )
 
 
+class _TierCounters:
+    """One tier's mutable counter cell (guarded by the counter lock)."""
+
+    __slots__ = ("hits", "misses", "fills", "writes", "errors")
+
+    def __init__(self) -> None:
+        self.hits = self.misses = self.fills = self.writes = 0
+        self.errors = 0
+
+    def reset(self) -> None:
+        """Zero every counter (workspace ``clear``)."""
+        self.__init__()
+
+    def snapshot(self) -> TierStats:
+        """Freeze the current counts into a :class:`TierStats`."""
+        return TierStats(
+            hits=self.hits,
+            misses=self.misses,
+            fills=self.fills,
+            writes=self.writes,
+            errors=self.errors,
+        )
+
+
 class Workspace:
     """A disk-rooted session over the planner: open, plan, re-run warm.
 
@@ -182,6 +228,17 @@ class Workspace:
             :meth:`plan` call (sweeps batch the save regardless).
         lock_timeout_s: bound on waiting for another *process*'s
             advisory lock (profile saves, in-flight plan compiles).
+        l1_entries: entry bound of the in-memory plan tier; ``0``
+            disables L1 entirely (every lookup goes to disk), None
+            means the default bound.
+        l1_bytes: approximate byte bound of the in-memory plan tier
+            (None means the default bound).
+        remote: ``host:port`` of a shared L3
+            :class:`~repro.cache.CacheServer`; None consults the
+            ``REPRO_CACHE_REMOTE`` environment variable, and an empty
+            string disables the tier explicitly.  The remote tier is
+            best-effort -- an unreachable server degrades every lookup
+            to a miss, it never fails a plan.
 
     Concurrent processes may share one root: profile saves merge with
     the on-disk entries under an advisory file lock
@@ -201,6 +258,9 @@ class Workspace:
         *,
         autosave: bool = True,
         lock_timeout_s: float = 600.0,
+        l1_entries: int | None = None,
+        l1_bytes: int | None = None,
+        remote: str | None = None,
     ) -> None:
         self.root = Path(root).expanduser()
         self.plans_dir = self.root / "plans"
@@ -214,7 +274,24 @@ class Workspace:
         self._plan_misses = 0
         self._defer_save = False
         self._service_stats: Callable[[], "ServiceStats"] | None = None
+        if l1_entries is None:
+            l1_entries = DEFAULT_MAX_ENTRIES
+        if l1_bytes is None:
+            l1_bytes = DEFAULT_MAX_BYTES
+        self._l1: LRUCache | None = (
+            LRUCache(l1_entries, l1_bytes) if l1_entries > 0 else None
+        )
+        if remote is None:
+            remote = os.environ.get("REPRO_CACHE_REMOTE", "")
+        self._remote: RemoteTier | None = (
+            RemoteTier(remote) if remote else None
+        )
+        self._l1c = _TierCounters()  # fills/writes only; rest from LRU
+        self._l2c = _TierCounters()
+        self._l3c = _TierCounters()
+        self._prc = _TierCounters()  # profile store's remote traffic
         self.store = ProfileStore()
+        self._bind_store_remote()
         self._load_profiles()
 
     # -- persistence ---------------------------------------------------------
@@ -270,6 +347,68 @@ class Workspace:
         if data is not None:
             self.store.preload(self._decode_entries(data))
 
+    def _bind_store_remote(self) -> None:
+        """Route the profile store through the shared tier, if configured."""
+        if self._remote is not None:
+            self.store.set_remote(
+                self._remote_profile_fetch, self._remote_profile_publish
+            )
+
+    def _remote_profile_fetch(self, full_key: tuple) -> object | None:
+        """Look one profile up in the shared tier (best-effort).
+
+        Counts exactly one ``profiles_remote`` hit or miss; undecodable
+        or cross-version documents additionally count an error and are
+        refused (treated as a miss), never returned.
+        """
+        try:
+            key_obj = encode(("profile", full_key))
+            text = self._remote.get(digest(key_obj))
+        except Exception:  # noqa: BLE001 - tier must never raise
+            with self._counter_lock:
+                self._prc.errors += 1
+                self._prc.misses += 1
+            return None
+        if text is None:
+            with self._counter_lock:
+                self._prc.misses += 1
+            return None
+        try:
+            data = json.loads(text)
+            if data["schema_version"] != WORKSPACE_SCHEMA_VERSION:
+                raise ValueError("cross-version remote profile")
+            if canonical_json(data["key"]) != canonical_json(key_obj):
+                raise ValueError("remote profile key mismatch")
+            value = decode(data["value"])
+        except Exception:  # noqa: BLE001 - refuse, don't misread
+            with self._counter_lock:
+                self._prc.errors += 1
+                self._prc.misses += 1
+            return None
+        with self._counter_lock:
+            self._prc.hits += 1
+        return value
+
+    def _remote_profile_publish(self, full_key: tuple, value: object) -> None:
+        """Publish one freshly fitted profile to the shared tier."""
+        try:
+            key_obj = encode(("profile", full_key))
+            payload = json.dumps(
+                {
+                    "schema_version": WORKSPACE_SCHEMA_VERSION,
+                    "key": key_obj,
+                    "value": encode(value),
+                }
+            )
+            stored = self._remote.put(digest(key_obj), payload)
+        except Exception:  # noqa: BLE001 - tier must never raise
+            stored = False
+        with self._counter_lock:
+            if stored:
+                self._prc.writes += 1
+            else:
+                self._prc.errors += 1
+
     def _workspace_lock(self) -> FileLock:
         return FileLock(
             self.root / ".workspace.lock", timeout_s=self._lock_timeout_s
@@ -303,15 +442,32 @@ class Workspace:
 
     @property
     def stats(self) -> WorkspaceStats:
-        """Exact cache counters for this session."""
+        """Exact cache counters for this session.
+
+        O(1) by construction -- counters and occupancy gauges are
+        maintained incrementally, never by scanning a store or the disk
+        -- so the serving and report layers can snapshot it per request
+        without perturbing the paths it measures.  (Disk occupancy *is*
+        a scan; it lives in :meth:`cache_info`, the CLI-only path.)
+        """
         service = self._service_stats
+        l1 = self._l1.stats if self._l1 is not None else TierStats()
         with self._counter_lock:
+            cache = CacheStats(
+                l1=replace(
+                    l1, fills=self._l1c.fills, writes=self._l1c.writes
+                ),
+                l2=self._l2c.snapshot(),
+                l3=self._l3c.snapshot(),
+                profiles_remote=self._prc.snapshot(),
+            )
             return WorkspaceStats(
                 profiles=self.store.stats,
                 plan_hits=self._plan_hits,
                 plan_misses=self._plan_misses,
                 solver=solver_stats(),
                 service=service() if service is not None else None,
+                cache=cache,
             )
 
     def bind_service(
@@ -335,18 +491,30 @@ class Workspace:
             "plan_dir": str(self.plans_dir),
             "plan_entries": len(plan_files),
             "plan_bytes": sum(f.stat().st_size for f in plan_files),
+            "l1_entries": len(self._l1) if self._l1 is not None else 0,
+            "l1_bytes": self._l1.bytes if self._l1 is not None else 0,
+            "remote": self._remote.address if self._remote else "",
             "schema_version": WORKSPACE_SCHEMA_VERSION,
         }
 
     def clear(self) -> None:
-        """Discard both caches (disk and session state)."""
+        """Discard every tier (memory, disk, session counters).
+
+        The shared remote tier is *not* cleared: it is owned by the
+        fleet, not this process, and its entries remain content-valid.
+        """
         with self._io_lock:
             self.discard(self.root)
+        if self._l1 is not None:
+            self._l1.clear(reset_stats=True)
         with self._counter_lock:
             self._plan_hits = 0
             self._plan_misses = 0
             self._plan_futures = {}
+            for cell in (self._l1c, self._l2c, self._l3c, self._prc):
+                cell.reset()
         self.store = ProfileStore()
+        self._bind_store_remote()
 
     @staticmethod
     def discard(root: str | Path) -> dict[str, int]:
@@ -383,45 +551,95 @@ class Workspace:
 
     @staticmethod
     def gc_plans(
-        root: str | Path, *, max_age_days: float
+        root: str | Path,
+        *,
+        max_age_days: float | None = None,
+        max_bytes: int | None = None,
+        max_entries: int | None = None,
     ) -> dict[str, int]:
-        """Evict plan-cache files not touched in ``max_age_days`` days.
+        """Evict plan-cache files by age and/or LRU order to fit bounds.
 
         Like :meth:`discard` this works at the file level -- it never
         reads the plans, so it also trims workspaces a plain open would
-        refuse.  A plan's mtime is refreshed only when it is (re)written,
-        so "touched" means "compiled or recompiled", not "read".
-        Quarantined ``*.corrupt`` files age out the same way.
+        refuse.  A plan file's mtime is refreshed on every cache *read*
+        as well as on (re)writes, so mtime order approximates LRU order
+        and ``max_age_days`` means "not used in N days".  Quarantined
+        ``*.corrupt`` files age out the same way.
+
+        At least one bound must be given; they compose (age first, then
+        oldest-first eviction until both size bounds hold).
 
         Args:
             root: the workspace directory.
-            max_age_days: eviction threshold; must be >= 0.
+            max_age_days: age threshold in days; must be >= 0.
+            max_bytes: total plan-cache byte budget; evicts least
+                recently used files until under it.  Must be >= 0.
+            max_entries: plan-file count budget, same LRU order.  Must
+                be >= 0.
 
         Returns:
-            ``{"removed": ..., "kept": ...}`` plan-file counts.
+            ``{"removed": ..., "kept": ..., "removed_bytes": ...,
+            "kept_bytes": ...}`` plan-file counts and byte totals.
 
         Raises:
-            ConfigError: for a negative age.
+            ConfigError: for a negative bound, or no bound at all.
         """
-        if max_age_days < 0:
+        if max_age_days is None and max_bytes is None and max_entries is None:
+            raise ConfigError(
+                "gc_plans needs at least one bound: max_age_days, "
+                "max_bytes or max_entries"
+            )
+        if max_age_days is not None and max_age_days < 0:
             raise ConfigError(
                 f"max_age_days must be >= 0, got {max_age_days}"
             )
-        cutoff = time.time() - max_age_days * 86400.0
-        removed = kept = 0
+        if max_bytes is not None and max_bytes < 0:
+            raise ConfigError(f"max_bytes must be >= 0, got {max_bytes}")
+        if max_entries is not None and max_entries < 0:
+            raise ConfigError(
+                f"max_entries must be >= 0, got {max_entries}"
+            )
+        files: list[tuple[float, Path, int]] = []  # (mtime, path, size)
         plans_dir = Path(root).expanduser() / "plans"
         if plans_dir.is_dir():
             for path in sorted(plans_dir.glob("*.json*")):
                 try:
-                    stale = path.stat().st_mtime < cutoff
+                    stat = path.stat()
                 except OSError:  # pragma: no cover - racing cleaners
                     continue
-                if stale:
-                    path.unlink(missing_ok=True)
-                    removed += 1
-                else:
-                    kept += 1
-        return {"removed": removed, "kept": kept}
+                files.append((stat.st_mtime, path, stat.st_size))
+        files.sort()  # oldest (least recently used) first
+        removed = removed_bytes = 0
+        kept = len(files)
+        kept_bytes = sum(size for _, _, size in files)
+
+        def evict(index: int) -> None:
+            nonlocal removed, removed_bytes, kept, kept_bytes
+            _, path, size = files[index]
+            path.unlink(missing_ok=True)
+            removed += 1
+            removed_bytes += size
+            kept -= 1
+            kept_bytes -= size
+
+        survivor = 0  # files[:survivor] already evicted
+        if max_age_days is not None:
+            cutoff = time.time() - max_age_days * 86400.0
+            while survivor < len(files) and files[survivor][0] < cutoff:
+                evict(survivor)
+                survivor += 1
+        while survivor < len(files) and (
+            (max_entries is not None and kept > max_entries)
+            or (max_bytes is not None and kept_bytes > max_bytes)
+        ):
+            evict(survivor)
+            survivor += 1
+        return {
+            "removed": removed,
+            "kept": kept,
+            "removed_bytes": removed_bytes,
+            "kept_bytes": kept_bytes,
+        }
 
     # -- planning ------------------------------------------------------------
 
@@ -475,16 +693,29 @@ class Workspace:
             )
         )
 
-    def _load_plan_file(self, path: Path, key_json: str) -> IterationPlan | None:
+    def _load_plan_entry(
+        self, path: Path, key_json: str
+    ) -> tuple[IterationPlan, int] | None:
+        """Read one plan file; ``(plan, size_bytes)`` or None.
+
+        Unreadable files are quarantined (and counted as L2 errors);
+        cross-version files are refused with an exception, never
+        misread.
+        """
         if not path.exists():
             return None
         try:
-            data = json.loads(path.read_text())
+            text = path.read_text()
+            data = json.loads(text)
         except (OSError, ValueError):
             _quarantine(path)
+            with self._counter_lock:
+                self._l2c.errors += 1
             return None
         if not isinstance(data, dict) or "schema_version" not in data:
             _quarantine(path)
+            with self._counter_lock:
+                self._l2c.errors += 1
             return None
         if data["schema_version"] != WORKSPACE_SCHEMA_VERSION:
             raise WorkspaceError(
@@ -495,7 +726,100 @@ class Workspace:
             )
         if canonical_json(data.get("key")) != key_json:
             return None  # digest collision or stale file: recompute
-        return IterationPlan.from_dict(data["plan"])
+        return IterationPlan.from_dict(data["plan"]), len(text)
+
+    def _load_plan_file(self, path: Path, key_json: str) -> IterationPlan | None:
+        """The bare L2 read (no counters, no fills): the disk baseline."""
+        entry = self._load_plan_entry(path, key_json)
+        return entry[0] if entry is not None else None
+
+    @staticmethod
+    def _touch(path: Path) -> None:
+        """Refresh a plan file's mtime so mtime order approximates LRU."""
+        try:
+            os.utime(path)
+        except OSError:  # pragma: no cover - racing GC
+            pass
+
+    def _fill_l1(self, dig: str, plan: IterationPlan, size: int) -> None:
+        """Read-through fill of the memory tier from a lower-tier hit."""
+        if self._l1 is None:
+            return
+        self._l1.put(dig, plan, size=size)
+        with self._counter_lock:
+            self._l1c.fills += 1
+
+    def _probe_disk(
+        self, dig: str, path: Path, key_json: str, *, count_miss: bool = True
+    ) -> IterationPlan | None:
+        """One counted L2 lookup: load, touch, and fill L1 on a hit.
+
+        The re-probe under the per-digest lock passes
+        ``count_miss=False``: that probe only confirms (and counts) a
+        cross-process fill, the fall-through to a compile was already
+        counted by the first probe.
+        """
+        entry = self._load_plan_entry(path, key_json)
+        if entry is None:
+            if count_miss:
+                with self._counter_lock:
+                    self._l2c.misses += 1
+            return None
+        plan, size = entry
+        with self._counter_lock:
+            self._l2c.hits += 1
+        self._touch(path)
+        self._fill_l1(dig, plan, size)
+        return plan
+
+    def _probe_remote(
+        self, dig: str, path: Path, key_json: str
+    ) -> IterationPlan | None:
+        """One counted L3 lookup; hits fill the disk and memory tiers.
+
+        The remote document is the exact on-disk file text, so it is
+        validated by the same reader (schema version and full content
+        key); an undecodable or cross-version document counts an error
+        and degrades to a miss -- refused, never misread.
+        """
+        text = self._remote.get(dig)
+        if text is None:
+            with self._counter_lock:
+                self._l3c.misses += 1
+            return None
+        try:
+            data = json.loads(text)
+            if data["schema_version"] != WORKSPACE_SCHEMA_VERSION:
+                raise ValueError("cross-version remote plan")
+            if canonical_json(data["key"]) != key_json:
+                raise ValueError("remote plan key mismatch")
+            plan = IterationPlan.from_dict(data["plan"])
+        except Exception:  # noqa: BLE001 - refuse, don't misread
+            with self._counter_lock:
+                self._l3c.errors += 1
+                self._l3c.misses += 1
+            return None
+        with self._counter_lock:
+            self._l3c.hits += 1
+        with self._io_lock:
+            _atomic_write(path, text)
+        with self._counter_lock:
+            self._l2c.fills += 1
+        self._fill_l1(dig, plan, len(text))
+        return plan
+
+    def _lookup_plan(
+        self, dig: str, path: Path, key_json: str
+    ) -> IterationPlan | None:
+        """Fall through the tier stack: L1 memory, L2 disk, L3 remote."""
+        if self._l1 is not None:
+            plan = self._l1.get(dig)  # counts its own hit/miss
+            if plan is not None:
+                return plan
+        plan = self._probe_disk(dig, path, key_json)
+        if plan is None and self._remote is not None:
+            plan = self._probe_remote(dig, path, key_json)
+        return plan
 
     @staticmethod
     def normalize_request(
@@ -614,7 +938,7 @@ class Workspace:
 
         path = self.plans_dir / f"{dig}.json"
         try:
-            plan = self._load_plan_file(path, key_json)
+            plan = self._lookup_plan(dig, path, key_json)
             if plan is not None:
                 with self._counter_lock:
                     self._plan_hits += 1
@@ -628,7 +952,9 @@ class Workspace:
                     timeout_s=self._lock_timeout_s,
                 )
                 with plan_lock:
-                    plan = self._load_plan_file(path, key_json)
+                    plan = self._probe_disk(
+                        dig, path, key_json, count_miss=False
+                    )
                     if plan is not None:
                         # Another process compiled it while we waited.
                         with self._counter_lock:
@@ -647,13 +973,30 @@ class Workspace:
                         )
                         with self._counter_lock:
                             self._plan_misses += 1
-                        payload = {
-                            "schema_version": WORKSPACE_SCHEMA_VERSION,
-                            "key": key,
-                            "plan": plan.to_dict(),
-                        }
+                        payload = json.dumps(
+                            {
+                                "schema_version": WORKSPACE_SCHEMA_VERSION,
+                                "key": key,
+                                "plan": plan.to_dict(),
+                            }
+                        )
+                        # Write-through: disk, then memory, then (best
+                        # effort) the shared tier.
                         with self._io_lock:
-                            _atomic_write(path, json.dumps(payload))
+                            _atomic_write(path, payload)
+                        with self._counter_lock:
+                            self._l2c.writes += 1
+                        if self._l1 is not None:
+                            self._l1.put(dig, plan, size=len(payload))
+                            with self._counter_lock:
+                                self._l1c.writes += 1
+                        if self._remote is not None:
+                            stored = self._remote.put(dig, payload)
+                            with self._counter_lock:
+                                if stored:
+                                    self._l3c.writes += 1
+                                else:
+                                    self._l3c.errors += 1
                 if self._autosave and not self._defer_save:
                     self.save()
         except BaseException as exc:
@@ -662,6 +1005,11 @@ class Workspace:
             future.set_exception(exc)
             raise
         future.set_result(plan)
+        # Completed futures are not kept: later requests in this session
+        # are answered by the L1 tier (or disk), so the in-flight map
+        # stays bounded by genuine concurrency, not by session length.
+        with self._counter_lock:
+            self._plan_futures.pop(dig, None)
         return plan
 
     # -- sweeps --------------------------------------------------------------

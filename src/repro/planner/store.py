@@ -25,6 +25,7 @@ from __future__ import annotations
 import threading
 from concurrent.futures import Future
 from dataclasses import dataclass
+from typing import Callable
 
 from ..config import MoELayerSpec, ParallelSpec
 from ..core.perf_model import PerfModelSet
@@ -86,6 +87,43 @@ class ProfileStore:
         self._cluster_misses = 0
         self._layer_hits = 0
         self._layer_misses = 0
+        self._remote_fetch: "Callable[[tuple], object | None] | None" = None
+        self._remote_publish: "Callable[[tuple, object], None] | None" = None
+
+    def set_remote(
+        self,
+        fetch: "Callable[[tuple], object | None] | None",
+        publish: "Callable[[tuple, object], None] | None",
+    ) -> None:
+        """Attach (or detach, with ``None``) a shared remote tier.
+
+        ``fetch(full_key)`` returns a cached value or None; it is tried
+        before computing, and a remote answer counts as a *hit* (a warm
+        fleet fits zero new profiles, so ``misses == 0`` stays the
+        definition of warm).  ``publish(full_key, value)`` is called
+        after each fresh computation.  Both must be best-effort: they
+        may never raise into the profiling path (the workspace's
+        wrappers swallow transport errors and count them).
+        """
+        self._remote_fetch = fetch
+        self._remote_publish = publish
+
+    def _count_locked(self, namespace: str, *, hit: bool) -> None:
+        """Bump one hit or miss counter; caller holds ``self._lock``."""
+        if namespace == "cluster":
+            if hit:
+                self._cluster_hits += 1
+            else:
+                self._cluster_misses += 1
+        elif hit:
+            self._layer_hits += 1
+        else:
+            self._layer_misses += 1
+
+    def _count(self, namespace: str, *, hit: bool) -> None:
+        """Bump exactly one hit or miss counter for ``namespace``."""
+        with self._lock:
+            self._count_locked(namespace, hit=hit)
 
     @property
     def stats(self) -> StoreStats:
@@ -152,23 +190,31 @@ class ProfileStore:
                 future = Future()
                 self._entries[full_key] = future
                 owner = True
-                if namespace == "cluster":
-                    self._cluster_misses += 1
-                else:
-                    self._layer_misses += 1
             else:
                 owner = False
-                if namespace == "cluster":
-                    self._cluster_hits += 1
-                else:
-                    self._layer_hits += 1
+                self._count_locked(namespace, hit=True)
         if owner:
-            try:
-                future.set_result(compute())
-            except BaseException as exc:  # noqa: BLE001 - re-raised below
-                with self._lock:
-                    del self._entries[full_key]
-                future.set_exception(exc)
+            fetch = self._remote_fetch
+            value = fetch(full_key) if fetch is not None else None
+            if value is not None:
+                # Served by the shared tier: this session computed
+                # nothing, so it is a hit -- a warm fleet keeps
+                # ``misses == 0``.
+                self._count(namespace, hit=True)
+                future.set_result(value)
+            else:
+                self._count(namespace, hit=False)
+                try:
+                    result = compute()
+                except BaseException as exc:  # noqa: BLE001 - re-raised
+                    with self._lock:
+                        del self._entries[full_key]
+                    future.set_exception(exc)
+                else:
+                    future.set_result(result)
+                    publish = self._remote_publish
+                    if publish is not None:
+                        publish(full_key, result)
         return future.result()
 
     # -- cluster profiles ----------------------------------------------------

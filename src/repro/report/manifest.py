@@ -357,6 +357,15 @@ DEFAULT_ARTIFACTS: tuple[Artifact, ...] = (
         deterministic=False,
         parallel_safe=False,  # resets solver caches for cold timings
     ),
+    Artifact(
+        name="perf-cache",
+        title="Tiered cache: L1 vs disk lookups, cross-process L3 hits",
+        paper_ref="repo baseline (BENCH_cache)",
+        producer=_bench("test_perf_cache"),
+        outputs=("perf_cache.txt", "BENCH_cache.json"),
+        deterministic=False,
+        parallel_safe=False,  # spawns subprocess fleets + a cache server
+    ),
 )
 
 for _artifact in DEFAULT_ARTIFACTS:

@@ -35,6 +35,7 @@ from .loadgen import (
 )
 from .service import (
     DEFAULT_CAPACITY,
+    DEFAULT_COMPLETED_CACHE,
     DEFAULT_FLUSH_MS,
     PlanRequest,
     PlanService,
@@ -44,6 +45,7 @@ from .stats import ServiceStats
 __all__ = [
     "Client",
     "DEFAULT_CAPACITY",
+    "DEFAULT_COMPLETED_CACHE",
     "DEFAULT_FLUSH_MS",
     "LoadResult",
     "PlanRequest",

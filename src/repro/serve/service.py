@@ -30,9 +30,10 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Sequence
 
+from ..cache import LRUCache
 from ..config import MoELayerSpec, ParallelSpec
 from ..core.pipeline_degree import solve_degrees
 from ..errors import (
@@ -53,6 +54,9 @@ DEFAULT_FLUSH_MS = 2.0
 
 #: default bound on the undrained request backlog.
 DEFAULT_CAPACITY = 4096
+
+#: default entry bound of the in-session completed-plan cache.
+DEFAULT_COMPLETED_CACHE = 1024
 
 
 @dataclass(frozen=True)
@@ -113,9 +117,16 @@ class PlanService:
             groups (1 = resolve serially on the coalescer thread).
         prewarm: push a cold batch's layer contexts through one batched
             Algorithm-1 solve before resolving its groups.
+        completed_cache: entry bound of the in-session completed-plan
+            map.  A repeat of an already-resolved request is answered
+            at submit time without touching the queue; entries beyond
+            the bound are evicted in LRU order (counted as
+            ``futures_evicted``, the evictee falling back to the
+            workspace tiers).  ``0`` disables the cache.
 
     Raises:
-        ConfigError: for a non-positive window, capacity or batch size.
+        ConfigError: for a non-positive window, capacity or batch size,
+            or a negative cache bound.
     """
 
     def __init__(
@@ -127,6 +138,7 @@ class PlanService:
         max_batch: int | None = None,
         workers: int = 1,
         prewarm: bool = True,
+        completed_cache: int = DEFAULT_COMPLETED_CACHE,
     ) -> None:
         if flush_ms < 0:
             raise ConfigError(f"flush_ms must be >= 0, got {flush_ms}")
@@ -136,6 +148,10 @@ class PlanService:
             raise ConfigError(f"max_batch must be >= 1, got {max_batch}")
         if workers < 1:
             raise ConfigError(f"workers must be >= 1, got {workers}")
+        if completed_cache < 0:
+            raise ConfigError(
+                f"completed_cache must be >= 0, got {completed_cache}"
+            )
         self.workspace = workspace
         self._flush_s = flush_ms / 1000.0
         self._capacity = capacity
@@ -146,6 +162,9 @@ class PlanService:
         self._inflight: dict[tuple, _Group] = {}
         self._outstanding = 0  # accepted, future not yet settled
         self._closed = False
+        self._completed_cache: LRUCache | None = (
+            LRUCache(completed_cache, None) if completed_cache > 0 else None
+        )
         self._stats = StatsAccumulator()
         self._pool = (
             ThreadPoolExecutor(
@@ -212,6 +231,16 @@ class PlanService:
                 raise ServiceClosedError(
                     "PlanService is closed and takes no new requests"
                 )
+            if self._completed_cache is not None:
+                cached = self._completed_cache.get(key)
+                if cached is not None:
+                    # A repeat of an already-resolved request: answer at
+                    # submit time, consuming no queue capacity and no
+                    # coalescer work.
+                    self._stats.request()
+                    self._stats.resolve_cached()
+                    entry.future.set_result(cached)
+                    return entry.future
             if len(self._pending) >= self._capacity:
                 self._stats.reject()
                 raise QueueFullError(
@@ -230,7 +259,13 @@ class PlanService:
 
     def stats_snapshot(self) -> ServiceStats:
         """Exact serving counters at this instant."""
-        return self._stats.snapshot()
+        snapshot = self._stats.snapshot()
+        if self._completed_cache is not None:
+            snapshot = replace(
+                snapshot,
+                futures_evicted=self._completed_cache.stats.evictions,
+            )
+        return snapshot
 
     #: property alias mirroring ``Workspace.stats``.
     stats = property(stats_snapshot)
@@ -448,6 +483,8 @@ class PlanService:
             )
         except BaseException as exc:  # surfaced through every future
             error = exc
+        if error is None and self._completed_cache is not None:
+            self._completed_cache.put(group.key, plan)
         with self._cv:
             group.done = True
             self._inflight.pop(group.key, None)

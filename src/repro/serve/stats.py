@@ -52,6 +52,11 @@ class ServiceStats:
         max_batch: most requests drained in one flush.
         coalesced_requests: total requests across all batches (mean
             batch size is ``coalesced_requests / batches``).
+        futures_evicted: completed resolutions dropped from the
+            service's bounded in-session plan cache to stay within its
+            entry bound (the cache answers repeat requests without
+            touching the queue; an evicted entry just falls back to the
+            workspace tiers).
         p50_latency_ms: median submission-to-resolution latency over the
             recent-latency window.
         p95_latency_ms: 95th-percentile latency over the same window.
@@ -66,6 +71,7 @@ class ServiceStats:
     batches: int = 0
     max_batch: int = 0
     coalesced_requests: int = 0
+    futures_evicted: int = 0
     p50_latency_ms: float = 0.0
     p95_latency_ms: float = 0.0
 
@@ -143,6 +149,18 @@ class StatsAccumulator:
                     self._resolved += 1
                     self._dedup_hits += delivered - 1
             self._latencies.extend(latencies_ms)
+
+    def resolve_cached(self, latency_ms: float = 0.0) -> None:
+        """Record one request answered from the completed-plan cache.
+
+        The answer reuses an earlier resolution's work, so it counts as
+        a dedup hit (``dedup_hits + resolved == completed`` still holds:
+        both sides grow by one).
+        """
+        with self._lock:
+            self._completed += 1
+            self._dedup_hits += 1
+            self._latencies.append(latency_ms)
 
     def snapshot(self) -> ServiceStats:
         """A consistent :class:`ServiceStats` view of the counters."""

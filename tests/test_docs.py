@@ -48,6 +48,7 @@ class TestDocsPages:
         "EXPERIMENTS.md",
         "PLAN_SCHEMA.md",
         "SERVING.md",
+        "CACHING.md",
         "PERFORMANCE.md",
     )
 
@@ -63,6 +64,7 @@ class TestDocsPages:
             "src/repro/core/", "src/repro/planner/", "src/repro/api/",
             "src/repro/serve/", "src/repro/report/", "src/repro/moe/",
             "src/repro/sim/", "src/repro/systems/", "src/repro/bench/",
+            "src/repro/cache/",
         ):
             assert package in text, f"ARCHITECTURE.md misses {package}"
 

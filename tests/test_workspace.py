@@ -192,19 +192,21 @@ class TestPlanGC:
         plans = sorted((root / "plans").glob("*.json"))
         assert len(plans) == 2
         stale = plans[0]
+        stale_bytes = stale.stat().st_size
         old = 10 * 86400
         os.utime(stale, (stale.stat().st_atime - old,
                          stale.stat().st_mtime - old))
 
         swept = Workspace.gc_plans(root, max_age_days=7)
-        assert swept == {"removed": 1, "kept": 1}
+        assert swept["removed"] == 1 and swept["kept"] == 1
+        assert swept["removed_bytes"] == stale_bytes
+        assert swept["kept_bytes"] > 0
         assert not stale.exists() and plans[1].exists()
 
         # Nothing left to evict on a second pass.
-        assert Workspace.gc_plans(root, max_age_days=7) == {
-            "removed": 0,
-            "kept": 1,
-        }
+        again = Workspace.gc_plans(root, max_age_days=7)
+        assert again["removed"] == 0 and again["kept"] == 1
+        assert again["removed_bytes"] == 0
 
     def test_gc_rejects_negative_age(self, tmp_path):
         from repro import ConfigError
