@@ -19,7 +19,16 @@ Subcommands over the :class:`~repro.api.workspace.Workspace` API:
   ``--only fig7,table5``) through one workspace, writing
   ``benchmarks/results/*`` plus a generated ``REPORT.md``;
   ``--check`` re-runs the deterministic artifacts and exits non-zero
-  on any byte drift against the committed files.
+  on any byte drift against the committed files; ``--trace FILE``
+  records per-artifact spans to a JSON-lines trace alongside the
+  report.
+* ``trace`` -- render a JSON-lines trace file (what ``REPRO_TRACE=``
+  and ``report --trace`` write) as an indented span tree with per-span
+  total/self times and attributes.
+* ``metrics`` -- print a workspace's counters as Prometheus text
+  exposition (or ``--json``): the same exact numbers
+  ``workspace.stats`` holds, under the ``repro.*`` metric namespace;
+  ``--remote HOST:PORT`` scrapes a running ``cache serve`` instead.
 * ``docs``  -- regenerate ``docs/CLI.md`` from this very parser
   (``--check`` verifies the committed page instead).
 * ``cache`` -- inspect a workspace's cache tiers (plus the process's
@@ -40,6 +49,7 @@ from __future__ import annotations
 import argparse
 import contextlib
 import json
+import os
 import sys
 import tempfile
 from pathlib import Path
@@ -182,11 +192,12 @@ def _spec_from_args(args, systems: list[str]) -> ExperimentSpec:
 def _open_workspace(args, stack: "object") -> Workspace:
     """The named workspace, or a throwaway one for session-only runs."""
     remote = getattr(args, "remote", None)
+    trace = getattr(args, "trace", None)
     if args.workspace is not None:
-        return Workspace(args.workspace, remote=remote)
+        return Workspace(args.workspace, remote=remote, trace=trace)
     tmp = tempfile.TemporaryDirectory(prefix="repro-ws-")
     stack.callback(tmp.cleanup)  # type: ignore[attr-defined]
-    return Workspace(tmp.name, autosave=False, remote=remote)
+    return Workspace(tmp.name, autosave=False, remote=remote, trace=trace)
 
 
 def _print_cache_summary(stats: WorkspaceStats, out) -> None:
@@ -222,6 +233,18 @@ def _print_cache_summary(stats: WorkspaceStats, out) -> None:
         f"{solver.step2_candidates} candidates",
         file=out,
     )
+
+
+def _flush_trace(workspace: Workspace, out) -> None:
+    """Flush the workspace's trace file (if any) and say where it is."""
+    tracer = workspace.tracer
+    if tracer is None or tracer.path is None:
+        return
+    tracer.close()
+    note = f"trace: {tracer.path}"
+    if tracer.dropped:
+        note += f" ({tracer.dropped} span(s) dropped at the buffer bound)"
+    print(note, file=out)
 
 
 def _cmd_plan(args) -> int:
@@ -283,6 +306,7 @@ def _run_sweep(args, spec: ExperimentSpec, workspace: Workspace) -> int:
         )
     stats = workspace.stats
     _print_cache_summary(stats, sys.stdout)
+    _flush_trace(workspace, sys.stderr)
     if args.expect_warm and not stats.warm:
         print(
             "error: --expect-warm but the run was not fully cached "
@@ -566,6 +590,7 @@ def _cmd_report(args) -> int:
             progress=lambda line: print(line, file=sys.stderr),
             jobs=args.jobs,
         )
+        _flush_trace(workspace, sys.stderr)
 
     if args.check:
         drifts = check_run(run, results_dir)
@@ -628,6 +653,70 @@ def _cmd_docs(args) -> int:
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(rendered)
     print(f"wrote {path}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    """Render a JSON-lines trace file as an indented span tree."""
+    from ..obs import canonical_tree, read_trace, render_tree
+
+    records = read_trace(args.file)
+    if not records:
+        print(f"error: {args.file} holds no spans", file=sys.stderr)
+        return 1
+    if args.canonical:
+        print(json.dumps(canonical_tree(records), indent=2, sort_keys=True))
+    else:
+        print(
+            render_tree(records, include_timings=not args.no_timings)
+        )
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    """Print exact counters as Prometheus exposition (or JSON)."""
+    from ..obs import render_json, render_prometheus, workspace_metrics
+
+    if args.remote is not None and args.workspace is None:
+        # Scrape a running `cache serve` over its own line protocol;
+        # the server renders its exposition itself.
+        from ..cache import RemoteTier
+
+        exposition = RemoteTier(args.remote).metrics()
+        if exposition is None:
+            print(
+                f"error: cache server {args.remote} unreachable",
+                file=sys.stderr,
+            )
+            return 2
+        print(exposition, end="")
+        return 0
+    if args.workspace is None:
+        print(
+            "error: metrics needs --workspace PATH (or --remote "
+            "HOST:PORT to scrape a cache server)",
+            file=sys.stderr,
+        )
+        return 2
+    root = Path(args.workspace).expanduser()
+    if not root.is_dir():
+        # Like `cache info`: a mistyped path must not silently
+        # materialize an empty workspace and report zeros as real.
+        print(f"error: no workspace at {root}", file=sys.stderr)
+        return 2
+    with contextlib.ExitStack() as resources:
+        workspace = _open_workspace(args, resources)
+        if args.spec is not None:
+            # Exercise the workspace first so the session counters are
+            # live numbers, not the zeros of a fresh open.
+            spec = ExperimentSpec.from_file(args.spec)
+            workspace.sweep(spec, max_workers=1)
+        samples = workspace_metrics(workspace.stats).snapshot()
+        if args.json:
+            print(render_json(samples))
+        else:
+            print(render_prometheus(samples), end="")
+        _flush_trace(workspace, sys.stderr)
     return 0
 
 
@@ -913,8 +1002,55 @@ def build_parser() -> argparse.ArgumentParser:
              "through the shared workspace (outputs and ordering are "
              "identical to a serial run); default: 1",
     )
+    report.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="append per-artifact spans to this JSON-lines trace file "
+             "(render it with `repro trace FILE`)",
+    )
     _add_workspace_arg(report)
     report.set_defaults(func=_cmd_report)
+
+    trace = sub.add_parser(
+        "trace",
+        help="render a JSON-lines trace file as a span tree",
+    )
+    trace.add_argument(
+        "file",
+        help="trace file written by REPRO_TRACE= or `report --trace`",
+    )
+    trace.add_argument(
+        "--no-timings",
+        action="store_true",
+        help="omit the total/self time columns (attribute-stable output)",
+    )
+    trace.add_argument(
+        "--canonical",
+        action="store_true",
+        help="print the canonical span tree as JSON (ids and timings "
+             "stripped; byte-identical across runs of the same workload)",
+    )
+    trace.set_defaults(func=_cmd_trace)
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="print exact workspace counters as Prometheus exposition",
+    )
+    _add_workspace_arg(metrics)
+    metrics.add_argument(
+        "--spec",
+        metavar="FILE",
+        default=None,
+        help="run this ExperimentSpec through the workspace first, so "
+             "the session counters are live numbers",
+    )
+    metrics.add_argument(
+        "--json",
+        action="store_true",
+        help="print the metrics snapshot as JSON instead of exposition",
+    )
+    metrics.set_defaults(func=_cmd_metrics)
 
     docs = sub.add_parser(
         "docs",
@@ -1009,3 +1145,9 @@ def main(argv: list[str] | None = None) -> int:
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # `repro trace FILE | head` closes stdout early; exit the way
+        # POSIX filters do, and point the interpreter's shutdown flush
+        # at devnull so it cannot raise again.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 141

@@ -67,6 +67,7 @@ from ..core.pipeline_degree import DEFAULT_MAX_DEGREE
 from ..errors import ConfigError, WorkspaceError
 from ..locking import FileLock
 from ..moe.gates import GateKind
+from ..obs.trace import Tracer
 from ..parallel.topology import ClusterSpec
 from ..planner.batch import PlanPoint
 from ..planner.compiler import PlanCompiler
@@ -174,6 +175,32 @@ class ExperimentResult:
         return [cases[key] for key in order]
 
 
+def _resolve_tracer(
+    trace: "Tracer | str | Path | bool | None", root: Path
+) -> Tracer | None:
+    """Resolve the ``Workspace(trace=...)`` argument to a tracer.
+
+    ``None`` consults ``REPRO_TRACE`` (unset/empty = off, ``"1"`` = a
+    trace file at ``<root>/trace.jsonl``, anything else = that trace
+    file path); ``False`` forces tracing off regardless of the
+    environment; ``True`` makes a buffer-only tracer; a string or path
+    makes a tracer appending to that JSON-lines file; an existing
+    :class:`~repro.obs.Tracer` is shared as-is (how the report runner
+    shares one tracer across workspaces).
+    """
+    if isinstance(trace, Tracer):
+        return trace
+    if trace is None:
+        trace = os.environ.get("REPRO_TRACE", "")
+    if trace is False or trace == "":
+        return None
+    if trace is True:
+        return Tracer()
+    if trace == "1":
+        return Tracer(root / "trace.jsonl")
+    return Tracer(trace)
+
+
 def _atomic_write(path: Path, text: str) -> None:
     """Write ``text`` to ``path`` atomically (same-directory temp file)."""
     tmp = path.with_name(f".{path.name}.tmp.{os.getpid()}")
@@ -239,6 +266,16 @@ class Workspace:
             string disables the tier explicitly.  The remote tier is
             best-effort -- an unreachable server degrades every lookup
             to a miss, it never fails a plan.
+        trace: structured tracing (off by default, and zero-cost when
+            off: the hot paths hold ``None`` and allocate nothing).
+            None consults the ``REPRO_TRACE`` environment variable
+            (unset/empty = off, ``"1"`` = a trace file at
+            ``<root>/trace.jsonl``, anything else = a JSON-lines trace
+            file path); ``True`` enables an in-memory tracer, a path
+            enables a trace file, an existing
+            :class:`~repro.obs.Tracer` is shared as-is, and ``False``
+            forces tracing off.  See :attr:`tracer` and
+            ``docs/OBSERVABILITY.md``.
 
     Concurrent processes may share one root: profile saves merge with
     the on-disk entries under an advisory file lock
@@ -261,6 +298,7 @@ class Workspace:
         l1_entries: int | None = None,
         l1_bytes: int | None = None,
         remote: str | None = None,
+        trace: "Tracer | str | Path | bool | None" = None,
     ) -> None:
         self.root = Path(root).expanduser()
         self.plans_dir = self.root / "plans"
@@ -286,6 +324,7 @@ class Workspace:
         self._remote: RemoteTier | None = (
             RemoteTier(remote) if remote else None
         )
+        self._tracer: Tracer | None = _resolve_tracer(trace, self.root)
         self._l1c = _TierCounters()  # fills/writes only; rest from LRU
         self._l2c = _TierCounters()
         self._l3c = _TierCounters()
@@ -439,6 +478,16 @@ class Workspace:
             _atomic_write(self.profiles_path, json.dumps(payload))
 
     # -- stats ---------------------------------------------------------------
+
+    @property
+    def tracer(self) -> "Tracer | None":
+        """The session's :class:`~repro.obs.Tracer`, or None when off.
+
+        When set, every :meth:`plan` call emits a ``plan`` span with
+        its tier probes, compile and solver activity as child spans
+        (span taxonomy in ``docs/OBSERVABILITY.md``).
+        """
+        return self._tracer
 
     @property
     def stats(self) -> WorkspaceStats:
@@ -811,14 +860,37 @@ class Workspace:
     def _lookup_plan(
         self, dig: str, path: Path, key_json: str
     ) -> IterationPlan | None:
-        """Fall through the tier stack: L1 memory, L2 disk, L3 remote."""
+        """Fall through the tier stack: L1 memory, L2 disk, L3 remote.
+
+        When tracing is on, each tier probe becomes a child span of the
+        enclosing ``plan`` span, named ``lN_probe`` while in flight and
+        renamed ``lN_hit`` when the tier answers -- so a trace shows
+        both the miss path walked and the tier that finally hit.  When
+        off, the only cost per probe is one ``is None`` check.
+        """
+        tracer = self._tracer
         if self._l1 is not None:
+            span = tracer.start("l1_probe") if tracer is not None else None
             plan = self._l1.get(dig)  # counts its own hit/miss
+            if span is not None:
+                if plan is not None:
+                    span.name = "l1_hit"
+                span.end()
             if plan is not None:
                 return plan
+        span = tracer.start("l2_probe") if tracer is not None else None
         plan = self._probe_disk(dig, path, key_json)
+        if span is not None:
+            if plan is not None:
+                span.name = "l2_hit"
+            span.end()
         if plan is None and self._remote is not None:
+            span = tracer.start("l3_probe") if tracer is not None else None
             plan = self._probe_remote(dig, path, key_json)
+            if span is not None:
+                if plan is not None:
+                    span.name = "l3_hit"
+                span.end()
         return plan
 
     @staticmethod
@@ -924,6 +996,40 @@ class Workspace:
         key_json = canonical_json(key)
         dig = digest(key)
 
+        tracer = self._tracer
+        if tracer is None:
+            return self._plan_resolve(
+                stack, cluster, parallel, gates, system,
+                routing_overhead, include_gar, noise, seed,
+                key, key_json, dig,
+            )
+        with tracer.start(
+            "plan",
+            {"digest": dig, "system": system.name, "layers": len(stack)},
+        ):
+            return self._plan_resolve(
+                stack, cluster, parallel, gates, system,
+                routing_overhead, include_gar, noise, seed,
+                key, key_json, dig,
+            )
+
+    def _plan_resolve(
+        self,
+        stack: tuple[MoELayerSpec, ...],
+        cluster: ClusterSpec,
+        parallel: ParallelSpec,
+        gates: tuple[GateKind, ...],
+        system: TrainingSystem,
+        routing_overhead: float,
+        include_gar: bool,
+        noise: float,
+        seed: int,
+        key: object,
+        key_json: str,
+        dig: str,
+    ) -> IterationPlan:
+        """The single-flight tier walk + compile behind :meth:`plan`."""
+        tracer = self._tracer
         owner = False
         with self._counter_lock:
             future = self._plan_futures.get(dig)
@@ -934,7 +1040,12 @@ class Workspace:
             else:
                 self._plan_hits += 1
         if not owner:
-            return future.result()
+            # Joined onto another thread's in-flight resolution of the
+            # same digest; the `join` span covers the wait.
+            if tracer is None:
+                return future.result()
+            with tracer.start("join"):
+                return future.result()
 
         path = self.plans_dir / f"{dig}.json"
         try:
@@ -952,9 +1063,18 @@ class Workspace:
                     timeout_s=self._lock_timeout_s,
                 )
                 with plan_lock:
+                    span = (
+                        tracer.start("l2_probe")
+                        if tracer is not None
+                        else None
+                    )
                     plan = self._probe_disk(
                         dig, path, key_json, count_miss=False
                     )
+                    if span is not None:
+                        if plan is not None:
+                            span.name = "l2_hit"
+                        span.end()
                     if plan is not None:
                         # Another process compiled it while we waited.
                         with self._counter_lock:
@@ -1043,8 +1163,31 @@ class Workspace:
                 for system in systems:
                     grid.append((cluster, parallel, stack, gates, system))
 
+        tracer = self._tracer
+        sweep_span = (
+            tracer.start("sweep", {"name": spec.name, "points": len(grid)})
+            if tracer is not None
+            else None
+        )
+
         def run_point(point: tuple) -> PlanPoint:
             cluster, parallel, stack, gates, system = point
+            # Pool threads don't inherit the submitting context's
+            # current span, so the per-point span parents explicitly
+            # onto the sweep span (serial and pooled sweeps then trace
+            # identically).
+            if sweep_span is not None:
+                with tracer.start(
+                    "point", {"system": system.name}, parent=sweep_span
+                ):
+                    return plan_point(
+                        cluster, parallel, stack, gates, system
+                    )
+            return plan_point(cluster, parallel, stack, gates, system)
+
+        def plan_point(
+            cluster, parallel, stack, gates, system
+        ) -> PlanPoint:
             plan = self.plan(
                 stack,
                 system,
@@ -1078,6 +1221,8 @@ class Workspace:
                     points = tuple(pool.map(run_point, grid))
         finally:
             self._defer_save = False
+            if sweep_span is not None:
+                sweep_span.end()
         if self._autosave:
             self.save()
         return ExperimentResult(spec=spec, points=points)

@@ -16,6 +16,11 @@ per line, over a plain TCP socket:
 * ``{"op": "stat", "schema": V}`` ->
   ``{"ok": true, "entries": N, "bytes": N, "hits": N, "misses": N,
   "evictions": N}``
+* ``{"op": "metrics", "schema": V}`` ->
+  ``{"ok": true, "exposition": TEXT}`` -- the same counters as
+  Prometheus text exposition under ``repro.cache.server.*``
+  (rendered by :mod:`repro.obs.export`; what ``repro metrics
+  --remote`` prints).
 
 Values are opaque text (the callers store the exact on-disk cache
 documents, schema version and full content key included); keys are the
@@ -39,6 +44,8 @@ import socketserver
 import threading
 
 from ..errors import ConfigError
+from ..obs.export import render_prometheus
+from ..obs.metrics import MetricsRegistry
 from .lru import LRUCache
 
 #: on-wire schema of the remote-tier protocol *and* the cached
@@ -177,7 +184,30 @@ class CacheServer(socketserver.ThreadingTCPServer):
                 "misses": stats.misses,
                 "evictions": stats.evictions,
             }
+        if op == "metrics":
+            return {"ok": True, "exposition": self.exposition()}
         return {"ok": False, "error": f"unknown op {op!r}"}
+
+    def exposition(self) -> str:
+        """The server's own counters as Prometheus text exposition.
+
+        The same numbers ``stat`` returns, under the
+        ``repro.cache.server.*`` namespace (exact, scrape-ready).
+        """
+        stats = self.store.stats
+        registry = MetricsRegistry()
+        for name, value in (
+            ("hits", stats.hits),
+            ("misses", stats.misses),
+            ("evictions", stats.evictions),
+        ):
+            registry.counter(f"repro.cache.server.{name}").inc(value)
+        for name, value in (
+            ("entries", stats.entries),
+            ("bytes", stats.bytes),
+        ):
+            registry.gauge(f"repro.cache.server.{name}").set(value)
+        return render_prometheus(registry.snapshot())
 
     def start(self) -> str:
         """Serve on a daemon thread; returns the connectable address."""
@@ -308,6 +338,14 @@ class RemoteTier:
         if response is None or not response.get("ok"):
             return None
         return response
+
+    def metrics(self) -> str | None:
+        """The server's Prometheus exposition; None when unreachable."""
+        response = self._roundtrip({"op": "metrics", "schema": self.schema})
+        if response is None or not response.get("ok"):
+            return None
+        exposition = response.get("exposition")
+        return exposition if isinstance(exposition, str) else None
 
     def close(self) -> None:
         """Drop the connection (the tier reconnects on next use)."""

@@ -34,6 +34,7 @@ import numpy as np
 from scipy.optimize import minimize
 
 from ..errors import SolverError
+from ..obs.trace import maybe_span
 from .cases import CASE_BRANCHES, Case, analytic_time, case_time, classify
 from .constraints import PipelineContext
 
@@ -199,17 +200,25 @@ def solve_degrees(
         raise SolverError(f"r_max must be >= 1, got {r_max}")
     if solver is None:
         solver = get_default_degree_solver()
-    if solver == "batch":
-        # Imported lazily: fastsolve consumes DegreeSolution from this
-        # module, so a top-level import would be circular.
-        from .fastsolve import solve_degrees_batch
+    span = maybe_span("solve_degrees")
+    if span is not None:
+        span.set(contexts=len(ctxs), solver=solver, r_max=int(r_max))
+    try:
+        if solver == "batch":
+            # Imported lazily: fastsolve consumes DegreeSolution from this
+            # module, so a top-level import would be circular.
+            from .fastsolve import solve_degrees_batch
 
-        return solve_degrees_batch(ctxs, r_max)
-    if solver == "slsqp":
-        return tuple(_find_optimal_cached(ctx, r_max) for ctx in ctxs)
-    raise SolverError(
-        f"unknown degree solver {solver!r}; choose from {DEGREE_SOLVERS}"
-    )
+            return solve_degrees_batch(ctxs, r_max)
+        if solver == "slsqp":
+            return tuple(_find_optimal_cached(ctx, r_max) for ctx in ctxs)
+        raise SolverError(
+            f"unknown degree solver {solver!r}; choose from "
+            f"{DEGREE_SOLVERS}"
+        )
+    finally:
+        if span is not None:
+            span.end()
 
 
 @functools.lru_cache(maxsize=65536)

@@ -1,0 +1,495 @@
+"""Structured tracing core: spans, tracers and a JSON-lines trace format.
+
+A :class:`Span` is one timed operation (a plan lookup, a compile, a
+coalescer flush); a :class:`Tracer` collects finished spans into a
+thread-safe bounded buffer and, optionally, appends each one to a
+JSON-lines trace file.  Nesting is ambient: starting a span installs it
+as the *current* span of the calling context (a :mod:`contextvars`
+variable), and every span started while it is current becomes its
+child -- so the planner, solver and serving layers emit child spans
+without threading a tracer handle through every call signature
+(:func:`maybe_span`).
+
+Design constraints, in order:
+
+* **off-by-default zero cost** -- nothing in this module runs unless a
+  caller holds a :class:`Tracer` (hot paths guard with a single
+  ``if tracer is not None``) or an *enclosing span is already active*
+  (:func:`maybe_span` is one contextvar read and a None check);
+* **monotonic timing** -- span times come from
+  :func:`time.perf_counter_ns`, expressed in integer microseconds
+  relative to the tracer's construction instant, so arithmetic on a
+  trace is exact and wall-clock jumps cannot corrupt durations;
+* **deterministic, round-trippable files** -- one sorted-key JSON
+  object per line (:meth:`SpanRecord.to_json_line`), read back
+  losslessly by :func:`read_trace`; and
+* **bounded memory** -- the span buffer drops (and counts) spans beyond
+  ``max_spans`` instead of growing without bound.
+
+The span *tree* utilities at the bottom (:func:`build_tree`,
+:func:`render_tree`, :func:`canonical_tree`) are what ``repro trace``
+renders and what the determinism tests compare: ``canonical_tree``
+strips span ids, timestamps and timing-valued attributes (names ending
+in ``_ms``/``_us``/``_s``) and orders siblings canonically, so two runs
+of the same warm sweep canonicalize identically even though their
+timestamps and thread interleavings differ.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import io
+import itertools
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from ..errors import ConfigError
+
+#: default bound on a tracer's in-memory span buffer.
+DEFAULT_MAX_SPANS = 65536
+
+#: attribute-name suffixes treated as timing-valued (dropped by
+#: :func:`canonical_tree` so canonicalized trees are time-independent).
+TIMING_ATTR_SUFFIXES = ("_ms", "_us", "_s", "_ns")
+
+#: the ambient current span of this execution context (None = tracing
+#: inactive here; child spans attach to it, see :func:`maybe_span`).
+_CURRENT: contextvars.ContextVar["Span | None"] = contextvars.ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+
+@dataclass(frozen=True)
+class SpanRecord:
+    """One finished span, exactly as serialized to the trace file.
+
+    Attributes:
+        name: the operation (``"plan"``, ``"compile"``, ``"flush"``, ...).
+        span_id: tracer-unique integer id (1-based, allocation order).
+        parent_id: enclosing span's id, or None for a root span.
+        start_us: start time in integer microseconds since the tracer's
+            epoch (monotonic clock).
+        duration_us: end minus start, integer microseconds (>= 0).
+        attrs: exact span attributes (plan digest, batch size, windowed
+            solver counters, ...); values are JSON scalars.
+    """
+
+    name: str
+    span_id: int
+    parent_id: int | None
+    start_us: int
+    duration_us: int
+    attrs: Mapping[str, object] = field(default_factory=dict)
+
+    def to_json_line(self) -> str:
+        """This record as one deterministic JSON line (sorted keys)."""
+        return json.dumps(
+            {
+                "name": self.name,
+                "id": self.span_id,
+                "parent": self.parent_id,
+                "start_us": self.start_us,
+                "duration_us": self.duration_us,
+                "attrs": dict(self.attrs),
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json_line(cls, line: str) -> "SpanRecord":
+        """Parse one trace-file line back into a record.
+
+        Raises:
+            ConfigError: for invalid JSON or a malformed span object.
+        """
+        try:
+            data = json.loads(line)
+        except ValueError as exc:
+            raise ConfigError(f"invalid trace line: {exc}") from exc
+        if not isinstance(data, dict):
+            raise ConfigError("trace line is not a JSON object")
+        try:
+            parent = data["parent"]
+            return cls(
+                name=str(data["name"]),
+                span_id=int(data["id"]),
+                parent_id=int(parent) if parent is not None else None,
+                start_us=int(data["start_us"]),
+                duration_us=int(data["duration_us"]),
+                attrs=dict(data.get("attrs", {})),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ConfigError(f"malformed span object: {exc}") from exc
+
+
+class Span:
+    """One in-flight operation; finished (and recorded) by :meth:`end`.
+
+    Spans are created by :meth:`Tracer.start` (or :func:`maybe_span`),
+    never directly.  Between ``start`` and ``end`` the span is the
+    ambient current span of the starting context, so nested ``start``
+    calls parent onto it.  The name may be rewritten before ``end`` --
+    the workspace names a tier probe ``l1_probe`` up front and renames
+    it ``l1_hit`` once the probe answers.
+    """
+
+    __slots__ = (
+        "tracer", "name", "span_id", "parent_id",
+        "_start_ns", "attrs", "_token", "_ended",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        span_id: int,
+        parent_id: int | None,
+        start_ns: int,
+        attrs: dict | None,
+    ) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self._start_ns = start_ns
+        self.attrs = attrs if attrs is not None else {}
+        self._token: contextvars.Token | None = None
+        self._ended = False
+
+    def set(self, **attrs: object) -> "Span":
+        """Attach (or overwrite) attributes; returns self for chaining."""
+        self.attrs.update(attrs)
+        return self
+
+    def end(self) -> SpanRecord:
+        """Finish the span: restore the previous current span, record it.
+
+        Idempotent -- a second ``end`` returns a fresh record of the
+        same span without re-recording it.
+
+        Returns:
+            The finished :class:`SpanRecord` (the report runner reads
+            its ``duration_us`` as the artifact wall time).
+        """
+        end_ns = time.perf_counter_ns()
+        record = SpanRecord(
+            name=self.name,
+            span_id=self.span_id,
+            parent_id=self.parent_id,
+            start_us=(self._start_ns - self.tracer.epoch_ns) // 1000,
+            duration_us=max(0, end_ns - self._start_ns) // 1000,
+            attrs=self.attrs,
+        )
+        if not self._ended:
+            self._ended = True
+            if self._token is not None:
+                _CURRENT.reset(self._token)
+                self._token = None
+            self.tracer._record(record)
+        return record
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.end()
+
+
+class Tracer:
+    """Collects spans into a bounded buffer and, optionally, a file.
+
+    Args:
+        path: optional JSON-lines trace file.  Opened lazily on the
+            first finished span and appended to as spans finish, so a
+            crashed process still leaves its trace behind; pass a fresh
+            path per run for a self-contained trace.
+        max_spans: bound on the in-memory buffer; spans finished beyond
+            it are still written to ``path`` (when given) but dropped
+            from the buffer and counted in :attr:`dropped`.
+
+    Thread-safe: spans may start and finish on any thread.  Spans
+    started on a thread with no ambient current span become roots.
+
+    Raises:
+        ConfigError: for a non-positive ``max_spans``.
+    """
+
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        *,
+        max_spans: int = DEFAULT_MAX_SPANS,
+    ) -> None:
+        if max_spans < 1:
+            raise ConfigError(f"max_spans must be >= 1, got {max_spans}")
+        self.path = Path(path).expanduser() if path is not None else None
+        self.max_spans = max_spans
+        self.epoch_ns = time.perf_counter_ns()
+        self._lock = threading.Lock()
+        self._spans: list[SpanRecord] = []
+        self._dropped = 0
+        self._ids = itertools.count(1)
+        self._file: io.TextIOBase | None = None
+
+    def start(
+        self,
+        name: str,
+        attrs: dict | None = None,
+        *,
+        parent: Span | None = None,
+    ) -> Span:
+        """Begin a span and install it as the context's current span.
+
+        Args:
+            name: the operation name (may be rewritten before ``end``).
+            attrs: initial attributes (the span owns the dict).
+            parent: explicit parent span; None parents onto the ambient
+                current span of the calling context (making a root span
+                when there is none).  Passing a parent explicitly is for
+                work handed to pool threads, whose contexts don't carry
+                the submitting thread's current span.
+        """
+        if parent is None:
+            parent = _CURRENT.get()
+        span = Span(
+            tracer=self,
+            name=name,
+            span_id=next(self._ids),
+            parent_id=parent.span_id if parent is not None else None,
+            start_ns=time.perf_counter_ns(),
+            attrs=attrs,
+        )
+        span._token = _CURRENT.set(span)
+        return span
+
+    def event(self, name: str, attrs: dict | None = None) -> SpanRecord:
+        """Record a zero-duration point span (start and end collapsed)."""
+        return self.start(name, attrs).end()
+
+    def _record(self, record: SpanRecord) -> None:
+        with self._lock:
+            if len(self._spans) < self.max_spans:
+                self._spans.append(record)
+            else:
+                self._dropped += 1
+            if self.path is not None:
+                if self._file is None:
+                    self._file = open(self.path, "a")
+                self._file.write(record.to_json_line() + "\n")
+                self._file.flush()
+
+    def spans(self) -> tuple[SpanRecord, ...]:
+        """Snapshot of the buffered finished spans, in finish order."""
+        with self._lock:
+            return tuple(self._spans)
+
+    @property
+    def dropped(self) -> int:
+        """Finished spans dropped from the buffer by ``max_spans``."""
+        with self._lock:
+            return self._dropped
+
+    def clear(self) -> None:
+        """Empty the buffer and zero the drop counter (file untouched)."""
+        with self._lock:
+            self._spans.clear()
+            self._dropped = 0
+
+    def write(self, path: str | Path) -> int:
+        """Dump the buffered spans to ``path`` (one JSON line each).
+
+        Returns:
+            The number of spans written.
+        """
+        records = self.spans()
+        text = "".join(record.to_json_line() + "\n" for record in records)
+        Path(path).expanduser().write_text(text)
+        return len(records)
+
+    def close(self) -> None:
+        """Close the trace file, if one is open (idempotent)."""
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+
+
+def current_span() -> Span | None:
+    """The calling context's ambient current span, if any."""
+    return _CURRENT.get()
+
+
+def maybe_span(name: str, attrs: dict | None = None) -> Span | None:
+    """Start a child of the ambient current span, or None when inactive.
+
+    The instrumentation idiom for layers that don't hold a tracer
+    (compiler, solvers): one contextvar read and a None check when
+    tracing is off, a real child span when some caller up-stack opened
+    one.  Callers must guard the returned value::
+
+        span = maybe_span("solve_degrees")
+        try:
+            ...
+        finally:
+            if span is not None:
+                span.set(contexts=len(ctxs)).end()
+    """
+    parent = _CURRENT.get()
+    if parent is None:
+        return None
+    return parent.tracer.start(name, attrs, parent=parent)
+
+
+def read_trace(path: str | Path) -> tuple[SpanRecord, ...]:
+    """Read a JSON-lines trace file back into records (blank lines ok).
+
+    Raises:
+        ConfigError: for an unparsable line.
+        OSError: when the file cannot be read.
+    """
+    records = []
+    for line in Path(path).expanduser().read_text().splitlines():
+        if line.strip():
+            records.append(SpanRecord.from_json_line(line))
+    return tuple(records)
+
+
+@dataclass
+class SpanNode:
+    """One node of a reconstructed span tree.
+
+    Attributes:
+        record: the span itself.
+        children: child nodes, in record order.
+    """
+
+    record: SpanRecord
+    children: list["SpanNode"] = field(default_factory=list)
+
+    @property
+    def total_us(self) -> int:
+        """The span's own duration (children run inside it)."""
+        return self.record.duration_us
+
+    @property
+    def self_us(self) -> int:
+        """Duration not covered by child spans (clamped at zero)."""
+        return max(
+            0,
+            self.record.duration_us
+            - sum(child.record.duration_us for child in self.children),
+        )
+
+
+def build_tree(records: Iterable[SpanRecord]) -> list[SpanNode]:
+    """Reconstruct the span forest from finished-span records.
+
+    A record whose parent id is absent from the trace (dropped by the
+    buffer bound, or filtered by the caller) becomes a root.
+
+    Returns:
+        Root nodes, ordered by start time (ties by span id).
+    """
+    nodes = {r.span_id: SpanNode(record=r) for r in records}
+    roots: list[SpanNode] = []
+    for node in nodes.values():
+        parent = nodes.get(node.record.parent_id)
+        if parent is None or parent is node:
+            roots.append(node)
+        else:
+            parent.children.append(node)
+    for node in nodes.values():
+        node.children.sort(
+            key=lambda n: (n.record.start_us, n.record.span_id)
+        )
+    roots.sort(key=lambda n: (n.record.start_us, n.record.span_id))
+    return roots
+
+
+def _format_attrs(attrs: Mapping[str, object]) -> str:
+    if not attrs:
+        return ""
+    parts = [f"{key}={attrs[key]}" for key in sorted(attrs)]
+    return "  [" + " ".join(parts) + "]"
+
+
+def render_tree(
+    records: Iterable[SpanRecord], *, include_timings: bool = True
+) -> str:
+    """Render a trace as an indented span tree (what ``repro trace`` prints).
+
+    Each line shows the span name, its total and self times (total =
+    the span's duration, self = total minus its children's), and its
+    attributes::
+
+        plan  total 12.431 ms  self 0.102 ms  [digest=ab12… system=FSMoE]
+          compile  total 12.329 ms  self 9.100 ms  [solver_solves=33]
+            solve_degrees  total 3.229 ms  self 3.229 ms  [contexts=12]
+
+    Args:
+        records: the trace (any order; the tree is rebuilt).
+        include_timings: False drops the time columns -- the byte-stable
+            rendering used by determinism tests.
+    """
+    lines: list[str] = []
+
+    def visit(node: SpanNode, depth: int) -> None:
+        indent = "  " * depth
+        if include_timings:
+            timing = (
+                f"  total {node.total_us / 1000.0:.3f} ms"
+                f"  self {node.self_us / 1000.0:.3f} ms"
+            )
+        else:
+            timing = ""
+        lines.append(
+            f"{indent}{node.record.name}{timing}"
+            f"{_format_attrs(node.record.attrs)}"
+        )
+        for child in node.children:
+            visit(child, depth + 1)
+
+    for root in build_tree(records):
+        visit(root, 0)
+    return "\n".join(lines)
+
+
+def _canonical_node(node: SpanNode) -> dict:
+    attrs = {
+        key: value
+        for key, value in node.record.attrs.items()
+        if not key.endswith(TIMING_ATTR_SUFFIXES)
+    }
+    children = sorted(
+        (_canonical_node(child) for child in node.children),
+        key=lambda c: json.dumps(c, sort_keys=True),
+    )
+    canonical: dict = {"name": node.record.name, "attrs": attrs}
+    if children:
+        canonical["children"] = children
+    return canonical
+
+
+def canonical_tree(records: Iterable[SpanRecord]) -> list[dict]:
+    """The trace's span tree with every nondeterministic part stripped.
+
+    Span ids, timestamps, durations and timing-valued attributes
+    (names ending in ``_ms``/``_us``/``_s``/``_ns``) are dropped;
+    siblings and roots are ordered by their own canonical JSON, so
+    thread interleavings don't reorder the result.  Two runs of the
+    same warm sweep therefore produce *equal* canonical trees -- the
+    trace analogue of ``render_report(include_timings=False)`` byte
+    stability.
+
+    Returns:
+        Canonically ordered root dicts (``name``/``attrs``/``children``),
+        directly comparable with ``==`` or via ``json.dumps``.
+    """
+    return sorted(
+        (_canonical_node(root) for root in build_tree(records)),
+        key=lambda c: json.dumps(c, sort_keys=True),
+    )

@@ -25,12 +25,14 @@ from __future__ import annotations
 from typing import Sequence
 
 from ..config import MoELayerSpec, ParallelSpec, standard_layout
+from ..core.fastsolve import solver_stats
 from ..core.perf_model import PerfModelSet
 from ..core.pipeline_degree import DEFAULT_MAX_DEGREE, solve_degrees
 from ..core.profiler import ProfileResult
 from ..errors import ConfigError
 from ..models.transformer import LayerProfile
 from ..moe.gates import GateKind
+from ..obs.trace import maybe_span
 from ..parallel.collectives import A2AAlgorithm, CollectiveCostModel
 from ..parallel.topology import ClusterSpec
 from ..parallel.volumes import compute_layer_volumes
@@ -201,19 +203,38 @@ class PlanCompiler:
             routing_overhead: multiplier on gate+order compute.
             include_gar: set False to exclude gradient synchronization.
         """
-        profiles = self.resolve_stack(
-            stack, gate_kind=gate_kind, routing_overhead=routing_overhead
-        )
-        # Batch-solve every distinct layer context the system will ask
-        # Algorithm 1 about -- one vectorized pass instead of one solve
-        # per layer; the solver memo serves the per-layer lookups below.
-        contexts = getattr(system, "schedule_contexts", lambda _: ())(
-            profiles
-        )
-        if contexts:
-            solve_degrees(contexts, getattr(system, "r_max", self.r_max))
-        spec = system.build_iteration_spec(profiles, self.models, include_gar)
-        return IterationPlan.from_spec(spec)
+        span = maybe_span("compile")
+        before = solver_stats() if span is not None else None
+        profiles: tuple[LayerProfile, ...] = ()
+        try:
+            profiles = self.resolve_stack(
+                stack, gate_kind=gate_kind, routing_overhead=routing_overhead
+            )
+            # Batch-solve every distinct layer context the system will ask
+            # Algorithm 1 about -- one vectorized pass instead of one solve
+            # per layer; the solver memo serves the per-layer lookups below.
+            contexts = getattr(system, "schedule_contexts", lambda _: ())(
+                profiles
+            )
+            if contexts:
+                solve_degrees(contexts, getattr(system, "r_max", self.r_max))
+            spec = system.build_iteration_spec(
+                profiles, self.models, include_gar
+            )
+            return IterationPlan.from_spec(spec)
+        finally:
+            if span is not None:
+                # Window the process-wide solver counters over this
+                # compile (other threads' concurrent compiles bleed in;
+                # exact in single-threaded compiles).
+                window = solver_stats() - before
+                span.set(
+                    layers=len(profiles),
+                    system=getattr(system, "name", type(system).__name__),
+                    solver_solves=window.solves,
+                    solver_cache_hits=window.cache_hits,
+                    solver_batch_calls=window.batch_calls,
+                ).end()
 
     def simulate(
         self,

@@ -366,6 +366,15 @@ DEFAULT_ARTIFACTS: tuple[Artifact, ...] = (
         deterministic=False,
         parallel_safe=False,  # spawns subprocess fleets + a cache server
     ),
+    Artifact(
+        name="perf-obs",
+        title="Tracing overhead: traced vs untraced warm sweeps",
+        paper_ref="repo baseline (BENCH_obs)",
+        producer=_bench("test_perf_obs"),
+        outputs=("perf_obs.txt", "BENCH_obs.json"),
+        deterministic=False,
+        parallel_safe=False,  # wall-clock ratios; contention would skew
+    ),
 )
 
 for _artifact in DEFAULT_ARTIFACTS:

@@ -105,6 +105,7 @@ def _run_one(
     producer: Callable,
     workspace: Workspace,
     config: ReportConfig,
+    parent=None,
 ) -> ArtifactRun:
     """Execute one producer and window the workspace counters around it.
 
@@ -112,12 +113,32 @@ def _run_one(
     also include work concurrent artifacts did inside it (a superset,
     never a torn read -- every snapshot is taken under the stores'
     locks).  The whole-run window is exact either way.
+
+    When the workspace traces, the producer runs inside an ``artifact``
+    span (parented onto the run's ``report`` span) and the recorded
+    wall time *is* that span's duration -- the timing lines in
+    ``REPORT.md`` then come from the tracer.
     """
+    tracer = workspace.tracer
+    span = (
+        tracer.start("artifact", {"name": artifact.name}, parent=parent)
+        if tracer is not None
+        else None
+    )
     before = workspace.stats
     start = time.perf_counter()
-    result = producer(workspace, config)
-    wall_s = time.perf_counter() - start
-    stats = workspace.stats.since(before)
+    try:
+        result = producer(workspace, config)
+    finally:
+        stats = workspace.stats.since(before)
+        if span is not None:
+            record = span.set(
+                profiles_fitted=stats.profiles.misses,
+                plans_compiled=stats.plan_misses,
+            ).end()
+            wall_s = record.duration_us / 1e6
+        else:
+            wall_s = time.perf_counter() - start
     if not isinstance(result, ArtifactResult):
         raise ConfigError(
             f"artifact {artifact.name!r}: producer returned "
@@ -173,42 +194,59 @@ def run_report(
     producers = [artifact.resolve_producer() for artifact in artifacts]
     run_before = workspace.stats
     run_start = time.perf_counter()
+    tracer = workspace.tracer
+    # Artifact spans parent explicitly onto the report span: producers
+    # may run on pool threads, which don't inherit this context.
+    report_span = (
+        tracer.start("report", {"artifacts": len(artifacts)})
+        if tracer is not None
+        else None
+    )
 
     records: dict[str, ArtifactRun] = {}
-    if jobs == 1:
-        for artifact, producer in zip(artifacts, producers):
-            records[artifact.name] = _run_one(
-                artifact, producer, workspace, config
-            )
-            _emit_progress(progress, records[artifact.name])
-    else:
-        pooled = [
-            (a, p)
-            for a, p in zip(artifacts, producers)
-            if a.parallel_safe
-        ]
-        serial = [
-            (a, p)
-            for a, p in zip(artifacts, producers)
-            if not a.parallel_safe
-        ]
-        with ThreadPoolExecutor(
-            max_workers=jobs, thread_name_prefix="repro-report"
-        ) as pool:
-            futures = [
-                (a, pool.submit(_run_one, a, p, workspace, config))
-                for a, p in pooled
-            ]
-            # Collect in submission order: exceptions propagate
-            # deterministically and progress lines stay ordered.
-            for artifact, future in futures:
-                records[artifact.name] = future.result()
+    try:
+        if jobs == 1:
+            for artifact, producer in zip(artifacts, producers):
+                records[artifact.name] = _run_one(
+                    artifact, producer, workspace, config, report_span
+                )
                 _emit_progress(progress, records[artifact.name])
-        for artifact, producer in serial:
-            records[artifact.name] = _run_one(
-                artifact, producer, workspace, config
-            )
-            _emit_progress(progress, records[artifact.name])
+        else:
+            pooled = [
+                (a, p)
+                for a, p in zip(artifacts, producers)
+                if a.parallel_safe
+            ]
+            serial = [
+                (a, p)
+                for a, p in zip(artifacts, producers)
+                if not a.parallel_safe
+            ]
+            with ThreadPoolExecutor(
+                max_workers=jobs, thread_name_prefix="repro-report"
+            ) as pool:
+                futures = [
+                    (
+                        a,
+                        pool.submit(
+                            _run_one, a, p, workspace, config, report_span
+                        ),
+                    )
+                    for a, p in pooled
+                ]
+                # Collect in submission order: exceptions propagate
+                # deterministically and progress lines stay ordered.
+                for artifact, future in futures:
+                    records[artifact.name] = future.result()
+                    _emit_progress(progress, records[artifact.name])
+            for artifact, producer in serial:
+                records[artifact.name] = _run_one(
+                    artifact, producer, workspace, config, report_span
+                )
+                _emit_progress(progress, records[artifact.name])
+    finally:
+        if report_span is not None:
+            report_span.end()
 
     # Assemble in selection order regardless of execution order, then
     # refuse filename collisions: two artifacts producing one file would

@@ -396,23 +396,64 @@ class PlanService:
             )
 
     def _process(self, batch: list[_Entry]) -> None:
-        self._stats.batch(len(batch))
-        new_groups: list[_Group] = []
-        with self._cv:
-            for entry in batch:
-                group = self._inflight.get(entry.key)
-                if group is None:
-                    group = _Group(key=entry.key, leader=entry.request)
-                    self._inflight[entry.key] = group
-                    new_groups.append(group)
-                group.members.append(entry)
-        if new_groups:
-            self._prewarm(new_groups)
-        if self._pool is not None and len(new_groups) > 1:
-            list(self._pool.map(self._resolve_group, new_groups))
-        else:
-            for group in new_groups:
-                self._resolve_group(group)
+        tracer = self.workspace.tracer
+        drained = time.monotonic()
+        span = (
+            tracer.start("flush", {"batch": len(batch)})
+            if tracer is not None
+            else None
+        )
+        try:
+            self._stats.batch(len(batch))
+            new_groups: list[_Group] = []
+            with self._cv:
+                for entry in batch:
+                    group = self._inflight.get(entry.key)
+                    if group is None:
+                        group = _Group(key=entry.key, leader=entry.request)
+                        self._inflight[entry.key] = group
+                        new_groups.append(group)
+                    group.members.append(entry)
+            if span is not None:
+                # Queue-wait vs resolve-time split: how long the batch
+                # sat in the queue (submission to drain) vs how long
+                # resolving it took (the `resolve_ms` attr below).
+                span.set(
+                    groups=len(new_groups),
+                    queue_wait_ms=round(
+                        max(
+                            (drained - entry.submitted) * 1000.0
+                            for entry in batch
+                        ),
+                        3,
+                    ),
+                )
+            if new_groups:
+                self._prewarm(new_groups)
+            resolve_started = time.monotonic()
+            if self._pool is not None and len(new_groups) > 1:
+                # Pool threads don't inherit this context's current
+                # span; parent the per-group spans explicitly.
+                list(
+                    self._pool.map(
+                        lambda group: self._resolve_group(
+                            group, parent=span
+                        ),
+                        new_groups,
+                    )
+                )
+            else:
+                for group in new_groups:
+                    self._resolve_group(group, parent=span)
+            if span is not None:
+                span.set(
+                    resolve_ms=round(
+                        (time.monotonic() - resolve_started) * 1000.0, 3
+                    )
+                )
+        finally:
+            if span is not None:
+                span.end()
 
     def _prewarm(self, groups: list[_Group]) -> None:
         """One batched Algorithm-1 pass over a cold batch's contexts.
@@ -469,8 +510,18 @@ class PlanService:
             except Exception:
                 pass  # per-group resolves retry their own contexts
 
-    def _resolve_group(self, group: _Group) -> None:
+    def _resolve_group(self, group: _Group, parent=None) -> None:
         req = group.leader
+        tracer = self.workspace.tracer
+        span = (
+            tracer.start(
+                "resolve",
+                {"members": len(group.members)},
+                parent=parent,
+            )
+            if tracer is not None
+            else None
+        )
         error: BaseException | None = None
         plan = None
         try:
@@ -483,6 +534,9 @@ class PlanService:
             )
         except BaseException as exc:  # surfaced through every future
             error = exc
+        finally:
+            if span is not None:
+                span.set(failed=error is not None).end()
         if error is None and self._completed_cache is not None:
             self._completed_cache.put(group.key, plan)
         with self._cv:

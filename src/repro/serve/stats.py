@@ -6,26 +6,37 @@ Follows the library's counters-not-logs convention
 tests assert "this burst coalesced into one batch and deduplicated 199
 of 200 requests" instead of eyeballing throughput.
 
-Latency percentiles come from a bounded reservoir of the most recent
-request latencies (submission to resolution, wall clock) -- enough for a
-serving dashboard without unbounded memory.
+Latency percentiles come from an exact bucketed
+:class:`~repro.obs.metrics.Histogram` over fixed exponential bounds
+(submission to resolution, wall clock): unlike the bounded sampling
+reservoir it replaced, the histogram never discards an observation, its
+snapshots merge exactly across services, and its quantiles are
+deterministic functions of the buckets (the nearest-rank bucket upper
+bound -- within one bucket's ~19% growth factor of the true sample
+percentile).
 """
 
 from __future__ import annotations
 
 import threading
-from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
-#: how many of the most recent request latencies feed the percentiles.
+from ..obs.metrics import EMPTY_LATENCY, Histogram, HistogramSnapshot
+
+#: retained for windowing compatibility; the histogram has no window --
+#: it is exact over the service's whole lifetime.
 LATENCY_WINDOW = 8192
 
 
 def percentile(samples: list[float], q: float) -> float:
     """Nearest-rank percentile (``q`` in [0, 100]) of ``samples``.
 
-    Returns 0.0 for an empty sample set -- serving stats are read
-    continuously, including before the first request resolves.
+    The reference implementation the bucketed histogram's
+    :meth:`~repro.obs.metrics.HistogramSnapshot.quantile` is pinned
+    against in tests (same rank convention; the histogram reports the
+    bucket upper bound at that rank).  Returns 0.0 for an empty sample
+    set -- serving stats are read continuously, including before the
+    first request resolves.
     """
     if not samples:
         return 0.0
@@ -57,9 +68,12 @@ class ServiceStats:
             entry bound (the cache answers repeat requests without
             touching the queue; an evicted entry just falls back to the
             workspace tiers).
-        p50_latency_ms: median submission-to-resolution latency over the
-            recent-latency window.
-        p95_latency_ms: 95th-percentile latency over the same window.
+        p50_latency_ms: median submission-to-resolution latency, from
+            the exact latency buckets.
+        p95_latency_ms: 95th-percentile latency from the same buckets.
+        latency: the full exact latency histogram (every resolution's
+            submission-to-resolution milliseconds, bucketed; exported
+            as ``repro.serve.latency_ms``).
     """
 
     requests: int = 0
@@ -74,6 +88,7 @@ class ServiceStats:
     futures_evicted: int = 0
     p50_latency_ms: float = 0.0
     p95_latency_ms: float = 0.0
+    latency: HistogramSnapshot = field(default=EMPTY_LATENCY)
 
     @property
     def dedup_rate(self) -> float:
@@ -104,7 +119,7 @@ class StatsAccumulator:
         self._batches = 0
         self._max_batch = 0
         self._coalesced = 0
-        self._latencies: deque[float] = deque(maxlen=LATENCY_WINDOW)
+        self._latency = Histogram()
 
     def request(self) -> None:
         """Count one accepted submission."""
@@ -148,7 +163,8 @@ class StatsAccumulator:
                 if delivered > 0:
                     self._resolved += 1
                     self._dedup_hits += delivered - 1
-            self._latencies.extend(latencies_ms)
+        for latency_ms in latencies_ms:
+            self._latency.observe(latency_ms)
 
     def resolve_cached(self, latency_ms: float = 0.0) -> None:
         """Record one request answered from the completed-plan cache.
@@ -160,12 +176,12 @@ class StatsAccumulator:
         with self._lock:
             self._completed += 1
             self._dedup_hits += 1
-            self._latencies.append(latency_ms)
+        self._latency.observe(latency_ms)
 
     def snapshot(self) -> ServiceStats:
         """A consistent :class:`ServiceStats` view of the counters."""
+        latency = self._latency.snapshot()
         with self._lock:
-            samples = list(self._latencies)
             return ServiceStats(
                 requests=self._requests,
                 completed=self._completed,
@@ -176,6 +192,7 @@ class StatsAccumulator:
                 batches=self._batches,
                 max_batch=self._max_batch,
                 coalesced_requests=self._coalesced,
-                p50_latency_ms=percentile(samples, 50.0),
-                p95_latency_ms=percentile(samples, 95.0),
+                p50_latency_ms=latency.quantile(50.0),
+                p95_latency_ms=latency.quantile(95.0),
+                latency=latency,
             )
