@@ -40,6 +40,7 @@ from .config import (
 from .errors import (
     ConfigError,
     LockTimeout,
+    ProtocolError,
     QueueFullError,
     RegistryError,
     ReproError,
@@ -139,7 +140,11 @@ from .cache import (
     TierStats,
 )
 from .serve import (
+    Backoff,
     Client,
+    NetClient,
+    NetServer,
+    NetStats,
     PlanRequest,
     PlanService,
     ServiceStats,
@@ -166,6 +171,7 @@ __all__ = [
     "ServiceError",
     "QueueFullError",
     "ServiceClosedError",
+    "ProtocolError",
     # locking
     "FileLock",
     # cluster
@@ -252,4 +258,8 @@ __all__ = [
     "PlanRequest",
     "Client",
     "ServiceStats",
+    "NetServer",
+    "NetClient",
+    "NetStats",
+    "Backoff",
 ]

@@ -14,7 +14,11 @@ Subcommands over the :class:`~repro.api.workspace.Workspace` API:
   the workspace: ``--requests FILE`` answers a JSON-lines request
   stream (``-`` for stdin) and prints one JSON result per line;
   ``--demo N`` runs the closed-loop load generator and reports
-  coalesced throughput against the serial ``plan()`` loop.
+  coalesced throughput against the serial ``plan()`` loop;
+  ``--listen HOST:PORT`` serves the same request schema over TCP
+  (priority lanes, shed-with-retry backpressure, graceful drain on
+  Ctrl-C) and ``--connect HOST:PORT`` sends a ``--requests`` stream to
+  such a server instead of planning locally.
 * ``report`` -- regenerate every paper artifact (the full manifest or
   ``--only fig7,table5``) through one workspace, writing
   ``benchmarks/results/*`` plus a generated ``REPORT.md``;
@@ -349,50 +353,29 @@ def _cmd_bench(args) -> int:
 
 
 def _parse_request_line(line: str, line_no: int):
-    """One JSON-lines serve request -> (stack, system, cluster, gates).
+    """One JSON-lines serve request -> ``(payload, PlanRequest)``.
+
+    Delegates the payload schema to
+    :func:`repro.serve.protocol.parse_plan_payload` -- the same parser
+    the network server runs -- and keeps only the line-number context;
+    the raw payload rides along for ``--connect``, which ships it
+    verbatim instead of resolving locally.
 
     Raises:
         ConfigError: for invalid JSON or a malformed request document.
     """
+    from ..serve.protocol import parse_plan_payload
+
     try:
         data = json.loads(line)
     except ValueError as exc:
         raise ConfigError(
             f"request line {line_no}: invalid JSON: {exc}"
         ) from exc
-    if not isinstance(data, dict):
-        raise ConfigError(f"request line {line_no}: expected an object")
-    known = {
-        "cluster", "system", "stack", "gate", "solver", "r_max",
-        "routing_overhead", "noise", "seed",
-    }
-    unknown = set(data) - known
-    if unknown:
-        raise ConfigError(
-            f"request line {line_no}: unknown keys {sorted(unknown)}; "
-            f"expected a subset of {sorted(known)}"
-        )
-    for required in ("cluster", "system", "stack"):
-        if required not in data:
-            raise ConfigError(f"request line {line_no}: lacks {required!r}")
-    cluster = ClusterRef.from_data(data["cluster"]).resolve()
-    stack_spec = StackSpec.from_data(data["stack"])
-    parallel = standard_layout(cluster.total_gpus, cluster.gpus_per_node)
-    stack = stack_spec.resolve(parallel)
-    gates = stack_spec.resolve_gates(
-        len(stack), GateKind(data.get("gate", GateKind.GSHARD.value))
-    )
-    system = get_system(
-        data["system"],
-        r_max=data.get("r_max"),
-        solver=data.get("solver", "de"),
-    )
-    knobs = {
-        "routing_overhead": float(data.get("routing_overhead", 1.0)),
-        "noise": float(data.get("noise", 0.0)),
-        "seed": int(data.get("seed", 0)),
-    }
-    return stack, system, cluster, gates, knobs
+    try:
+        return data, parse_plan_payload(data)
+    except ConfigError as exc:
+        raise ConfigError(f"request line {line_no}: {exc}") from exc
 
 
 def _print_service_stats(stats, out) -> None:
@@ -408,19 +391,33 @@ def _print_service_stats(stats, out) -> None:
 
 def _cmd_serve(args) -> int:
     from ..serve import (
-        PlanRequest,
         PlanService,
         duplicate_heavy_requests,
         run_serial_session,
         run_service,
     )
 
-    if (args.requests is None) == (args.demo is None):
+    modes = [
+        args.requests is not None,
+        args.demo is not None,
+        args.listen is not None,
+    ]
+    if sum(modes) != 1:
         print(
-            "error: serve needs exactly one of --requests and --demo",
+            "error: serve needs exactly one of --requests, --demo "
+            "and --listen",
             file=sys.stderr,
         )
         return 2
+    if args.connect is not None and args.requests is None:
+        print(
+            "error: --connect sends a --requests stream; give it one",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.listen is not None:
+        return _serve_listen(args)
 
     if args.demo is not None:
         requests = duplicate_heavy_requests(
@@ -457,17 +454,21 @@ def _cmd_serve(args) -> int:
         _print_service_stats(served.stats, sys.stdout)
         return 0 if identical else 1
 
+    if args.requests == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        lines = Path(args.requests).read_text().splitlines()
+    parsed = [
+        _parse_request_line(line, i + 1)
+        for i, line in enumerate(lines)
+        if line.strip()
+    ]
+
+    if args.connect is not None:
+        return _serve_connect(args, [payload for payload, _ in parsed])
+
     with contextlib.ExitStack() as resources:
         workspace = _open_workspace(args, resources)
-        if args.requests == "-":
-            lines = sys.stdin.read().splitlines()
-        else:
-            lines = Path(args.requests).read_text().splitlines()
-        parsed = [
-            _parse_request_line(line, i + 1)
-            for i, line in enumerate(lines)
-            if line.strip()
-        ]
         service = PlanService(
             workspace,
             flush_ms=args.flush_ms,
@@ -475,17 +476,11 @@ def _cmd_serve(args) -> int:
             workers=args.workers,
         )
         resources.callback(service.close)
-        futures = []
-        for stack, system, cluster, gates, knobs in parsed:
-            request = PlanRequest(
-                stack=stack,
-                system=system,
-                cluster=cluster,
-                gate_kind=gates,
-                **knobs,
-            )
-            futures.append((cluster, system, service.submit(request)))
-        for index, (cluster, system, future) in enumerate(futures):
+        futures = [
+            (request.cluster, service.submit(request))
+            for _, request in parsed
+        ]
+        for index, (cluster, future) in enumerate(futures):
             plan = future.result()
             print(
                 json.dumps(
@@ -500,6 +495,79 @@ def _cmd_serve(args) -> int:
                 )
             )
         _print_service_stats(service.stats_snapshot(), sys.stderr)
+    return 0
+
+
+def _serve_listen(args) -> int:
+    """``serve --listen``: a NetServer in the foreground until a signal.
+
+    SIGINT (Ctrl-C) and SIGTERM (systemd/k8s/CI shutdown) both trigger
+    the same graceful drain; SIGTERM matters because shells start
+    backgrounded jobs with SIGINT ignored.
+    """
+    import signal
+    import threading
+
+    from ..cache.remote import parse_address
+    from ..serve import NetServer
+
+    host, port = parse_address(args.listen)
+    stop = threading.Event()
+
+    def _request_stop(signum, frame):
+        stop.set()
+
+    previous = signal.signal(signal.SIGTERM, _request_stop)
+    try:
+        with contextlib.ExitStack() as resources:
+            workspace = _open_workspace(args, resources)
+            server = NetServer(
+                workspace,
+                host=host,
+                port=port,
+                flush_ms=args.flush_ms,
+                capacity=args.capacity,
+                workers=args.workers,
+            )
+            resources.callback(server.close)
+            address = server.start()
+            print(f"plan server listening on {address}", flush=True)
+            try:
+                while not stop.is_set():
+                    if server.wait(timeout_s=0.2):
+                        break
+            except KeyboardInterrupt:
+                pass
+            print("draining...", file=sys.stderr, flush=True)
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+    return 0
+
+
+def _serve_connect(args, payloads: list) -> int:
+    """``serve --connect``: the request stream against a remote server."""
+    from ..errors import ServiceError
+    from ..serve import NetClient
+
+    with contextlib.closing(NetClient(args.connect)) as client:
+        for index, payload in enumerate(payloads):
+            try:
+                response = client.plan(payload, priority=args.priority)
+            except ServiceError as exc:
+                print(
+                    f"error: request {index}: {exc}", file=sys.stderr
+                )
+                return 1
+            print(json.dumps({"index": index, **response["result"]}))
+        stats = client.stats()
+        service = stats.get("service", {})
+        net = stats.get("net", {})
+        print(
+            f"server: {net.get('requests', 0)} wire requests, "
+            f"{service.get('resolved', 0)} resolved, "
+            f"{service.get('dedup_hits', 0)} dedup hits",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -923,6 +991,27 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="run the closed-loop load generator with N requests and "
              "report coalesced throughput vs the serial plan() loop",
+    )
+    serve.add_argument(
+        "--listen",
+        metavar="HOST:PORT",
+        default=None,
+        help="serve the JSON-lines wire protocol over TCP (port 0 "
+             "picks a free port, printed on startup) until interrupted; "
+             "Ctrl-C drains gracefully",
+    )
+    serve.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        default=None,
+        help="send the --requests stream to a --listen server instead "
+             "of planning locally",
+    )
+    serve.add_argument(
+        "--priority",
+        choices=["interactive", "batch"],
+        default="interactive",
+        help="lane for --connect requests",
     )
     serve.add_argument(
         "--distinct", type=int, default=4,

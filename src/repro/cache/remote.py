@@ -246,9 +246,18 @@ class RemoteTier:
         address: the server's ``host:port``.
         schema: schema version stamped on every request.
         timeout_s: per-operation socket timeout.
+        retries: reconnect attempts after the first failure of a call
+            (the historical behavior is 1: retry once on a fresh
+            connection, then degrade).
+        backoff: delay policy between those attempts -- the same
+            :class:`~repro.serve.protocol.Backoff` the serving-tier
+            :class:`~repro.serve.NetClient` uses (default: short jittered
+            delays capped at 200 ms, sized for a cache that must degrade
+            fast).  Inject one with a recording ``sleep`` for
+            deterministic tests.
 
     Raises:
-        ConfigError: for a malformed address.
+        ConfigError: for a malformed address or negative ``retries``.
     """
 
     def __init__(
@@ -257,11 +266,21 @@ class RemoteTier:
         *,
         schema: int = CACHE_SCHEMA_VERSION,
         timeout_s: float = DEFAULT_TIMEOUT_S,
+        retries: int = 1,
+        backoff=None,
     ) -> None:
         self.address = address
         self._host, self._port = parse_address(address)
+        if retries < 0:
+            raise ConfigError(f"retries must be >= 0, got {retries}")
         self.schema = schema
         self.timeout_s = timeout_s
+        self._retries = retries
+        if backoff is None:
+            from ..serve.protocol import Backoff
+
+            backoff = Backoff(base_ms=10.0, max_ms=200.0)
+        self._backoff = backoff
         self._lock = threading.Lock()
         self._sock: socket.socket | None = None
         self._file = None
@@ -290,12 +309,14 @@ class RemoteTier:
     def _roundtrip(self, request: dict) -> dict | None:
         """Send one request, read one response; None on any failure.
 
-        Retries exactly once on a fresh connection, so a server restart
-        between calls costs one miss, not a dead client.
+        Retries on a fresh connection up to the retry budget, waiting a
+        backoff-with-jitter delay between attempts so a restarting
+        server is not hammered in lockstep by every client; exhausted
+        budgets degrade to None (a miss), never an exception.
         """
         payload = json.dumps(request).encode("utf-8") + b"\n"
         with self._lock:
-            for attempt in (0, 1):
+            for attempt in range(self._retries + 1):
                 try:
                     if self._sock is None:
                         self._connect()
@@ -309,8 +330,9 @@ class RemoteTier:
                     return response
                 except (OSError, ValueError):
                     self._drop()
-                    if attempt:
+                    if attempt >= self._retries:
                         return None
+                    self._backoff.wait(attempt)
         return None  # pragma: no cover - loop always returns
 
     def get(self, key: str) -> str | None:

@@ -51,6 +51,18 @@ class ServiceClosedError(ServiceError):
     """The service is shut down (or shutting down) and takes no requests."""
 
 
+class ProtocolError(ServiceError):
+    """A network peer violated (or rejected) the serving wire protocol.
+
+    Raised by :class:`~repro.serve.NetClient` when the server refuses a
+    frame for protocol reasons (bad schema, malformed request, unknown
+    op) or answers with something that is not a response object --
+    distinct from :class:`QueueFullError` (overload shed, retryable)
+    and plain :class:`ServiceError` (transport exhausted or the plan
+    itself failed).
+    """
+
+
 class RegistryError(ReproError, LookupError):
     """A string-keyed registry lookup failed (unknown system, model, ...).
 

@@ -266,6 +266,35 @@ class Tracer:
         span._token = _CURRENT.set(span)
         return span
 
+    def start_detached(
+        self,
+        name: str,
+        attrs: dict | None = None,
+        *,
+        parent: Span | None = None,
+    ) -> Span:
+        """Begin a span *without* installing it as the current span.
+
+        For operations whose start and end live on different tasks or
+        threads (the network server starts a request span on the
+        connection-reader task and ends it on the responder task):
+        installing the ambient contextvar there would either leak the
+        span into every later request on the same task, or raise when
+        ``end`` resets a token from a different context.  A detached
+        span still parents onto the ambient current span (or the
+        explicit ``parent``); it just never becomes one itself.
+        """
+        if parent is None:
+            parent = _CURRENT.get()
+        return Span(
+            tracer=self,
+            name=name,
+            span_id=next(self._ids),
+            parent_id=parent.span_id if parent is not None else None,
+            start_ns=time.perf_counter_ns(),
+            attrs=attrs,
+        )
+
     def event(self, name: str, attrs: dict | None = None) -> SpanRecord:
         """Record a zero-duration point span (start and end collapsed)."""
         return self.start(name, attrs).end()

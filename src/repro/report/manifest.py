@@ -358,6 +358,15 @@ DEFAULT_ARTIFACTS: tuple[Artifact, ...] = (
         parallel_safe=False,  # resets solver caches for cold timings
     ),
     Artifact(
+        name="perf-netserve",
+        title="Network plan serving: open-loop wire latency and shed rate",
+        paper_ref="repo baseline (BENCH_netserve)",
+        producer=_bench("test_perf_netserve"),
+        outputs=("perf_netserve.txt", "BENCH_netserve.json"),
+        deterministic=False,
+        parallel_safe=False,  # binds a TCP server; latency under load
+    ),
+    Artifact(
         name="perf-cache",
         title="Tiered cache: L1 vs disk lookups, cross-process L3 hits",
         paper_ref="repo baseline (BENCH_cache)",

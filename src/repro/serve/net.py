@@ -1,0 +1,1288 @@
+"""The network serving tier: an asyncio JSON-lines front on PlanService.
+
+:class:`NetServer` puts the wire protocol of
+:mod:`repro.serve.protocol` on one coalescing
+:class:`~repro.serve.service.PlanService`:
+
+* **framing** -- one JSON object per line, hand-buffered (not
+  ``readline``) so an oversized or truncated line gets a structured
+  ``oversized-line`` refusal and a clean resync instead of a dead
+  connection;
+* **backpressure that sheds, never raises** -- requests queue in
+  bounded priority lanes; a full lane (or per-client bound) answers
+  ``shed`` with ``retry_after_ms`` instead of surfacing
+  :class:`~repro.errors.QueueFullError`, and a full service backlog
+  pauses the dispatcher rather than dropping work;
+* **priority lanes and per-client fairness** -- an ``interactive`` and
+  a ``batch`` lane drained weighted round-robin, each lane round-robin
+  across client connections, so one chatty client cannot starve the
+  rest;
+* **graceful drain** -- ``close(drain=True)`` stops accepting, answers
+  everything already admitted, and refuses latecomers with
+  ``draining`` + ``retry_after_ms``;
+* **observability** -- a per-request span (started on the reader task,
+  ended on the responder) when the workspace traces, and exact
+  counters in a :class:`~repro.obs.metrics.MetricsRegistry` under
+  ``repro.net.*`` (per-lane depth gauges and shed counters included),
+  scrapeable over the wire via the ``metrics`` op.
+
+Every behavior is an exact counter (:class:`NetStats`); the invariant
+``requests == completed + failed + shed + drained`` holds at every
+quiescent instant and the fault-injection suite asserts it exactly.
+
+:class:`NetClient` is the sync counterpart: one persistent socket,
+transport reconnects and overload retries through one shared
+:class:`~repro.serve.protocol.Backoff`, honoring the server's
+``retry_after_ms``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import socket
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+
+from ..cache import LRUCache
+from ..cache.remote import parse_address
+from ..errors import (
+    ConfigError,
+    ProtocolError,
+    QueueFullError,
+    ReproError,
+    ServiceClosedError,
+    ServiceError,
+)
+from ..obs.export import render_prometheus
+from ..obs.metrics import MetricsRegistry
+from .protocol import (
+    E_BAD_FRAME,
+    E_BAD_JSON,
+    E_BAD_REQUEST,
+    E_BAD_SCHEMA,
+    E_DRAINING,
+    E_INTERNAL,
+    E_OVERSIZED,
+    E_PLAN_FAILED,
+    E_SHED,
+    E_UNKNOWN_OP,
+    MAX_LINE_BYTES,
+    PROTOCOL_SCHEMA_VERSION,
+    RETRYABLE_CODES,
+    Backoff,
+    encode_frame,
+    error_response,
+    ok_response,
+    parse_plan_payload,
+    plan_summary,
+)
+from .service import PlanService
+
+#: the server's priority lanes, in declaration order.
+LANES = ("interactive", "batch")
+
+#: weighted round-robin drain ratio between the lanes.
+LANE_WEIGHTS = {"interactive": 4, "batch": 1}
+
+#: default bound on each lane's queued (admitted, undispatched) requests.
+DEFAULT_LANE_CAPACITY = 1024
+
+#: default ``retry_after_ms`` hint on an interactive-lane shed; the
+#: batch lane scales it by its weight ratio (lower priority waits
+#: longer before retrying).
+DEFAULT_SHED_RETRY_MS = 50.0
+
+#: dispatcher pause while the PlanService backlog is at capacity.
+_BACKPRESSURE_PAUSE_S = 0.002
+
+
+@dataclass(frozen=True)
+class LaneStats:
+    """Exact counters of one priority lane.
+
+    Attributes:
+        name: the lane (``interactive`` or ``batch``).
+        admitted: requests accepted into the lane's queues.
+        shed: requests refused because the lane (or the submitting
+            client's per-client bound) was full.
+        depth: currently queued requests (a gauge).
+        peak_depth: high-water queue depth.
+    """
+
+    name: str
+    admitted: int = 0
+    shed: int = 0
+    depth: int = 0
+    peak_depth: int = 0
+
+
+@dataclass(frozen=True)
+class NetStats:
+    """Exact counters of one :class:`NetServer`.
+
+    Attributes:
+        connections: client connections accepted, lifetime.
+        open_connections: currently connected clients (a gauge).
+        frames: request lines received (including refused ones).
+        requests: well-formed ``plan`` requests received.
+        completed: plan requests answered with a result (including
+            answers whose delivery failed because the client had gone
+            away -- see ``dropped``).
+        failed: plan requests answered with a non-retryable error
+            (malformed payload, failed resolution, or a server fault).
+        internal_errors: the 5xx class -- unexpected server defects,
+            also counted in ``failed``.
+        shed: plan requests refused at a full lane with ``shed``.
+        drained: plan requests refused with ``draining`` (shutdown).
+        dropped: responses that could not be written because the client
+            disconnected first (their requests still count by outcome).
+        protocol_errors: refused frames and malformed plan payloads
+            (``bad-json``/``bad-frame``/``bad-schema``/``unknown-op``/
+            ``oversized-line``/``bad-request``).
+        backpressure_waits: dispatcher pauses because the PlanService
+            backlog was at capacity (held, not shed).
+        lanes: per-lane counters, in :data:`LANES` order.
+
+    The accounting invariant ``requests == completed + failed + shed +
+    drained`` holds whenever no request is in flight.
+    """
+
+    connections: int = 0
+    open_connections: int = 0
+    frames: int = 0
+    requests: int = 0
+    completed: int = 0
+    failed: int = 0
+    internal_errors: int = 0
+    shed: int = 0
+    drained: int = 0
+    dropped: int = 0
+    protocol_errors: int = 0
+    backpressure_waits: int = 0
+    lanes: tuple[LaneStats, ...] = ()
+
+    @property
+    def accounted(self) -> int:
+        """``completed + failed + shed + drained`` (== ``requests`` at rest)."""
+        return self.completed + self.failed + self.shed + self.drained
+
+    def to_dict(self) -> dict:
+        """The ``stats`` op's JSON body (lanes keyed by name)."""
+        body = {
+            "connections": self.connections,
+            "open_connections": self.open_connections,
+            "frames": self.frames,
+            "requests": self.requests,
+            "completed": self.completed,
+            "failed": self.failed,
+            "internal_errors": self.internal_errors,
+            "shed": self.shed,
+            "drained": self.drained,
+            "dropped": self.dropped,
+            "protocol_errors": self.protocol_errors,
+            "backpressure_waits": self.backpressure_waits,
+            "lanes": {
+                lane.name: {
+                    "admitted": lane.admitted,
+                    "shed": lane.shed,
+                    "depth": lane.depth,
+                    "peak_depth": lane.peak_depth,
+                }
+                for lane in self.lanes
+            },
+        }
+        return body
+
+
+@dataclass
+class _Pending:
+    """One admitted plan request awaiting dispatch/response."""
+
+    client: int
+    writer: asyncio.StreamWriter
+    request_id: object
+    request: object  # PlanRequest
+    priority: str
+    detail: str
+    digest: bool
+    span: object  # Span | None
+
+
+class _Lane:
+    """One bounded priority lane: per-client FIFOs, round-robin drain.
+
+    Touched only from the server's event loop (push, push_front, pop);
+    the counter fields are plain ints so cross-thread stats snapshots
+    read them atomically.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        capacity: int,
+        per_client: int,
+        registry: MetricsRegistry,
+    ) -> None:
+        self.name = name
+        self.capacity = capacity
+        self.per_client = per_client
+        self.queues: dict[int, deque] = {}  # only non-empty deques
+        self.order: deque[int] = deque()
+        self.depth = 0
+        self.peak_depth = 0
+        self.admitted = 0
+        self.shed = 0
+        self._depth_gauge = registry.gauge(
+            f"repro.net.lane.{name}.depth", "queued requests in this lane"
+        )
+        self._admitted_counter = registry.counter(
+            f"repro.net.lane.{name}.admitted", "requests admitted"
+        )
+        self._shed_counter = registry.counter(
+            f"repro.net.lane.{name}.shed", "requests shed at a full lane"
+        )
+
+    def push(self, item: _Pending) -> bool:
+        """Admit one request; False (a shed) when a bound is hit."""
+        queue = self.queues.get(item.client)
+        if self.depth >= self.capacity or (
+            queue is not None and len(queue) >= self.per_client
+        ):
+            self.shed += 1
+            self._shed_counter.inc()
+            return False
+        if queue is None:
+            queue = deque()
+            self.queues[item.client] = queue
+            self.order.append(item.client)
+        queue.append(item)
+        self.depth += 1
+        self.peak_depth = max(self.peak_depth, self.depth)
+        self.admitted += 1
+        self._admitted_counter.inc()
+        self._depth_gauge.set(self.depth)
+        return True
+
+    def push_front(self, item: _Pending) -> None:
+        """Requeue a popped request at the front (backpressure hold)."""
+        queue = self.queues.get(item.client)
+        if queue is None:
+            queue = deque()
+            self.queues[item.client] = queue
+            self.order.appendleft(item.client)
+        queue.appendleft(item)
+        self.depth += 1
+        self.peak_depth = max(self.peak_depth, self.depth)
+        self._depth_gauge.set(self.depth)
+
+    def pop(self) -> _Pending | None:
+        """The next request, round-robin across clients; None when empty."""
+        while self.order:
+            client = self.order.popleft()
+            queue = self.queues.get(client)
+            if not queue:
+                self.queues.pop(client, None)
+                continue
+            item = queue.popleft()
+            self.depth -= 1
+            if queue:
+                self.order.append(client)
+            else:
+                self.queues.pop(client, None)
+            self._depth_gauge.set(self.depth)
+            return item
+        return None
+
+    def stats(self) -> LaneStats:
+        """This lane's exact counters."""
+        return LaneStats(
+            name=self.name,
+            admitted=self.admitted,
+            shed=self.shed,
+            depth=self.depth,
+            peak_depth=self.peak_depth,
+        )
+
+
+class _Counters:
+    """Thread-safe server counters mirrored into the metrics registry."""
+
+    FIELDS = (
+        "connections", "frames", "requests", "completed", "failed",
+        "internal_errors", "shed", "drained", "dropped",
+        "protocol_errors", "backpressure_waits",
+    )
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self._lock = threading.Lock()
+        self._values = {name: 0 for name in self.FIELDS}
+        self._open = 0
+        self._counters = {
+            name: registry.counter(f"repro.net.{name}")
+            for name in self.FIELDS
+        }
+        self._open_gauge = registry.gauge("repro.net.open_connections")
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._values[name] += amount
+        self._counters[name].inc(amount)
+
+    def get(self, name: str) -> int:
+        with self._lock:
+            return self._values[name]
+
+    def adjust_open(self, delta: int) -> None:
+        with self._lock:
+            self._open += delta
+            level = self._open
+        self._open_gauge.set(level)
+
+    def snapshot(self, lanes: tuple[LaneStats, ...]) -> NetStats:
+        with self._lock:
+            values = dict(self._values)
+            open_connections = self._open
+        return NetStats(
+            open_connections=open_connections, lanes=lanes, **values
+        )
+
+
+class NetServer:
+    """Serve the plan wire protocol from one PlanService.
+
+    The server runs an asyncio event loop on a background thread
+    (:meth:`start`), so it embeds in tests and synchronous programs the
+    same way :class:`~repro.cache.remote.CacheServer` does;
+    ``repro serve --listen`` starts one and blocks on :meth:`wait`.
+
+    Args:
+        workspace: when given, the server creates (and owns -- closes
+            on :meth:`close`) a :class:`PlanService` over it, passing
+            ``service_kw`` through (``flush_ms``, ``capacity``,
+            ``workers``, ...).
+        service: an existing service to front instead (the caller keeps
+            ownership).  Exactly one of ``workspace``/``service``.
+        host: bind address (default loopback).
+        port: bind port (0 picks a free one; see :attr:`address`).
+        lane_capacity: bound on each lane's queued requests; beyond it
+            requests shed with ``retry_after_ms``.
+        per_client: bound on one client's queued requests per lane
+            (default: a quarter of the lane, at least 1), the fairness
+            backstop against a single flooding connection.
+        shed_retry_ms: base ``retry_after_ms`` hint for interactive
+            sheds; the batch lane scales it by the lane weight ratio.
+        max_line_bytes: request-line bound; longer lines are refused
+            with ``oversized-line`` and skipped.
+        registry: metrics registry to fill (default: a fresh one owned
+            by the server, exposed as :attr:`registry`).
+
+    Raises:
+        ConfigError: for neither/both of ``workspace``/``service`` or a
+            non-positive bound.
+    """
+
+    def __init__(
+        self,
+        workspace=None,
+        *,
+        service: PlanService | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        lane_capacity: int = DEFAULT_LANE_CAPACITY,
+        per_client: int | None = None,
+        shed_retry_ms: float = DEFAULT_SHED_RETRY_MS,
+        max_line_bytes: int = MAX_LINE_BYTES,
+        registry: MetricsRegistry | None = None,
+        **service_kw,
+    ) -> None:
+        if (workspace is None) == (service is None):
+            raise ConfigError(
+                "NetServer needs exactly one of workspace= and service="
+            )
+        if lane_capacity < 1:
+            raise ConfigError(
+                f"lane_capacity must be >= 1, got {lane_capacity}"
+            )
+        if per_client is None:
+            per_client = max(1, lane_capacity // 4)
+        if per_client < 1:
+            raise ConfigError(f"per_client must be >= 1, got {per_client}")
+        if shed_retry_ms <= 0:
+            raise ConfigError(
+                f"shed_retry_ms must be > 0, got {shed_retry_ms}"
+            )
+        if max_line_bytes < 2:
+            raise ConfigError(
+                f"max_line_bytes must be >= 2, got {max_line_bytes}"
+            )
+        if service is not None and service_kw:
+            raise ConfigError(
+                f"service_kw {sorted(service_kw)} only apply when the "
+                f"server creates the service (workspace=...)"
+            )
+        self._owns_service = service is None
+        self._service = (
+            PlanService(workspace, **service_kw) if service is None
+            else service
+        )
+        self._host = host
+        self._port = port
+        self._shed_retry_ms = float(shed_retry_ms)
+        self._max_line_bytes = max_line_bytes
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._counters = _Counters(self.registry)
+        self._lanes = {
+            name: _Lane(name, lane_capacity, per_client, self.registry)
+            for name in LANES
+        }
+        max_weight = max(LANE_WEIGHTS.values())
+        self._retry_ms = {
+            name: self._shed_retry_ms * (max_weight / LANE_WEIGHTS[name])
+            for name in LANES
+        }
+        self._lane_cycle = tuple(
+            itertools.chain.from_iterable(
+                (name,) * LANE_WEIGHTS[name] for name in LANES
+            )
+        )
+        self._cycle_pos = 0
+        self._parse_cache = LRUCache(1024, None)
+        self._client_ids = itertools.count(1)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._aserver: asyncio.AbstractServer | None = None
+        self._dispatcher: asyncio.Task | None = None
+        self._inflight: set[asyncio.Task] = set()
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._writers: set[asyncio.StreamWriter] = set()
+        self._wake: asyncio.Event | None = None
+        self._draining = False
+        self._started = threading.Event()
+        self._stopped = threading.Event()
+        self._startup_error: BaseException | None = None
+        self._bound: tuple[str, int] | None = None
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def service(self) -> PlanService:
+        """The fronted (or owned) :class:`PlanService`."""
+        return self._service
+
+    @property
+    def address(self) -> str:
+        """The connectable ``host:port`` (with the bound port resolved)."""
+        if self._bound is None:
+            raise ServiceError("NetServer has not been started")
+        host, port = self._bound
+        return f"{host}:{port}"
+
+    def start(self) -> str:
+        """Serve on a background thread; returns the bound address."""
+        if self._closed:
+            raise ServiceClosedError("NetServer is closed")
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._thread_main,
+                name="repro-net-server",
+                daemon=True,
+            )
+            self._thread.start()
+            self._started.wait()
+            if self._startup_error is not None:
+                self._thread.join()
+                self._thread = None
+                raise self._startup_error
+        return self.address
+
+    def _thread_main(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        try:
+            loop.run_until_complete(self._startup())
+        except BaseException as exc:
+            self._startup_error = exc
+            self._started.set()
+            loop.close()
+            return
+        self._started.set()
+        loop.run_forever()
+        loop.run_until_complete(loop.shutdown_asyncgens())
+        loop.close()
+
+    async def _startup(self) -> None:
+        self._wake = asyncio.Event()
+        self._aserver = await asyncio.start_server(
+            self._handle_conn, self._host, self._port
+        )
+        sock = self._aserver.sockets[0]
+        self._bound = sock.getsockname()[:2]
+        self._dispatcher = asyncio.get_running_loop().create_task(
+            self._dispatch_loop()
+        )
+
+    def wait(self, timeout_s: float | None = None) -> bool:
+        """Block until :meth:`close` finishes (the CLI's foreground mode)."""
+        return self._stopped.wait(timeout_s)
+
+    def close(self, *, drain: bool = True, timeout_s: float = 60.0) -> None:
+        """Stop serving (idempotent).
+
+        Args:
+            drain: answer everything already admitted first; refused
+                latecomers get ``draining`` either way.  With
+                ``drain=False`` queued requests are answered
+                ``draining`` immediately instead of being resolved.
+            timeout_s: bound on the drain phase.
+
+        An owned service (``workspace=`` construction) is closed too,
+        with the same ``drain``.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._thread is not None and self._loop is not None:
+            future = asyncio.run_coroutine_threadsafe(
+                self._shutdown(drain, timeout_s), self._loop
+            )
+            try:
+                future.result(timeout=timeout_s + 5.0)
+            finally:
+                self._loop.call_soon_threadsafe(self._loop.stop)
+                self._thread.join(timeout=10.0)
+        if self._owns_service:
+            self._service.close(drain=drain)
+        self._stopped.set()
+
+    async def _shutdown(self, drain: bool, timeout_s: float) -> None:
+        self._draining = True
+        if self._aserver is not None:
+            self._aserver.close()
+        deadline = time.monotonic() + timeout_s
+        if drain:
+            while (
+                any(lane.depth for lane in self._lanes.values())
+                or self._inflight
+            ) and time.monotonic() < deadline:
+                self._wake.set()
+                await asyncio.sleep(0.005)
+        else:
+            for lane in self._lanes.values():
+                while True:
+                    item = lane.pop()
+                    if item is None:
+                        break
+                    self._counters.inc("drained")
+                    await self._respond(
+                        item,
+                        error_response(
+                            E_DRAINING,
+                            "server is shutting down",
+                            request_id=item.request_id,
+                            retry_after_ms=self._retry_ms[
+                                item.priority
+                            ],
+                        ),
+                        outcome="drained",
+                    )
+            if self._inflight:
+                await asyncio.wait(
+                    self._inflight,
+                    timeout=max(0.0, deadline - time.monotonic()),
+                )
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            await asyncio.gather(
+                self._dispatcher, return_exceptions=True
+            )
+        for task in list(self._conn_tasks):
+            task.cancel()
+        if self._conn_tasks:
+            await asyncio.gather(
+                *self._conn_tasks, return_exceptions=True
+            )
+        for writer in list(self._writers):
+            try:
+                writer.close()
+            except OSError:  # pragma: no cover - close race
+                pass
+        if self._aserver is not None:
+            await self._aserver.wait_closed()
+
+    def __enter__(self) -> "NetServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close(drain=True)
+
+    # -- stats ---------------------------------------------------------------
+
+    def stats_snapshot(self) -> NetStats:
+        """Exact network-tier counters at this instant (thread-safe)."""
+        lanes = tuple(self._lanes[name].stats() for name in LANES)
+        return self._counters.snapshot(lanes)
+
+    #: property alias mirroring ``PlanService.stats``.
+    stats = property(stats_snapshot)
+
+    def exposition(self) -> str:
+        """The server's ``repro.net.*`` counters as Prometheus text."""
+        return render_prometheus(self.registry.snapshot())
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle_conn(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        client = next(self._client_ids)
+        self._counters.inc("connections")
+        self._counters.adjust_open(1)
+        self._writers.add(writer)
+        buf = bytearray()
+        discarding = False
+        try:
+            while True:
+                newline = buf.find(b"\n")
+                if newline < 0:
+                    if discarding:
+                        buf.clear()
+                    elif len(buf) > self._max_line_bytes:
+                        self._counters.inc("protocol_errors")
+                        await self._send(
+                            writer,
+                            error_response(
+                                E_OVERSIZED,
+                                f"request line exceeds "
+                                f"{self._max_line_bytes} bytes",
+                            ),
+                        )
+                        discarding = True
+                        buf.clear()
+                    chunk = await reader.read(65536)
+                    if not chunk:
+                        return
+                    buf += chunk
+                    continue
+                line = bytes(buf[:newline])
+                del buf[: newline + 1]
+                if discarding:
+                    # the tail of an already-refused oversized line
+                    discarding = False
+                    continue
+                if len(line) > self._max_line_bytes:
+                    self._counters.inc("protocol_errors")
+                    await self._send(
+                        writer,
+                        error_response(
+                            E_OVERSIZED,
+                            f"request line exceeds "
+                            f"{self._max_line_bytes} bytes",
+                        ),
+                    )
+                    continue
+                if not line.strip():
+                    continue
+                try:
+                    await self._handle_line(client, writer, line)
+                except (ConnectionError, OSError, asyncio.CancelledError):
+                    raise
+                except Exception as exc:
+                    # the last line of defense: a defect while handling
+                    # one frame answers `internal`, never kills the
+                    # connection (the fuzz suite's no-death guarantee).
+                    self._counters.inc("internal_errors")
+                    await self._send(
+                        writer,
+                        error_response(
+                            E_INTERNAL,
+                            f"{type(exc).__name__}: {exc}",
+                        ),
+                    )
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            # a vanished client just ends its connection; queued work
+            # for it resolves normally and its responses count as
+            # dropped when the write fails.
+            pass
+        finally:
+            self._writers.discard(writer)
+            self._counters.adjust_open(-1)
+            try:
+                writer.close()
+            except OSError:  # pragma: no cover - close race
+                pass
+            if task is not None:
+                self._conn_tasks.discard(task)
+
+    async def _send(
+        self, writer: asyncio.StreamWriter, response: dict
+    ) -> bool:
+        """Write one response frame; False when the client is gone."""
+        if writer.is_closing():
+            return False
+        try:
+            writer.write(encode_frame(response))
+            await writer.drain()
+            return True
+        except (ConnectionError, OSError, RuntimeError):
+            return False
+
+    async def _handle_line(
+        self,
+        client: int,
+        writer: asyncio.StreamWriter,
+        line: bytes,
+    ) -> None:
+        self._counters.inc("frames")
+        try:
+            data = json.loads(line)
+        except ValueError:
+            self._counters.inc("protocol_errors")
+            await self._send(
+                writer, error_response(E_BAD_JSON, "invalid JSON")
+            )
+            return
+        if not isinstance(data, dict):
+            self._counters.inc("protocol_errors")
+            await self._send(
+                writer,
+                error_response(E_BAD_FRAME, "expected a JSON object"),
+            )
+            return
+        request_id = data.get("id")
+        if data.get("schema") != PROTOCOL_SCHEMA_VERSION:
+            self._counters.inc("protocol_errors")
+            await self._send(
+                writer,
+                error_response(
+                    E_BAD_SCHEMA,
+                    f"schema {data.get('schema')!r} refused; this "
+                    f"server speaks schema {PROTOCOL_SCHEMA_VERSION}",
+                    request_id=request_id,
+                ),
+            )
+            return
+        op = data.get("op")
+        if op == "plan":
+            await self._handle_plan(client, writer, request_id, data)
+        elif op == "ping":
+            await self._send(
+                writer, ok_response(request_id, pong=True)
+            )
+        elif op == "stats":
+            service = self._service.stats_snapshot()
+            await self._send(
+                writer,
+                ok_response(
+                    request_id,
+                    net=self.stats_snapshot().to_dict(),
+                    service={
+                        "requests": service.requests,
+                        "completed": service.completed,
+                        "failed": service.failed,
+                        "rejected": service.rejected,
+                        "dedup_hits": service.dedup_hits,
+                        "resolved": service.resolved,
+                        "batches": service.batches,
+                        "max_batch": service.max_batch,
+                        "p50_latency_ms": service.p50_latency_ms,
+                        "p95_latency_ms": service.p95_latency_ms,
+                    },
+                ),
+            )
+        elif op == "metrics":
+            await self._send(
+                writer,
+                ok_response(request_id, exposition=self.exposition()),
+            )
+        else:
+            self._counters.inc("protocol_errors")
+            await self._send(
+                writer,
+                error_response(
+                    E_UNKNOWN_OP,
+                    f"unknown op {op!r}",
+                    request_id=request_id,
+                ),
+            )
+
+    def _parse_payload(self, payload: object):
+        """Parse (with a small memo: wire streams repeat heavily)."""
+        key = None
+        if isinstance(payload, dict):
+            try:
+                key = json.dumps(payload, sort_keys=True)
+            except (TypeError, ValueError):
+                key = None
+        if key is not None:
+            cached = self._parse_cache.get(key)
+            if cached is not None:
+                return cached
+        request = parse_plan_payload(payload)
+        if key is not None:
+            self._parse_cache.put(key, request)
+        return request
+
+    async def _handle_plan(
+        self,
+        client: int,
+        writer: asyncio.StreamWriter,
+        request_id: object,
+        data: dict,
+    ) -> None:
+        self._counters.inc("requests")
+        priority = data.get("priority", "interactive")
+        if priority not in self._lanes:
+            self._counters.inc("failed")
+            self._counters.inc("protocol_errors")
+            await self._send(
+                writer,
+                error_response(
+                    E_BAD_REQUEST,
+                    f"unknown priority {priority!r}; expected one of "
+                    f"{list(LANES)}",
+                    request_id=request_id,
+                ),
+            )
+            return
+        detail = data.get("detail", "summary")
+        if detail not in ("summary", "plan"):
+            self._counters.inc("failed")
+            self._counters.inc("protocol_errors")
+            await self._send(
+                writer,
+                error_response(
+                    E_BAD_REQUEST,
+                    f"unknown detail {detail!r}; expected 'summary' "
+                    f"or 'plan'",
+                    request_id=request_id,
+                ),
+            )
+            return
+        if self._draining:
+            self._counters.inc("drained")
+            await self._send(
+                writer,
+                error_response(
+                    E_DRAINING,
+                    "server is draining and takes no new requests",
+                    request_id=request_id,
+                    retry_after_ms=self._retry_ms[priority],
+                ),
+            )
+            return
+        try:
+            request = self._parse_payload(data.get("request"))
+        except ReproError as exc:
+            # ConfigError for malformed shapes, RegistryError for
+            # unknown system/cluster names, TopologyError for layouts
+            # the cluster cannot host -- all the payload's own fault.
+            self._counters.inc("failed")
+            self._counters.inc("protocol_errors")
+            await self._send(
+                writer,
+                error_response(
+                    E_BAD_REQUEST, str(exc), request_id=request_id
+                ),
+            )
+            return
+        except Exception as exc:
+            self._counters.inc("failed")
+            self._counters.inc("internal_errors")
+            await self._send(
+                writer,
+                error_response(
+                    E_INTERNAL,
+                    f"{type(exc).__name__}: {exc}",
+                    request_id=request_id,
+                ),
+            )
+            return
+        tracer = self._service.workspace.tracer
+        span = (
+            tracer.start_detached(
+                "net.request",
+                {"priority": priority, "client": client},
+            )
+            if tracer is not None
+            else None
+        )
+        item = _Pending(
+            client=client,
+            writer=writer,
+            request_id=request_id,
+            request=request,
+            priority=priority,
+            detail=detail,
+            digest=bool(data.get("digest", False)),
+            span=span,
+        )
+        lane = self._lanes[priority]
+        if not lane.push(item):
+            self._counters.inc("shed")
+            if span is not None:
+                span.set(outcome="shed").end()
+            await self._send(
+                writer,
+                error_response(
+                    E_SHED,
+                    f"{priority} lane is full; retry after the hint",
+                    request_id=request_id,
+                    retry_after_ms=self._retry_ms[priority],
+                ),
+            )
+            return
+        self._wake.set()
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _next_pending(self) -> _Pending | None:
+        """Weighted round-robin across lanes; None when all are empty."""
+        cycle = self._lane_cycle
+        for step in range(len(cycle)):
+            index = (self._cycle_pos + step) % len(cycle)
+            item = self._lanes[cycle[index]].pop()
+            if item is not None:
+                self._cycle_pos = (index + 1) % len(cycle)
+                return item
+        return None
+
+    async def _dispatch_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            item = self._next_pending()
+            if item is None:
+                self._wake.clear()
+                await self._wake.wait()
+                continue
+            try:
+                future = self._service.submit(item.request)
+            except QueueFullError:
+                # the service backlog is the hard bound; hold the
+                # already-admitted request and retry after a pause
+                # instead of shedding admitted work.
+                self._counters.inc("backpressure_waits")
+                self._lanes[item.priority].push_front(item)
+                await asyncio.sleep(_BACKPRESSURE_PAUSE_S)
+                continue
+            except ServiceClosedError as exc:
+                self._counters.inc("drained")
+                await self._respond(
+                    item,
+                    error_response(
+                        E_DRAINING,
+                        str(exc),
+                        request_id=item.request_id,
+                        retry_after_ms=self._retry_ms[item.priority],
+                    ),
+                    outcome="drained",
+                )
+            except ConfigError as exc:
+                self._counters.inc("failed")
+                self._counters.inc("protocol_errors")
+                await self._respond(
+                    item,
+                    error_response(
+                        E_BAD_REQUEST, str(exc),
+                        request_id=item.request_id,
+                    ),
+                    outcome="bad-request",
+                )
+            except Exception as exc:
+                self._counters.inc("failed")
+                self._counters.inc("internal_errors")
+                await self._respond(
+                    item,
+                    error_response(
+                        E_INTERNAL,
+                        f"{type(exc).__name__}: {exc}",
+                        request_id=item.request_id,
+                    ),
+                    outcome="internal",
+                )
+            else:
+                task = loop.create_task(
+                    self._deliver(item, asyncio.wrap_future(future))
+                )
+                self._inflight.add(task)
+                task.add_done_callback(self._inflight.discard)
+
+    async def _deliver(
+        self, item: _Pending, afuture: asyncio.Future
+    ) -> None:
+        try:
+            plan = await afuture
+        except asyncio.CancelledError:
+            raise
+        except ServiceClosedError as exc:
+            self._counters.inc("drained")
+            await self._respond(
+                item,
+                error_response(
+                    E_DRAINING, str(exc), request_id=item.request_id,
+                    retry_after_ms=self._retry_ms[item.priority],
+                ),
+                outcome="drained",
+            )
+            return
+        except ReproError as exc:
+            self._counters.inc("failed")
+            await self._respond(
+                item,
+                error_response(
+                    E_PLAN_FAILED, str(exc), request_id=item.request_id
+                ),
+                outcome="plan-failed",
+            )
+            return
+        except Exception as exc:
+            self._counters.inc("failed")
+            self._counters.inc("internal_errors")
+            await self._respond(
+                item,
+                error_response(
+                    E_INTERNAL,
+                    f"{type(exc).__name__}: {exc}",
+                    request_id=item.request_id,
+                ),
+                outcome="internal",
+            )
+            return
+        self._counters.inc("completed")
+        response = ok_response(item.request_id)
+        if item.detail == "plan":
+            response["plan"] = plan.to_dict()
+        else:
+            response["result"] = plan_summary(plan)
+        if item.digest:
+            request = item.request
+            response["digest"] = self._service.workspace.plan_digest(
+                request.stack, request.system, request.cluster,
+                parallel=request.parallel, gate_kind=request.gate_kind,
+                routing_overhead=request.routing_overhead,
+                include_gar=request.include_gar,
+                noise=request.noise, seed=request.seed,
+            )
+        await self._respond(item, response, outcome="completed")
+
+    async def _respond(
+        self, item: _Pending, response: dict, *, outcome: str
+    ) -> None:
+        delivered = await self._send(item.writer, response)
+        if not delivered:
+            self._counters.inc("dropped")
+        if item.span is not None:
+            item.span.set(outcome=outcome, delivered=delivered).end()
+
+
+class NetClient:
+    """Sync client on one :class:`NetServer`: persistent socket, retries.
+
+    One connection guarded by a lock (thread-safe, one in-flight
+    request at a time), lazily opened and re-opened with backoff after
+    transport failures.  Overload refusals (``shed``/``draining``)
+    retry through the same :class:`~repro.serve.protocol.Backoff`,
+    never below the server's ``retry_after_ms`` hint; exhausted
+    overload retries surface as :class:`~repro.errors.QueueFullError`,
+    exhausted transport retries as plain
+    :class:`~repro.errors.ServiceError`, and protocol refusals
+    (bad schema/request/op) as :class:`~repro.errors.ProtocolError`.
+
+    Args:
+        address: the server's ``host:port``.
+        schema: protocol schema stamped on every frame.
+        timeout_s: per-operation socket timeout.
+        retries: transport reconnect attempts *and* overload retry
+            budget (each counted separately).
+        backoff: the retry-delay policy (default: a fresh
+            :class:`~repro.serve.protocol.Backoff`); inject a seeded
+            one for deterministic tests.
+
+    Raises:
+        ConfigError: for a malformed address or negative ``retries``.
+    """
+
+    def __init__(
+        self,
+        address: str,
+        *,
+        schema: int = PROTOCOL_SCHEMA_VERSION,
+        timeout_s: float = 30.0,
+        retries: int = 5,
+        backoff: Backoff | None = None,
+    ) -> None:
+        self.address = address
+        self._host, self._port = parse_address(address)
+        if retries < 0:
+            raise ConfigError(f"retries must be >= 0, got {retries}")
+        self.schema = schema
+        self.timeout_s = timeout_s
+        self._retries = retries
+        self._backoff = backoff if backoff is not None else Backoff()
+        self._lock = threading.Lock()
+        self._sock: socket.socket | None = None
+        self._file = None
+
+    def _connect(self) -> None:
+        sock = socket.create_connection(
+            (self._host, self._port), timeout=self.timeout_s
+        )
+        self._sock = sock
+        self._file = sock.makefile("rb")
+
+    def _drop(self) -> None:
+        for resource in (self._file, self._sock):
+            if resource is not None:
+                try:
+                    resource.close()
+                except OSError:  # pragma: no cover - close race
+                    pass
+        self._sock = None
+        self._file = None
+
+    def _roundtrip(self, request: dict) -> dict:
+        """One frame out, one response object back, transport-retrying.
+
+        Raises:
+            ServiceError: when every transport attempt failed.
+        """
+        payload = encode_frame(request)
+        last: Exception | None = None
+        with self._lock:
+            for attempt in range(self._retries + 1):
+                try:
+                    if self._sock is None:
+                        self._connect()
+                    self._sock.sendall(payload)
+                    line = self._file.readline()
+                    if not line:
+                        raise OSError("server closed the connection")
+                    response = json.loads(line)
+                    if not isinstance(response, dict):
+                        raise ValueError("non-object response")
+                    return response
+                except (OSError, ValueError) as exc:
+                    last = exc
+                    self._drop()
+                    if attempt < self._retries:
+                        self._backoff.wait(attempt)
+        raise ServiceError(
+            f"plan server {self.address} unreachable after "
+            f"{self._retries + 1} attempt(s): {last}"
+        )
+
+    def _checked(self, response: dict) -> dict:
+        """Raise the mapped error for a refusal; pass a success through."""
+        if response.get("ok"):
+            return response
+        error = response.get("error") or {}
+        code = error.get("code")
+        message = error.get("message", "")
+        if code in RETRYABLE_CODES:
+            raise QueueFullError(
+                f"server shed the request ({code}): {message}"
+            )
+        if code == E_PLAN_FAILED:
+            raise ServiceError(message or "plan resolution failed")
+        raise ProtocolError(
+            f"server refused the request ({code!r}): {message}"
+        )
+
+    def plan(
+        self,
+        payload: dict,
+        *,
+        priority: str = "interactive",
+        detail: str = "summary",
+        request_id: object = None,
+        digest: bool = False,
+    ) -> dict:
+        """Submit one plan payload; returns the server's success envelope.
+
+        ``payload`` is the ``repro serve --requests`` line schema
+        (validated server-side).  Overload refusals retry with backoff,
+        honoring the server's ``retry_after_ms``, up to the retry
+        budget.
+
+        Raises:
+            QueueFullError: shed/draining persisted past the budget.
+            ServiceError: transport exhausted, or the plan itself
+                failed to resolve.
+            ProtocolError: the server refused the frame (bad schema,
+                malformed payload) -- retrying verbatim cannot help.
+        """
+        frame = {
+            "op": "plan",
+            "schema": self.schema,
+            "id": request_id,
+            "priority": priority,
+            "detail": detail,
+            "request": payload,
+        }
+        if digest:
+            frame["digest"] = True
+        attempt = 0
+        while True:
+            response = self._roundtrip(frame)
+            if not response.get("ok"):
+                error = response.get("error") or {}
+                if (
+                    error.get("code") in RETRYABLE_CODES
+                    and attempt < self._retries
+                ):
+                    self._backoff.wait(
+                        attempt,
+                        floor_ms=float(
+                            response.get("retry_after_ms") or 0.0
+                        ),
+                    )
+                    attempt += 1
+                    continue
+            return self._checked(response)
+
+    def ping(self) -> bool:
+        """True when the server answers the ``ping`` op."""
+        response = self._checked(
+            self._roundtrip({"op": "ping", "schema": self.schema})
+        )
+        return bool(response.get("pong"))
+
+    def stats(self) -> dict:
+        """The server's ``stats`` body: ``{"net": ..., "service": ...}``."""
+        response = self._checked(
+            self._roundtrip({"op": "stats", "schema": self.schema})
+        )
+        return {
+            "net": response.get("net", {}),
+            "service": response.get("service", {}),
+        }
+
+    def metrics(self) -> str:
+        """The server's Prometheus exposition (``repro.net.*``)."""
+        response = self._checked(
+            self._roundtrip({"op": "metrics", "schema": self.schema})
+        )
+        exposition = response.get("exposition")
+        return exposition if isinstance(exposition, str) else ""
+
+    def close(self) -> None:
+        """Drop the connection (the client reconnects on next use)."""
+        with self._lock:
+            self._drop()
+
+    def __enter__(self) -> "NetClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

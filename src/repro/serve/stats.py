@@ -104,6 +104,41 @@ class ServiceStats:
             return 0.0
         return self.coalesced_requests / self.batches
 
+    def __sub__(self, earlier: "ServiceStats") -> "ServiceStats":
+        """The activity between two snapshots (``later - earlier``).
+
+        Every counter is the plain delta; the latency percentiles are
+        recomputed from the *delta histogram*, so a window's p50/p95
+        describe only the resolutions inside it.  ``max_batch`` is the
+        later snapshot's high-water mark (a maximum cannot be
+        differenced).  The per-window invariants --
+        ``dedup_hits + resolved == completed``, every counter
+        non-negative -- hold for any pair of snapshots of one service
+        taken in order, however concurrent the load between them.
+        """
+        latency = self.latency - earlier.latency
+        return ServiceStats(
+            requests=self.requests - earlier.requests,
+            completed=self.completed - earlier.completed,
+            failed=self.failed - earlier.failed,
+            rejected=self.rejected - earlier.rejected,
+            dedup_hits=self.dedup_hits - earlier.dedup_hits,
+            resolved=self.resolved - earlier.resolved,
+            batches=self.batches - earlier.batches,
+            max_batch=self.max_batch,
+            coalesced_requests=(
+                self.coalesced_requests - earlier.coalesced_requests
+            ),
+            futures_evicted=self.futures_evicted - earlier.futures_evicted,
+            p50_latency_ms=latency.quantile(50.0),
+            p95_latency_ms=latency.quantile(95.0),
+            latency=latency,
+        )
+
+    def since(self, earlier: "ServiceStats") -> "ServiceStats":
+        """Alias of :meth:`__sub__`, mirroring ``WorkspaceStats.since``."""
+        return self - earlier
+
 
 class StatsAccumulator:
     """Thread-safe mutable counters behind :class:`ServiceStats`."""

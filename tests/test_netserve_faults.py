@@ -1,0 +1,408 @@
+"""Fault injection against the network serving tier.
+
+Clients die mid-request and mid-response, the server drains under
+load, four clients hammer it concurrently -- and after every scenario
+the exact counter invariants must hold: at the network tier
+``requests == completed + failed + shed + drained``, at the service
+tier ``dedup_hits + resolved == completed``.  Windowed ``since()``
+snapshots of :class:`ServiceStats` and :class:`CacheStats` are taken
+*while* the load runs and must never tear.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+import time
+
+import pytest
+
+from repro import (
+    NetClient,
+    NetServer,
+    QueueFullError,
+    ServiceError,
+    Workspace,
+)
+from repro.serve import (
+    duplicate_heavy_wire_requests,
+    retry_priorities,
+    run_net_closed_loop,
+    run_net_open_loop,
+)
+
+TINY_PAYLOAD = {
+    "cluster": "B",
+    "system": "tutel",
+    "solver": "slsqp",
+    "stack": {
+        "layers": [
+            {
+                "batch_size": 1,
+                "seq_len": 256,
+                "embed_dim": 512,
+                "num_experts": 8,
+                "num_heads": 8,
+            }
+        ],
+        "num_layers": 2,
+    },
+}
+
+
+def small_stream(total: int, distinct: int = 4) -> list[dict]:
+    """A small duplicate-heavy wire stream (shallow stacks: fast)."""
+    return duplicate_heavy_wire_requests(total, distinct, depth=2)
+
+
+def assert_net_invariant(stats) -> None:
+    assert stats.requests == (
+        stats.completed + stats.failed + stats.shed + stats.drained
+    ), stats.to_dict()
+
+
+def assert_service_invariant(stats) -> None:
+    assert stats.dedup_hits + stats.resolved == stats.completed
+
+
+def wait_until(predicate, timeout_s: float = 20.0) -> None:
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.01)
+    raise AssertionError("condition not reached before timeout")
+
+
+class TestClientDeath:
+    def test_kill_client_mid_request_leaves_server_healthy(self, tmp_path):
+        with NetServer(Workspace(tmp_path / "ws"), flush_ms=1.0) as server:
+            for _ in range(3):
+                host, port = server.address.rsplit(":", 1)
+                sock = socket.create_connection((host, int(port)))
+                # half a frame, then a hard RST mid-request
+                sock.sendall(b'{"op": "plan", "schema": 1, "request')
+                sock.setsockopt(
+                    socket.SOL_SOCKET,
+                    socket.SO_LINGER,
+                    struct.pack("ii", 1, 0),
+                )
+                sock.close()
+            client = NetClient(server.address)
+            try:
+                assert client.ping() is True
+                response = client.plan(TINY_PAYLOAD)
+                assert response["ok"] is True
+            finally:
+                client.close()
+            stats = server.stats_snapshot()
+            assert_net_invariant(stats)
+            assert stats.internal_errors == 0
+
+    def test_drop_socket_mid_response_counts_dropped(self, tmp_path):
+        # A wide flush window guarantees the client is gone before the
+        # response is ready: the resolution outcome is still counted
+        # (completed), the undeliverable write as dropped.
+        with NetServer(
+            Workspace(tmp_path / "ws"), flush_ms=250.0
+        ) as server:
+            host, port = server.address.rsplit(":", 1)
+            sock = socket.create_connection((host, int(port)))
+            frame = {
+                "op": "plan",
+                "schema": 1,
+                "request": TINY_PAYLOAD,
+            }
+            import json
+
+            sock.sendall(json.dumps(frame).encode() + b"\n")
+            # wait for admission, then die before the flush resolves it
+            wait_until(lambda: server.stats_snapshot().requests == 1)
+            sock.setsockopt(
+                socket.SOL_SOCKET,
+                socket.SO_LINGER,
+                struct.pack("ii", 1, 0),
+            )
+            sock.close()
+            wait_until(lambda: server.stats_snapshot().completed == 1)
+            wait_until(lambda: server.stats_snapshot().dropped == 1)
+            stats = server.stats_snapshot()
+            assert stats.completed == 1
+            assert stats.dropped == 1
+            assert_net_invariant(stats)
+            # and the server still serves others
+            client = NetClient(server.address)
+            try:
+                assert client.ping() is True
+            finally:
+                client.close()
+
+
+class TestDrain:
+    def test_drain_under_load_answers_every_admitted_request(
+        self, tmp_path
+    ):
+        server = NetServer(Workspace(tmp_path / "ws"), flush_ms=5.0)
+        server.start()
+        payloads = small_stream(60)
+        outcomes = {"ok": 0, "refused": 0, "transport": 0}
+        lock = threading.Lock()
+
+        def worker(share):
+            client = NetClient(server.address, retries=0, timeout_s=10.0)
+            try:
+                for payload in share:
+                    try:
+                        client.plan(payload)
+                        key = "ok"
+                    except QueueFullError:
+                        key = "refused"  # shed or draining: a clean no
+                    except ServiceError:
+                        key = "transport"  # server gone mid-call
+                    with lock:
+                        outcomes[key] += 1
+            finally:
+                client.close()
+
+        threads = [
+            threading.Thread(target=worker, args=(payloads[k::3],))
+            for k in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        # let some requests land, then drain while the rest arrive
+        wait_until(lambda: server.stats_snapshot().requests >= 5)
+        server.close(drain=True)
+        for thread in threads:
+            thread.join()
+        stats = server.stats_snapshot()
+        assert_net_invariant(stats)
+        # everything the server admitted was answered with a result
+        assert stats.completed + stats.failed >= 1
+        assert stats.dropped == 0
+        assert outcomes["ok"] == stats.completed
+        # post-drain connections are refused at the socket
+        with pytest.raises(ServiceError):
+            NetClient(server.address, retries=0, timeout_s=1.0).ping()
+
+    def test_close_without_drain_flushes_queued_as_draining(
+        self, tmp_path
+    ):
+        server = NetServer(Workspace(tmp_path / "ws"), flush_ms=5.0)
+        server.start()
+        payloads = small_stream(40)
+        results = []
+        lock = threading.Lock()
+
+        def worker(share):
+            client = NetClient(server.address, retries=0, timeout_s=10.0)
+            try:
+                for payload in share:
+                    try:
+                        client.plan(payload)
+                        outcome = "ok"
+                    except QueueFullError:
+                        outcome = "refused"
+                    except ServiceError:
+                        outcome = "transport"
+                    with lock:
+                        results.append(outcome)
+            finally:
+                client.close()
+
+        threads = [
+            threading.Thread(target=worker, args=(payloads[k::2],))
+            for k in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        wait_until(lambda: server.stats_snapshot().requests >= 3)
+        server.close(drain=False)
+        for thread in threads:
+            thread.join()
+        stats = server.stats_snapshot()
+        assert_net_invariant(stats)
+        assert_service_invariant(server.service.stats_snapshot())
+
+
+class TestConcurrencyHammer:
+    def test_four_client_hammer_counters_balance_exactly(self, tmp_path):
+        payloads = small_stream(200)
+        priorities = retry_priorities(len(payloads), seed=1)
+        with NetServer(
+            Workspace(tmp_path / "ws"), flush_ms=2.0
+        ) as server:
+            result = run_net_closed_loop(
+                server.address,
+                payloads,
+                clients=4,
+                priorities=priorities,
+            )
+            net = server.stats_snapshot()
+            service = server.service.stats_snapshot()
+            # client-side and server-side tallies agree exactly
+            assert result.requests == 200
+            assert result.completed + result.shed_gave_up + result.failed \
+                == result.requests
+            assert result.completed == net.completed
+            assert result.failed == 0
+            # the exact network-tier invariant
+            assert_net_invariant(net)
+            assert net.internal_errors == 0
+            assert net.dropped == 0
+            # the exact service-tier dedup invariant
+            assert_service_invariant(service)
+            # both lanes actually carried traffic
+            lanes = {lane.name: lane for lane in net.lanes}
+            assert lanes["interactive"].admitted > 0
+            assert lanes["batch"].admitted > 0
+            assert net.requests == (
+                lanes["interactive"].admitted
+                + lanes["batch"].admitted
+                + net.shed
+                + net.drained
+                + net.failed
+            )
+            # the duplicate-heavy stream deduplicates server-side
+            assert service.dedup_hits > 0
+
+    def test_open_loop_driver_measures_from_scheduled_time(self, tmp_path):
+        payloads = small_stream(40)
+        with NetServer(
+            Workspace(tmp_path / "ws"), flush_ms=1.0
+        ) as server:
+            result = run_net_open_loop(
+                server.address,
+                payloads,
+                rate_rps=400.0,
+                clients=4,
+            )
+            assert result.completed == 40
+            assert result.failed == 0 and result.shed_gave_up == 0
+            assert len(result.latencies_ms) == 40
+            assert result.p95_ms >= result.p50_ms >= 0.0
+            assert_net_invariant(server.stats_snapshot())
+
+    def test_overload_sheds_with_retry_after_and_recovers(self, tmp_path):
+        # A tiny lane over a capacity-1 service backlog forces sheds:
+        # the dispatcher holds its one admitted request (backpressure,
+        # never a drop) while the lane bound refuses the burst's tail
+        # with retry_after_ms.
+        import json as _json
+
+        with NetServer(
+            Workspace(tmp_path / "ws"),
+            flush_ms=100.0,  # hold the backlog full during the burst
+            capacity=1,
+            lane_capacity=2,
+            per_client=2,
+        ) as server:
+            host, port = server.address.rsplit(":", 1)
+            sock = socket.create_connection((host, int(port)))
+            reader = sock.makefile("rb")
+            for i in range(10):
+                payload = {
+                    **TINY_PAYLOAD,
+                    "seed": i,  # distinct: no completed-cache hits
+                }
+                sock.sendall(
+                    _json.dumps(
+                        {
+                            "op": "plan",
+                            "schema": 1,
+                            "id": i,
+                            "request": payload,
+                        }
+                    ).encode()
+                    + b"\n"
+                )
+            shed_seen = ok_seen = 0
+            for _ in range(10):
+                response = _json.loads(reader.readline())
+                if response["ok"]:
+                    ok_seen += 1
+                else:
+                    assert response["error"]["code"] == "shed"
+                    assert response["retry_after_ms"] > 0
+                    shed_seen += 1
+            reader.close()
+            sock.close()
+            assert shed_seen > 0
+            assert ok_seen + shed_seen == 10
+            stats = server.stats_snapshot()
+            assert stats.shed == shed_seen
+            assert stats.completed == ok_seen
+            assert stats.backpressure_waits > 0
+            assert_net_invariant(stats)
+
+
+class TestWindowedSnapshotsUnderLoad:
+    def test_service_and_cache_windows_hold_under_live_load(
+        self, tmp_path
+    ):
+        payloads = small_stream(150)
+        with NetServer(
+            Workspace(tmp_path / "ws"), flush_ms=2.0
+        ) as server:
+            service = server.service
+            workspace = service.workspace
+            service_snaps = [service.stats_snapshot()]
+            workspace_snaps = [workspace.stats]
+            net_snaps = [server.stats_snapshot()]
+            stop = threading.Event()
+
+            def sampler():
+                while not stop.is_set():
+                    service_snaps.append(service.stats_snapshot())
+                    workspace_snaps.append(workspace.stats)
+                    net_snaps.append(server.stats_snapshot())
+                    time.sleep(0.002)
+
+            thread = threading.Thread(target=sampler)
+            thread.start()
+            result = run_net_closed_loop(
+                server.address, payloads, clients=4
+            )
+            stop.set()
+            thread.join()
+            service_snaps.append(service.stats_snapshot())
+            workspace_snaps.append(workspace.stats)
+            net_snaps.append(server.stats_snapshot())
+
+        assert result.completed == 150
+        assert len(service_snaps) >= 3, "sampler never ran"
+
+        for before, after in zip(service_snaps, service_snaps[1:]):
+            window = after.since(before)
+            # no torn reads: every windowed counter is non-negative
+            # and the dedup identity holds inside every window.
+            assert window.requests >= 0
+            assert window.completed >= 0
+            assert window.failed >= 0
+            assert window.resolved >= 0
+            assert window.dedup_hits >= 0
+            assert window.batches >= 0
+            assert window.dedup_hits + window.resolved == window.completed
+            assert window.latency.count >= 0
+
+        for before, after in zip(workspace_snaps, workspace_snaps[1:]):
+            cache_window = after.cache - before.cache
+            for tier in (
+                cache_window.l1,
+                cache_window.l2,
+                cache_window.l3,
+                cache_window.profiles_remote,
+            ):
+                assert tier.hits >= 0
+                assert tier.misses >= 0
+
+        for before, after in zip(net_snaps, net_snaps[1:]):
+            assert after.requests >= before.requests
+            assert after.completed >= before.completed
+            assert after.accounted >= before.accounted
+
+        # whole-run window equals the lifetime counters
+        total = service_snaps[-1].since(service_snaps[0])
+        assert total.completed == service_snaps[-1].completed
+        assert total.dedup_hits + total.resolved == total.completed
